@@ -1,0 +1,283 @@
+// Command nfvsim runs the nfvchain pipeline and regenerates the evaluation
+// figures of the ICDCS'17 paper "Joint Optimization of Chain Placement and
+// Request Scheduling for Network Function Virtualization".
+//
+// Usage:
+//
+//	nfvsim -list                       # list available experiments
+//	nfvsim -fig fig5                   # regenerate one figure
+//	nfvsim -fig all -fast              # all figures with reduced averaging
+//	nfvsim -fig fig11 -csv out/        # also write CSV series
+//	nfvsim -demo                       # run the pipeline on one workload
+//	nfvsim -demo -simulate             # … and validate with the simulator
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"nfvchain/internal/experiment"
+	"nfvchain/internal/model"
+	"nfvchain/internal/stats"
+
+	nfvchain "nfvchain"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "nfvsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("nfvsim", flag.ContinueOnError)
+	var (
+		list       = fs.Bool("list", false, "list available experiments and exit")
+		fig        = fs.String("fig", "", `experiment to run ("fig5"…"fig16", "tail", or "all")`)
+		fast       = fs.Bool("fast", false, "reduced averaging (quick, noisier curves)")
+		seed       = fs.Uint64("seed", 1, "random seed")
+		placeTr    = fs.Int("placement-trials", 0, "override placement trials per point")
+		schedTr    = fs.Int("scheduling-trials", 0, "override scheduling trials per point")
+		csvDir     = fs.String("csv", "", "directory to write per-figure CSV files")
+		plot       = fs.Bool("plot", false, "render each figure as an ASCII chart instead of a table")
+		demo       = fs.Bool("demo", false, "run the joint pipeline on a generated workload")
+		solve      = fs.String("solve", "", "run the joint pipeline on a problem JSON file (see cmd/tracegen)")
+		solOut     = fs.String("out", "", "with -demo/-solve: write the solution (problem+placement+schedule) as JSON")
+		simulateIt = fs.Bool("simulate", false, "with -demo: also run the discrete-event simulator")
+		placer     = fs.String("placer", "bfdsu", "placement algorithm: bfdsu|ffd|bfd|wfd|nah|exact")
+		scheduler  = fs.String("scheduler", "rckk", "scheduling algorithm: rckk|cga|ckk|roundrobin|exact")
+		improve    = fs.Bool("improve", false, "polish placement and schedule with local search")
+		requests   = fs.Int("requests", 200, "with -demo: number of requests")
+		vnfs       = fs.Int("vnfs", 15, "with -demo: number of VNFs")
+		nodes      = fs.Int("nodes", 10, "with -demo: number of nodes")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch {
+	case *list:
+		for _, id := range experiment.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	case *solve != "":
+		algs, err := chooseAlgorithms(*placer, *scheduler, *seed)
+		if err != nil {
+			return err
+		}
+		return runSolve(*solve, *seed, *simulateIt, *solOut, algs, *improve)
+	case *demo:
+		algs, err := chooseAlgorithms(*placer, *scheduler, *seed)
+		if err != nil {
+			return err
+		}
+		return runDemo(*seed, *vnfs, *requests, *nodes, *simulateIt, *solOut, algs, *improve)
+	case *fig != "":
+		cfg := experiment.DefaultConfig()
+		if *fast {
+			cfg = experiment.FastConfig()
+		}
+		cfg.Seed = *seed
+		if *placeTr > 0 {
+			cfg.PlacementTrials = *placeTr
+		}
+		if *schedTr > 0 {
+			cfg.SchedulingTrials = *schedTr
+		}
+		ids := []string{*fig}
+		if *fig == "all" {
+			ids = experiment.IDs()
+			sort.Strings(ids)
+		}
+		for _, id := range ids {
+			tab, err := experiment.Run(id, cfg)
+			if err != nil {
+				return err
+			}
+			if *plot {
+				fmt.Println(tab.Plot(64, 16))
+			} else {
+				fmt.Println(tab)
+			}
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, tab); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	default:
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass -list, -fig or -demo")
+	}
+}
+
+func writeCSV(dir string, tab *experiment.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("create csv dir: %w", err)
+	}
+	path := filepath.Join(dir, tab.ID+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer func() {
+		_ = f.Close()
+	}()
+	if err := tab.WriteCSV(f); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	fmt.Println("wrote", path)
+	return nil
+}
+
+func runSolve(path string, seed uint64, simulate bool, solOut string, algs algorithms, improve bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("open %s: %w", path, err)
+	}
+	defer func() {
+		_ = f.Close()
+	}()
+	p, err := model.ReadJSON(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("problem: %d VNFs, %d requests, %d nodes (from %s)\n",
+		len(p.VNFs), len(p.Requests), len(p.Nodes), path)
+	return solveAndReport(p, seed, simulate, solOut, algs, improve)
+}
+
+func runDemo(seed uint64, vnfs, requests, nodes int, simulate bool, solOut string, algs algorithms, improve bool) error {
+	cfg := nfvchain.DefaultWorkloadConfig()
+	cfg.Seed = seed
+	cfg.NumVNFs = vnfs
+	cfg.NumRequests = requests
+	cfg.NumNodes = nodes
+	p, err := nfvchain.GenerateWorkload(cfg)
+	if err != nil {
+		return err
+	}
+	// Rescale VNF demands to fill ~60% of the fleet so placement quality is
+	// visible (the generator's catalog demands are sized for single-node
+	// fits at these scales).
+	if total := p.TotalDemand(); total > 0 {
+		scale := 0.6 * p.TotalCapacity() / total
+		for i := range p.VNFs {
+			p.VNFs[i].Demand *= scale
+		}
+	}
+	fmt.Printf("workload: %d VNFs, %d requests, %d nodes (seed %d)\n",
+		len(p.VNFs), len(p.Requests), len(p.Nodes), seed)
+	return solveAndReport(p, seed, simulate, solOut, algs, improve)
+}
+
+// algorithms bundles the user-selected pipeline strategies.
+type algorithms struct {
+	placer    nfvchain.PlacementAlgorithm
+	scheduler nfvchain.SchedulingAlgorithm
+}
+
+func chooseAlgorithms(placer, scheduler string, seed uint64) (algorithms, error) {
+	var out algorithms
+	switch placer {
+	case "bfdsu":
+		out.placer = nfvchain.NewBFDSU(seed)
+	case "ffd":
+		out.placer = nfvchain.NewFFD()
+	case "bfd":
+		out.placer = nfvchain.NewBFD()
+	case "wfd":
+		out.placer = nfvchain.NewWFD()
+	case "nah":
+		out.placer = nfvchain.NewNAH()
+	case "exact":
+		out.placer = nfvchain.NewExactPlacer()
+	default:
+		return out, fmt.Errorf("unknown placer %q", placer)
+	}
+	switch scheduler {
+	case "rckk":
+		out.scheduler = nfvchain.NewRCKK()
+	case "cga":
+		out.scheduler = nfvchain.NewCGA()
+	case "ckk":
+		out.scheduler = nfvchain.NewCKK()
+	case "roundrobin":
+		out.scheduler = nfvchain.NewRoundRobin()
+	case "exact":
+		out.scheduler = nfvchain.NewExactScheduler()
+	default:
+		return out, fmt.Errorf("unknown scheduler %q", scheduler)
+	}
+	return out, nil
+}
+
+func solveAndReport(p *model.Problem, seed uint64, simulate bool, solOut string, algs algorithms, improve bool) error {
+	sol, err := nfvchain.Optimize(p, nfvchain.Options{
+		Seed:      seed,
+		LinkDelay: 0.001,
+		Placer:    algs.placer,
+		Scheduler: algs.scheduler,
+	})
+	if err != nil {
+		return err
+	}
+	if improve {
+		pl, err := nfvchain.ImprovePlacement(p, sol.Placement)
+		if err != nil {
+			return err
+		}
+		sol.Placement = pl
+		// Improve only full schedules; post-admission schedules with
+		// rejected requests are already per-instance stable.
+		if len(sol.Rejected) == 0 {
+			sched, err := nfvchain.ImproveSchedule(p, sol.Schedule)
+			if err != nil {
+				return err
+			}
+			sol.Schedule = sched
+		}
+		fmt.Println("applied local-search polish (placement + schedule)")
+	}
+	ev, err := nfvchain.Evaluate(sol)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("placement (%s): %d nodes in service, avg utilization %.2f%%, %d iterations\n",
+		algs.placer.Name(), ev.NodesInService, ev.AvgUtilization*100, sol.PlacementIterations)
+	fmt.Printf("scheduling (%s): mean W per instance %.6fs, rejected %d/%d requests (%.2f%%)\n",
+		algs.scheduler.Name(), ev.AvgResponseTime, len(sol.Rejected), len(p.Requests), sol.RejectionRate*100)
+	fmt.Printf("analytic mean request latency (Eq. 16): %.6fs\n", ev.MeanRequestLatency())
+
+	if solOut != "" {
+		f, err := os.Create(solOut)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", solOut, err)
+		}
+		defer func() {
+			_ = f.Close()
+		}()
+		if err := sol.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Println("wrote", solOut)
+	}
+
+	if !simulate {
+		return nil
+	}
+	res, err := nfvchain.Simulate(sol, nfvchain.SimulationConfig{Horizon: 60, Warmup: 10, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulated: %d packets delivered, %d retransmitted, mean latency %.6fs, p99 %.6fs\n",
+		res.Delivered, res.Retransmissions, res.Latency.Mean(),
+		stats.Percentile(res.LatencySamples, 99))
+	return nil
+}

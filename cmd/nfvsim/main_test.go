@@ -1,0 +1,130 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNoArgs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no-op invocation should error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "fig99", "-fast"}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestRunFigureWithCSVAndPlot(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-fig", "fig12", "-placement-trials", "1", "-scheduling-trials", "4",
+		"-csv", dir, "-plot",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig12.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "x,RCKK,CGA") {
+		t.Errorf("csv header = %q", strings.SplitN(string(data), "\n", 2)[0])
+	}
+}
+
+func TestRunDemo(t *testing.T) {
+	if err := run([]string{"-demo", "-requests", "40", "-vnfs", "8", "-nodes", "6"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDemoAlgorithmSelection(t *testing.T) {
+	if err := run([]string{"-demo", "-requests", "30", "-placer", "nah", "-scheduler", "cga"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-demo", "-requests", "30", "-placer", "wfd", "-improve"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-demo", "-placer", "nope"}); err == nil {
+		t.Error("unknown placer accepted")
+	}
+	if err := run([]string{"-demo", "-scheduler", "nope"}); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+}
+
+func TestChooseAlgorithms(t *testing.T) {
+	placers := []string{"bfdsu", "ffd", "bfd", "wfd", "nah", "exact"}
+	schedulers := []string{"rckk", "cga", "ckk", "roundrobin", "exact"}
+	for _, p := range placers {
+		algs, err := chooseAlgorithms(p, "rckk", 1)
+		if err != nil || algs.placer == nil {
+			t.Errorf("placer %s: %v", p, err)
+		}
+	}
+	for _, s := range schedulers {
+		algs, err := chooseAlgorithms("bfdsu", s, 1)
+		if err != nil || algs.scheduler == nil {
+			t.Errorf("scheduler %s: %v", s, err)
+		}
+	}
+}
+
+func TestRunDemoWritesSolution(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sol.json")
+	if err := run([]string{"-demo", "-requests", "20", "-vnfs", "6", "-nodes", "4", "-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"placement"`, `"schedule"`, `"problem"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("solution file missing %s", want)
+		}
+	}
+}
+
+func TestRunSolve(t *testing.T) {
+	// Generate a problem file with the library, then solve it.
+	const problemJSON = `{
+  "nodes": [{"id": "n1", "capacity": 1000}],
+  "vnfs": [{"id": "fw", "instances": 1, "demand": 10, "serviceRate": 500}],
+  "requests": [{"id": "r1", "chain": ["fw"], "rate": 50, "deliveryProb": 0.98}]
+}`
+	path := filepath.Join(t.TempDir(), "p.json")
+	if err := os.WriteFile(path, []byte(problemJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-solve", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-solve", filepath.Join(t.TempDir(), "missing.json")}); err == nil {
+		t.Error("missing problem file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-solve", bad}); err == nil {
+		t.Error("malformed problem accepted")
+	}
+}

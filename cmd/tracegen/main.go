@@ -1,0 +1,133 @@
+// Command tracegen synthesizes nfvchain workloads: a problem instance
+// (nodes, VNFs, requests with chains) as JSON and, optionally, a
+// packet-level arrival trace as CSV for trace-driven simulation.
+//
+// Usage:
+//
+//	tracegen -requests 200 -vnfs 15 -nodes 10 -out problem.json
+//	tracegen -out problem.json -trace trace.csv -horizon 30 -dist lognormal
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nfvchain/internal/model"
+	"nfvchain/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+// analyzeTrace prints per-request arrival statistics for a recorded trace.
+func analyzeTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("open %s: %w", path, err)
+	}
+	defer func() {
+		_ = f.Close()
+	}()
+	tr, err := workload.ReadTraceCSV(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %8s %10s %10s %8s %8s %s\n",
+		"request", "count", "rate(pps)", "mean gap", "CV", "KS", "poisson?")
+	for _, st := range workload.AnalyzeTrace(tr) {
+		fmt.Printf("%-12s %8d %10.3f %10.5f %8.3f %8.4f %v\n",
+			st.Request, st.Count, st.Rate, st.MeanGap, st.CVGap, st.KSStatistic, st.PoissonLike)
+	}
+	return nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		seed     = fs.Uint64("seed", 1, "random seed")
+		vnfs     = fs.Int("vnfs", 15, "number of VNFs (max 30)")
+		requests = fs.Int("requests", 200, "number of requests")
+		nodes    = fs.Int("nodes", 10, "number of computing nodes")
+		chainMax = fs.Int("chain-max", model.MaxChainLength, "maximum chain length")
+		rateMin  = fs.Float64("rate-min", 1, "minimum request rate (pps)")
+		rateMax  = fs.Float64("rate-max", 100, "maximum request rate (pps)")
+		prob     = fs.Float64("p", 0.98, "delivery probability P")
+		out      = fs.String("out", "", "problem JSON output path (default stdout)")
+		tracePth = fs.String("trace", "", "also write an arrival trace CSV to this path")
+		horizon  = fs.Float64("horizon", 10, "trace horizon in seconds")
+		dist     = fs.String("dist", "exp", `inter-arrival distribution: "exp" or "lognormal"`)
+		analyze  = fs.String("analyze", "", "analyze an existing trace CSV (rates, burstiness, Poisson test) and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *analyze != "" {
+		return analyzeTrace(*analyze)
+	}
+
+	cfg := workload.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.NumVNFs = *vnfs
+	cfg.NumRequests = *requests
+	cfg.NumNodes = *nodes
+	cfg.MaxChainLength = *chainMax
+	cfg.RateMin, cfg.RateMax = *rateMin, *rateMax
+	cfg.DeliveryProb = *prob
+	p, err := workload.Generate(cfg)
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", *out, err)
+		}
+		defer func() {
+			_ = f.Close()
+		}()
+		w = f
+	}
+	if err := p.WriteJSON(w); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Println("wrote", *out)
+	}
+
+	if *tracePth == "" {
+		return nil
+	}
+	var ia workload.InterArrival
+	switch *dist {
+	case "exp":
+		ia = workload.InterArrivalExponential
+	case "lognormal":
+		ia = workload.InterArrivalLogNormal
+	default:
+		return fmt.Errorf("unknown distribution %q", *dist)
+	}
+	tr, err := workload.GenerateTrace(p, *horizon, ia, *seed)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*tracePth)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", *tracePth, err)
+	}
+	defer func() {
+		_ = f.Close()
+	}()
+	if err := tr.WriteCSV(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d arrivals over %.3gs)\n", *tracePth, tr.Len(), *horizon)
+	return nil
+}

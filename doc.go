@@ -1,0 +1,42 @@
+// Package nfvchain is a library for joint optimization of VNF chain
+// placement and request scheduling in NFV datacenters, reproducing the
+// system of Zhang et al., "Joint Optimization of Chain Placement and Request
+// Scheduling for Network Function Virtualization" (IEEE ICDCS 2017).
+//
+// The library models a datacenter as computing nodes with CPU-bounded
+// capacities hosting Virtual Network Functions (VNFs); requests are Poisson
+// packet flows that traverse ordered VNF chains, with packet-loss feedback
+// and retransmission. Two coupled NP-hard problems are solved heuristically:
+//
+//   - Chain placement: BFDSU (Best Fit Decreasing using Smallest Used nodes
+//     with the largest probability) packs every VNF's service-instance
+//     bundle onto nodes, maximizing the average utilization of nodes in
+//     service. Baselines: FFD, BFD, WFD, NAH, random, and an exact
+//     branch-and-bound optimum for small instances.
+//
+//   - Request scheduling: RCKK (Reverse Complete Karmarkar-Karp) balances
+//     the requests sharing a VNF across its M_f service instances,
+//     minimizing the average M/M/1 response latency. Baselines: CGA
+//     (greedy), forward-combining KK, round-robin, random, and an exact
+//     branch-and-bound partitioner.
+//
+// Solutions are evaluated two ways, which agree by construction and by
+// test: analytically via open Jackson network theory (per-instance M/M/1
+// response times, Kleinrock flow merging, λ/P loss inflation) and
+// empirically via a packet-level discrete-event simulator.
+//
+// # Quick start
+//
+//	problem, err := nfvchain.GenerateWorkload(nfvchain.DefaultWorkloadConfig())
+//	if err != nil { ... }
+//	sol, err := nfvchain.Optimize(problem, nfvchain.Options{})
+//	if err != nil { ... }
+//	eval, err := nfvchain.Evaluate(sol)
+//	if err != nil { ... }
+//	fmt.Printf("utilization %.1f%% over %d nodes, mean latency %.4fs\n",
+//	    eval.AvgUtilization*100, eval.NodesInService, eval.MeanRequestLatency())
+//
+// The cmd/nfvsim binary regenerates every figure of the paper's evaluation;
+// see EXPERIMENTS.md for the paper-vs-measured record and DESIGN.md for the
+// architecture.
+package nfvchain

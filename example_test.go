@@ -1,0 +1,94 @@
+package nfvchain_test
+
+import (
+	"fmt"
+	"strings"
+
+	nfvchain "nfvchain"
+)
+
+// Example runs the full joint-optimization pipeline on a tiny deterministic
+// deployment: three VNFs chained two ways across two servers.
+func Example() {
+	problem := &nfvchain.Problem{
+		Nodes: []nfvchain.Node{
+			{ID: "server1", Capacity: 100},
+			{ID: "server2", Capacity: 100},
+		},
+		VNFs: []nfvchain.VNF{
+			{ID: "Firewall", Instances: 2, Demand: 20, ServiceRate: 100},
+			{ID: "NAT", Instances: 1, Demand: 30, ServiceRate: 150},
+			{ID: "IDS", Instances: 1, Demand: 50, ServiceRate: 120},
+		},
+		Requests: []nfvchain.Request{
+			{ID: "web", Chain: []nfvchain.VNFID{"Firewall", "NAT"}, Rate: 40, DeliveryProb: 1},
+			{ID: "scan", Chain: []nfvchain.VNFID{"Firewall", "IDS"}, Rate: 30, DeliveryProb: 1},
+		},
+	}
+
+	sol, err := nfvchain.Optimize(problem, nfvchain.Options{Seed: 7})
+	if err != nil {
+		fmt.Println("optimize:", err)
+		return
+	}
+	eval, err := nfvchain.Evaluate(sol)
+	if err != nil {
+		fmt.Println("evaluate:", err)
+		return
+	}
+
+	fmt.Printf("nodes in service: %d\n", eval.NodesInService)
+	fmt.Printf("requests rejected: %d\n", len(sol.Rejected))
+	fmt.Printf("latency positive: %v\n", eval.MeanRequestLatency() > 0)
+	// Output:
+	// nodes in service: 2
+	// requests rejected: 0
+	// latency positive: true
+}
+
+// ExampleAnalyzeTrace shows trace synthesis plus Poisson verification.
+func ExampleAnalyzeTrace() {
+	cfg := nfvchain.DefaultWorkloadConfig()
+	cfg.NumRequests = 1
+	cfg.RateMin, cfg.RateMax = 50, 50 // one 50 pps flow
+	problem, err := nfvchain.GenerateWorkload(cfg)
+	if err != nil {
+		fmt.Println("generate:", err)
+		return
+	}
+	trace, err := nfvchain.GenerateTrace(problem, 60, 1)
+	if err != nil {
+		fmt.Println("trace:", err)
+		return
+	}
+	for _, st := range nfvchain.AnalyzeTrace(trace) {
+		fmt.Printf("rate≈50: %v, poisson: %v\n", st.Rate > 45 && st.Rate < 55, st.PoissonLike)
+	}
+	// Output:
+	// rate≈50: true, poisson: true
+}
+
+// ExampleSolution_WriteJSON round-trips a solution through its JSON form.
+func ExampleSolution_WriteJSON() {
+	cfg := nfvchain.DefaultWorkloadConfig()
+	cfg.NumRequests = 10
+	problem, _ := nfvchain.GenerateWorkload(cfg)
+	sol, err := nfvchain.Optimize(problem, nfvchain.Options{Seed: 3})
+	if err != nil {
+		fmt.Println("optimize:", err)
+		return
+	}
+	var buf strings.Builder
+	if err := sol.WriteJSON(&buf); err != nil {
+		fmt.Println("write:", err)
+		return
+	}
+	back, err := nfvchain.ReadSolutionJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		fmt.Println("read:", err)
+		return
+	}
+	fmt.Println("round trip ok:", back.Placement.NodesInService() == sol.Placement.NodesInService())
+	// Output:
+	// round trip ok: true
+}

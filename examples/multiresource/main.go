@@ -1,0 +1,88 @@
+// Multi-resource placement: the paper treats CPU as the bottleneck and
+// models memory and bandwidth "as additional constraints" (Section III-A).
+// This example annotates a workload with a memory dimension and shows how
+// the same packing algorithms respect it: memory-tight nodes force chains
+// apart even when CPU alone would pack everything together.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	nfvchain "nfvchain"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "multiresource:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cfg := nfvchain.DefaultWorkloadConfig()
+	cfg.Seed = 5
+	cfg.NumVNFs = 12
+	cfg.NumRequests = 120
+	cfg.NumNodes = 8
+	problem, err := nfvchain.GenerateWorkload(cfg)
+	if err != nil {
+		return err
+	}
+	// CPU-loose: everything would fit on ~2 nodes by CPU alone.
+	scale := 0.25 * problem.TotalCapacity() / problem.TotalDemand()
+	for i := range problem.VNFs {
+		problem.VNFs[i].Demand *= scale
+	}
+
+	solve := func(p *nfvchain.Problem, label string) error {
+		sol, err := nfvchain.Optimize(p, nfvchain.Options{Seed: 5})
+		if err != nil {
+			return fmt.Errorf("%s: %w", label, err)
+		}
+		eval, err := nfvchain.Evaluate(sol)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-22s %d nodes in service, CPU utilization %.1f%%\n",
+			label, eval.NodesInService, eval.AvgUtilization*100)
+		return nil
+	}
+
+	if err := solve(problem, "CPU only:"); err != nil {
+		return err
+	}
+
+	// Add the memory dimension: node tiers 64–512 GB, per-instance demands
+	// proportional to CPU weight.
+	withMem := problem.Clone()
+	if err := nfvchain.AddMemoryDimension(withMem, 5); err != nil {
+		return err
+	}
+	fmt.Printf("\nmemory dimension added — node capacities (GB):")
+	for _, n := range withMem.Nodes {
+		fmt.Printf(" %.0f", n.Extras[0])
+	}
+	fmt.Println()
+	var memDemand float64
+	for _, f := range withMem.VNFs {
+		memDemand += f.TotalExtras()[0]
+	}
+	fmt.Printf("total VNF memory demand: %.0f GB\n\n", memDemand)
+
+	if err := solve(withMem, "CPU + memory:"); err != nil {
+		return err
+	}
+
+	// Tighten memory until packing is genuinely memory-bound.
+	tight := withMem.Clone()
+	for i := range tight.Nodes {
+		tight.Nodes[i].Extras[0] = 64 // every node on the smallest tier
+	}
+	if err := solve(tight, "CPU + tight memory:"); err != nil {
+		return err
+	}
+	fmt.Println("\nMemory never appears in the objective — only as a constraint —")
+	fmt.Println("so utilization stays CPU-defined while node counts grow.")
+	return nil
+}

@@ -1,0 +1,126 @@
+// Scheduler comparison: fifty requests share one VNF with five service
+// instances — the paper's Fig. 11 setting. Compare how RCKK and CGA balance
+// the per-instance arrival rates, what that does to the M/M/1 response
+// times, and how admission control reacts when the system is pushed past
+// saturation.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	nfvchain "nfvchain"
+)
+
+const (
+	numRequests  = 50
+	numInstances = 5
+	deliveryProb = 0.98
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "scheduler:", err)
+		os.Exit(1)
+	}
+}
+
+func buildProblem(mu float64) *nfvchain.Problem {
+	p := &nfvchain.Problem{
+		Nodes: []nfvchain.Node{{ID: "server0", Capacity: 5000}},
+		VNFs: []nfvchain.VNF{{
+			ID: "Firewall", Instances: numInstances, Demand: 100, ServiceRate: mu,
+		}},
+	}
+	// Deterministic rate draws in [1,100] pps.
+	rnd := rand.New(rand.NewSource(4))
+	for i := 0; i < numRequests; i++ {
+		p.Requests = append(p.Requests, nfvchain.Request{
+			ID:           nfvchain.RequestID(fmt.Sprintf("flow%02d", i)),
+			Chain:        []nfvchain.VNFID{"Firewall"},
+			Rate:         1 + 99*rnd.Float64(),
+			DeliveryProb: deliveryProb,
+		})
+	}
+	return p
+}
+
+func run() error {
+	// First, a well-provisioned system: µ sized for ~85% utilization.
+	base := buildProblem(1)
+	var total float64
+	for _, r := range base.Requests {
+		total += r.EffectiveRate()
+	}
+	mu := total / numInstances / 0.85
+	problem := buildProblem(mu)
+
+	fmt.Printf("%d requests (Σλ/P = %.0f pps) over %d instances at µ = %.0f pps\n\n",
+		numRequests, total, numInstances, mu)
+
+	for _, alg := range []nfvchain.SchedulingAlgorithm{
+		nfvchain.NewRCKK(), nfvchain.NewCGA(),
+	} {
+		sol, err := nfvchain.Optimize(problem, nfvchain.Options{Scheduler: alg})
+		if err != nil {
+			return err
+		}
+		eval, err := nfvchain.Evaluate(sol)
+		if err != nil {
+			return err
+		}
+		loads := sol.Schedule.InstanceLoads(problem, "Firewall")
+		fmt.Printf("%-6s instance loads:", alg.Name())
+		minL, maxL := loads[0], loads[0]
+		for _, l := range loads {
+			fmt.Printf(" %7.1f", l)
+			if l < minL {
+				minL = l
+			}
+			if l > maxL {
+				maxL = l
+			}
+		}
+		fmt.Printf("  spread %.1f, mean W %.5fs\n", maxL-minL, eval.AvgResponseTime)
+	}
+
+	// Optimality check on a branch-and-bound-sized instance: 16 requests,
+	// small enough for the exact partitioner.
+	fmt.Println("\n--- optimality gap on 16 requests ---")
+	small := buildProblem(mu)
+	small.Requests = small.Requests[:16]
+	for _, alg := range []nfvchain.SchedulingAlgorithm{
+		nfvchain.NewRCKK(), nfvchain.NewCGA(), nfvchain.NewExactScheduler(),
+	} {
+		sol, err := nfvchain.Optimize(small, nfvchain.Options{Scheduler: alg})
+		if err != nil {
+			return err
+		}
+		loads := sol.Schedule.InstanceLoads(small, "Firewall")
+		minL, maxL := loads[0], loads[0]
+		for _, l := range loads {
+			if l < minL {
+				minL = l
+			}
+			if l > maxL {
+				maxL = l
+			}
+		}
+		fmt.Printf("%-6s max load %.1f, spread %.1f\n", alg.Name(), maxL, maxL-minL)
+	}
+
+	// Now push past saturation: shrink µ so the aggregate load exceeds
+	// capacity and admission control must shed jobs.
+	fmt.Println("\n--- overload: µ reduced 20% ---")
+	overloaded := buildProblem(mu * 0.8)
+	for _, alg := range []nfvchain.SchedulingAlgorithm{nfvchain.NewRCKK(), nfvchain.NewCGA()} {
+		sol, err := nfvchain.Optimize(overloaded, nfvchain.Options{Scheduler: alg})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-6s rejected %d/%d requests (%.1f%% job rejection rate)\n",
+			alg.Name(), len(sol.Rejected), numRequests, sol.RejectionRate*100)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module nfvchain
+
+go 1.22

@@ -1,0 +1,122 @@
+// Package core implements the paper's joint optimization pipeline: phase
+// one places VNF chains on computing nodes (Section IV-A, default BFDSU),
+// phase two schedules requests onto service instances (Section IV-B, default
+// RCKK), with admission control enforcing per-instance stability. It also
+// evaluates solutions analytically — Objective 1 (Eq. 13/14), Objective 2
+// (Eq. 15) and the combined total latency (Eq. 16) — and bridges to the
+// discrete-event simulator for empirical validation.
+package core
+
+import (
+	"fmt"
+
+	"nfvchain/internal/model"
+	"nfvchain/internal/placement"
+	"nfvchain/internal/scheduling"
+	"nfvchain/internal/simulate"
+	"nfvchain/internal/workload"
+)
+
+// Options configures the pipeline. Zero values select the paper's proposed
+// algorithms.
+type Options struct {
+	// Placer is the phase-one algorithm; nil means BFDSU with Seed.
+	Placer placement.Algorithm
+	// Scheduler is the phase-two algorithm; nil means RCKK.
+	Scheduler scheduling.Partitioner
+	// LinkDelay is the constant per-hop latency L of Eq. 16.
+	LinkDelay float64
+	// DisableAdmissionControl keeps overloaded assignments instead of
+	// rejecting requests; Evaluate will then fail on unstable instances.
+	DisableAdmissionControl bool
+	// Seed drives the default BFDSU placer.
+	Seed uint64
+}
+
+// Solution is the output of the two-phase pipeline.
+type Solution struct {
+	Problem   *model.Problem
+	Placement *model.Placement
+	// PlacementIterations is the Fig. 10 execution-cost counter.
+	PlacementIterations int
+	// Schedule has admission control already applied (unless disabled).
+	Schedule *model.Schedule
+	// Rejected lists requests dropped by admission control.
+	Rejected []model.RequestID
+	// RejectionRate is the paper's job rejection rate (Figs. 15–16).
+	RejectionRate float64
+	// LinkDelay echoes the L used for Eq. 16 evaluation.
+	LinkDelay float64
+}
+
+// Optimize runs placement then scheduling on the problem.
+func Optimize(p *model.Problem, opts Options) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	placer := opts.Placer
+	if placer == nil {
+		placer = &placement.BFDSU{Seed: opts.Seed}
+	}
+	scheduler := opts.Scheduler
+	if scheduler == nil {
+		scheduler = scheduling.RCKK{}
+	}
+
+	placed, err := placer.Place(p)
+	if err != nil {
+		return nil, fmt.Errorf("core: placement (%s): %w", placer.Name(), err)
+	}
+	sched, err := scheduling.ScheduleAll(p, scheduler)
+	if err != nil {
+		return nil, fmt.Errorf("core: scheduling (%s): %w", scheduler.Name(), err)
+	}
+
+	sol := &Solution{
+		Problem:             p,
+		Placement:           placed.Placement,
+		PlacementIterations: placed.Iterations,
+		Schedule:            sched,
+		LinkDelay:           opts.LinkDelay,
+	}
+	if !opts.DisableAdmissionControl {
+		adm, err := scheduling.ApplyAdmissionControl(p, sched)
+		if err != nil {
+			return nil, fmt.Errorf("core: admission control: %w", err)
+		}
+		sol.Schedule = adm.Admitted
+		sol.Rejected = adm.Rejected
+		sol.RejectionRate = adm.RejectionRate
+	}
+	return sol, nil
+}
+
+// SimulationConfig carries the simulator knobs not already fixed by the
+// solution.
+type SimulationConfig struct {
+	Horizon    float64
+	Warmup     float64
+	BufferSize int
+	Trace      *workload.Trace
+	// ServiceDist selects the service-time distribution (zero value =
+	// exponential, the paper's assumption).
+	ServiceDist simulate.ServiceDist
+	Seed        uint64
+}
+
+// Simulate runs the discrete-event simulator on a solution, wiring in its
+// placement, post-admission schedule and link delay.
+func Simulate(sol *Solution, cfg SimulationConfig) (*simulate.Results, error) {
+	return simulate.Run(simulate.Config{
+		Problem:     sol.Problem,
+		Schedule:    sol.Schedule,
+		Placement:   sol.Placement,
+		LinkDelay:   sol.LinkDelay,
+		Horizon:     cfg.Horizon,
+		Warmup:      cfg.Warmup,
+		BufferSize:  cfg.BufferSize,
+		Trace:       cfg.Trace,
+		ServiceDist: cfg.ServiceDist,
+		Seed:        cfg.Seed,
+	})
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"nfvchain/internal/model"
+)
+
+// solutionJSON is the stable on-disk form of a Solution. The problem itself
+// is stored alongside so a solution file is self-contained.
+type solutionJSON struct {
+	Problem             *model.Problem    `json:"problem"`
+	Placement           *model.Placement  `json:"placement"`
+	PlacementIterations int               `json:"placementIterations"`
+	Schedule            *model.Schedule   `json:"schedule"`
+	Rejected            []model.RequestID `json:"rejected,omitempty"`
+	RejectionRate       float64           `json:"rejectionRate"`
+	LinkDelay           float64           `json:"linkDelay"`
+}
+
+// WriteJSON serializes the solution (with its problem) as indented JSON.
+func (s *Solution) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(solutionJSON{
+		Problem:             s.Problem,
+		Placement:           s.Placement,
+		PlacementIterations: s.PlacementIterations,
+		Schedule:            s.Schedule,
+		Rejected:            s.Rejected,
+		RejectionRate:       s.RejectionRate,
+		LinkDelay:           s.LinkDelay,
+	}); err != nil {
+		return fmt.Errorf("core: encode solution: %w", err)
+	}
+	return nil
+}
+
+// ReadSolutionJSON parses a solution written by WriteJSON and validates its
+// internal consistency (problem validity, placement feasibility, schedule
+// completeness modulo rejections).
+func ReadSolutionJSON(r io.Reader) (*Solution, error) {
+	var raw solutionJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("core: decode solution: %w", err)
+	}
+	if raw.Problem == nil || raw.Placement == nil || raw.Schedule == nil {
+		return nil, fmt.Errorf("core: solution file missing problem, placement or schedule")
+	}
+	if err := raw.Problem.Validate(); err != nil {
+		return nil, fmt.Errorf("core: solution problem: %w", err)
+	}
+	if err := raw.Placement.Validate(raw.Problem); err != nil {
+		return nil, fmt.Errorf("core: solution placement: %w", err)
+	}
+	if err := raw.Schedule.ValidatePartial(raw.Problem); err != nil {
+		return nil, fmt.Errorf("core: solution schedule: %w", err)
+	}
+	return &Solution{
+		Problem:             raw.Problem,
+		Placement:           raw.Placement,
+		PlacementIterations: raw.PlacementIterations,
+		Schedule:            raw.Schedule,
+		Rejected:            raw.Rejected,
+		RejectionRate:       raw.RejectionRate,
+		LinkDelay:           raw.LinkDelay,
+	}, nil
+}

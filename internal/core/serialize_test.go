@@ -1,0 +1,77 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSolutionJSONRoundTrip(t *testing.T) {
+	p := genProblem(t, 9)
+	sol, err := Optimize(p, Options{Seed: 9, LinkDelay: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := sol.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSolutionJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.LinkDelay != 0.25 || back.PlacementIterations != sol.PlacementIterations {
+		t.Errorf("metadata lost: %+v", back)
+	}
+	for f, v := range sol.Placement.NodeOf {
+		if back.Placement.NodeOf[f] != v {
+			t.Fatalf("placement of %s lost", f)
+		}
+	}
+	// The round-tripped solution evaluates identically.
+	e1, err := Evaluate(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Evaluate(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.TotalLatency != e2.TotalLatency || e1.NodesInService != e2.NodesInService {
+		t.Errorf("evaluation differs after round trip: %v vs %v", e1.TotalLatency, e2.TotalLatency)
+	}
+}
+
+func TestReadSolutionJSONRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":        "not json",
+		"unknown fields": `{"bogus": 1}`,
+		"missing parts":  `{"problem": null, "placement": null, "schedule": null}`,
+		"invalid problem": `{"problem": {"nodes":[],"vnfs":[],"requests":[]},
+			"placement": {"nodeOf":{}}, "schedule": {"instanceOf":{}}}`,
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadSolutionJSON(strings.NewReader(in)); err == nil {
+				t.Error("bad solution accepted")
+			}
+		})
+	}
+}
+
+func TestReadSolutionJSONRejectsInfeasiblePlacement(t *testing.T) {
+	p := genProblem(t, 10)
+	sol, err := Optimize(p, Options{Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the instance: inflate one VNF's demand beyond any node, so the
+	// recorded placement is no longer feasible for the recorded problem.
+	sol.Problem.VNFs[0].Demand = 10 * sol.Problem.TotalCapacity()
+	var buf strings.Builder
+	if err := sol.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSolutionJSON(strings.NewReader(buf.String())); err == nil {
+		t.Error("over-capacity placement accepted on read")
+	}
+}

@@ -1,0 +1,412 @@
+// Package dynamic adds the online dimension the paper discusses but defers
+// (Section IV-A): requests arrive and depart over time, VNFs scale out by
+// placing *replica* VNFs on other nodes ("place some replicas of the VNF on
+// different nodes, and regard each replica as a new VNF"), and every
+// scale-out pays a configurable setup cost — around five seconds to boot a
+// middlebox VM, or ~30 ms on a ClickOS-style platform, both cited by the
+// paper. Idle replicas are retired after a linger period so the fleet
+// tracks load without thrashing.
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"nfvchain/internal/model"
+	"nfvchain/internal/placement"
+)
+
+// Setup costs cited by the paper (seconds).
+const (
+	SetupCostVM      = 5.0   // booting a Linux VM per middlebox
+	SetupCostClickOS = 0.030 // ClickOS-style lightweight instantiation
+)
+
+// Config parameterizes the online controller.
+type Config struct {
+	// Problem supplies nodes and base VNF definitions. Its Requests are
+	// ignored — requests are admitted online.
+	Problem *model.Problem
+	// Placer performs the initial placement of base VNFs (nil = BFDSU).
+	Placer placement.Algorithm
+	// Seed drives the default placer.
+	Seed uint64
+	// SetupCost is the delay (seconds) before a newly placed replica can
+	// serve traffic. Defaults to SetupCostVM.
+	SetupCost float64
+	// ScaleOutUtilization is the per-instance utilization above which a new
+	// request triggers a replica instead of joining an existing instance.
+	// Must lie in (0,1]; default 0.9.
+	ScaleOutUtilization float64
+	// RetireLinger is how long (seconds) a replica must stay completely
+	// idle before MaybeScaleIn retires it; default 30.
+	RetireLinger float64
+}
+
+// AdmitOutcome describes what happened to one admitted request.
+type AdmitOutcome struct {
+	// Accepted is false when some chain VNF had no capacity and no replica
+	// could be placed.
+	Accepted bool
+	// ReadyAt is when the whole chain can serve the request: now, unless a
+	// replica had to boot (then now + SetupCost).
+	ReadyAt float64
+	// ScaleOuts lists replica VNFs created for this admission.
+	ScaleOuts []model.VNFID
+}
+
+// Stats aggregates controller activity.
+type Stats struct {
+	Admitted      int
+	Rejected      int
+	Departed      int
+	ScaleOuts     int
+	Retired       int
+	SetupSecs     float64 // total setup time paid
+	ActiveReplica int     // current replica count
+}
+
+// instanceState tracks one service instance's load.
+type instanceState struct {
+	vnf  model.VNFID
+	k    int
+	load float64 // Σ effective rates
+}
+
+// replicaState tracks one replica VNF.
+type replicaState struct {
+	base      model.VNFID
+	readyAt   float64
+	idleSince float64 // valid when load == 0
+}
+
+// Controller manages a live deployment. It is not safe for concurrent use.
+type Controller struct {
+	cfg       Config
+	problem   *model.Problem // grows as replicas are added
+	placement *model.Placement
+	schedule  *model.Schedule
+
+	instances map[model.VNFID][]*instanceState
+	replicas  map[model.VNFID]*replicaState // replica id → state
+	family    map[model.VNFID][]model.VNFID // base id → all serving ids (base first)
+	requests  map[model.RequestID]model.Request
+	stats     Stats
+	nextID    int
+	now       float64
+}
+
+// New validates the config, places the base VNFs, and returns a controller.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Problem == nil {
+		return nil, errors.New("dynamic: nil problem")
+	}
+	base := cfg.Problem.Clone()
+	base.Requests = nil
+	if err := base.Validate(); err != nil {
+		return nil, fmt.Errorf("dynamic: %w", err)
+	}
+	if cfg.SetupCost < 0 {
+		return nil, fmt.Errorf("dynamic: negative setup cost %v", cfg.SetupCost)
+	}
+	if cfg.SetupCost == 0 {
+		cfg.SetupCost = SetupCostVM
+	}
+	if cfg.ScaleOutUtilization == 0 {
+		cfg.ScaleOutUtilization = 0.9
+	}
+	if cfg.ScaleOutUtilization <= 0 || cfg.ScaleOutUtilization > 1 {
+		return nil, fmt.Errorf("dynamic: scale-out utilization %v outside (0,1]", cfg.ScaleOutUtilization)
+	}
+	if cfg.RetireLinger == 0 {
+		cfg.RetireLinger = 30
+	}
+	if cfg.RetireLinger < 0 {
+		return nil, fmt.Errorf("dynamic: negative retire linger %v", cfg.RetireLinger)
+	}
+	placer := cfg.Placer
+	if placer == nil {
+		placer = &placement.BFDSU{Seed: cfg.Seed}
+	}
+	res, err := placer.Place(base)
+	if err != nil {
+		return nil, fmt.Errorf("dynamic: initial placement: %w", err)
+	}
+
+	c := &Controller{
+		cfg:       cfg,
+		problem:   base,
+		placement: res.Placement,
+		schedule:  model.NewSchedule(),
+		instances: make(map[model.VNFID][]*instanceState),
+		replicas:  make(map[model.VNFID]*replicaState),
+		family:    make(map[model.VNFID][]model.VNFID),
+		requests:  make(map[model.RequestID]model.Request),
+	}
+	for _, f := range base.VNFs {
+		c.family[f.ID] = []model.VNFID{f.ID}
+		states := make([]*instanceState, f.Instances)
+		for k := range states {
+			states[k] = &instanceState{vnf: f.ID, k: k}
+		}
+		c.instances[f.ID] = states
+	}
+	return c, nil
+}
+
+// Now returns the controller's clock (the largest time it has seen).
+func (c *Controller) Now() float64 { return c.now }
+
+// Stats returns a snapshot of the activity counters.
+func (c *Controller) Stats() Stats {
+	s := c.stats
+	s.ActiveReplica = len(c.replicas)
+	return s
+}
+
+// Snapshot exposes the current problem, placement and schedule (live
+// references; treat as read-only) for evaluation with core.Evaluate.
+func (c *Controller) Snapshot() (*model.Problem, *model.Placement, *model.Schedule) {
+	return c.problem, c.placement, c.schedule
+}
+
+func (c *Controller) advance(now float64) error {
+	if now < c.now {
+		return fmt.Errorf("dynamic: time moved backwards: %v < %v", now, c.now)
+	}
+	c.now = now
+	return nil
+}
+
+// Admit routes a new request onto the least-loaded viable instance of every
+// chain VNF, scaling out with replicas where saturated. Admission is
+// all-or-nothing per request.
+func (c *Controller) Admit(r model.Request, now float64) (*AdmitOutcome, error) {
+	if err := c.advance(now); err != nil {
+		return nil, err
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("dynamic: %w", err)
+	}
+	if _, dup := c.requests[r.ID]; dup {
+		return nil, fmt.Errorf("dynamic: duplicate request %s", r.ID)
+	}
+	for _, fid := range r.Chain {
+		if _, ok := c.family[fid]; !ok {
+			return nil, fmt.Errorf("dynamic: request %s references unknown vnf %s", r.ID, fid)
+		}
+	}
+
+	outcome := &AdmitOutcome{Accepted: true, ReadyAt: now}
+	rate := r.EffectiveRate()
+	type assignment struct {
+		serving model.VNFID
+		k       int
+	}
+	var plan []assignment
+
+	for _, fid := range r.Chain {
+		inst := c.pickInstance(fid, rate)
+		if inst == nil {
+			replica, err := c.scaleOut(fid, now)
+			if err != nil {
+				c.stats.Rejected++
+				return &AdmitOutcome{Accepted: false, ReadyAt: now}, nil
+			}
+			outcome.ScaleOuts = append(outcome.ScaleOuts, replica)
+			if ready := c.replicas[replica].readyAt; ready > outcome.ReadyAt {
+				outcome.ReadyAt = ready
+			}
+			inst = c.pickInstance(fid, rate)
+			if inst == nil {
+				c.stats.Rejected++
+				return &AdmitOutcome{Accepted: false, ReadyAt: now}, nil
+			}
+		}
+		plan = append(plan, assignment{serving: inst.vnf, k: inst.k})
+		inst.load += rate // reserve as we go so one chain can't double-book
+	}
+
+	// Commit: record the schedule against the *serving* VNF (base or
+	// replica — the chain logically traverses the base function).
+	for i, fid := range r.Chain {
+		_ = fid
+		c.schedule.Assign(r.ID, plan[i].serving, plan[i].k)
+	}
+	c.requests[r.ID] = r
+	for _, a := range plan {
+		if rep, ok := c.replicas[a.serving]; ok {
+			rep.idleSince = -1
+		}
+	}
+	c.stats.Admitted++
+	return outcome, nil
+}
+
+// pickInstance returns an instance that stays under the scale-out
+// utilization after adding rate, or nil. Family members are tried in
+// creation order — the base VNF first, then replicas oldest-first — taking
+// the least-loaded fitting instance of the first member with room. Filling
+// the base before replicas keeps replicas drainable, so scale-in can
+// actually retire them when load recedes.
+func (c *Controller) pickInstance(base model.VNFID, rate float64) *instanceState {
+	for _, serving := range c.family[base] {
+		f, ok := c.problem.VNF(serving)
+		if !ok {
+			continue
+		}
+		var best *instanceState
+		for _, inst := range c.instances[serving] {
+			if (inst.load+rate)/f.ServiceRate >= c.cfg.ScaleOutUtilization {
+				continue
+			}
+			if best == nil || inst.load < best.load {
+				best = inst
+			}
+		}
+		if best != nil {
+			return best
+		}
+	}
+	return nil
+}
+
+// scaleOut places a new replica of the base VNF by deterministic best fit
+// on residual node capacities (the incremental analogue of BFDSU's snug
+// preference — a full re-placement would disturb running instances, which
+// the paper rules out due to setup cost).
+func (c *Controller) scaleOut(base model.VNFID, now float64) (model.VNFID, error) {
+	f, ok := c.problem.VNF(base)
+	if !ok {
+		return "", fmt.Errorf("dynamic: unknown base vnf %s", base)
+	}
+	c.nextID++
+	replica := f
+	replica.ID = model.VNFID(fmt.Sprintf("%s#rep%d", base, c.nextID))
+	replica.Name = string(replica.ID)
+
+	residual := c.placement.Residual(c.problem)
+	var hostIDs []model.NodeID
+	for id, rst := range residual {
+		if rst >= replica.TotalDemand()-1e-9 {
+			hostIDs = append(hostIDs, id)
+		}
+	}
+	if len(hostIDs) == 0 {
+		return "", fmt.Errorf("dynamic: no capacity for replica of %s: %w", base, placement.ErrInfeasible)
+	}
+	sort.Slice(hostIDs, func(i, j int) bool {
+		if residual[hostIDs[i]] != residual[hostIDs[j]] {
+			return residual[hostIDs[i]] < residual[hostIDs[j]]
+		}
+		return hostIDs[i] < hostIDs[j]
+	})
+
+	c.problem.VNFs = append(c.problem.VNFs, replica)
+	c.placement.Assign(replica.ID, hostIDs[0])
+	c.family[base] = append(c.family[base], replica.ID)
+	states := make([]*instanceState, replica.Instances)
+	for k := range states {
+		states[k] = &instanceState{vnf: replica.ID, k: k}
+	}
+	c.instances[replica.ID] = states
+	c.replicas[replica.ID] = &replicaState{base: base, readyAt: now + c.cfg.SetupCost, idleSince: -1}
+	c.stats.ScaleOuts++
+	c.stats.SetupSecs += c.cfg.SetupCost
+	return replica.ID, nil
+}
+
+// Depart removes a finished request's load from every instance it used.
+func (c *Controller) Depart(id model.RequestID, now float64) error {
+	if err := c.advance(now); err != nil {
+		return err
+	}
+	r, ok := c.requests[id]
+	if !ok {
+		return fmt.Errorf("dynamic: unknown request %s", id)
+	}
+	rate := r.EffectiveRate()
+	for serving, k := range c.schedule.InstanceOf[id] {
+		for _, inst := range c.instances[serving] {
+			if inst.k == k {
+				inst.load -= rate
+				if inst.load < 1e-9 {
+					inst.load = 0
+				}
+			}
+		}
+		if rep, ok := c.replicas[serving]; ok && c.servingLoad(serving) == 0 {
+			rep.idleSince = now
+		}
+	}
+	delete(c.schedule.InstanceOf, id)
+	delete(c.requests, id)
+	c.stats.Departed++
+	return nil
+}
+
+// servingLoad sums the load across a VNF's instances.
+func (c *Controller) servingLoad(id model.VNFID) float64 {
+	var sum float64
+	for _, inst := range c.instances[id] {
+		sum += inst.load
+	}
+	return sum
+}
+
+// MaybeScaleIn retires replicas that have been idle longer than the linger
+// period, freeing their node capacity. It returns the retired replica ids,
+// sorted.
+func (c *Controller) MaybeScaleIn(now float64) ([]model.VNFID, error) {
+	if err := c.advance(now); err != nil {
+		return nil, err
+	}
+	var retired []model.VNFID
+	for id, rep := range c.replicas {
+		if rep.idleSince < 0 || now-rep.idleSince < c.cfg.RetireLinger {
+			continue
+		}
+		if c.servingLoad(id) > 0 {
+			continue
+		}
+		retired = append(retired, id)
+		delete(c.replicas, id)
+		delete(c.instances, id)
+		delete(c.placement.NodeOf, id)
+		// Remove from the family and the problem.
+		fam := c.family[rep.base]
+		for i, v := range fam {
+			if v == id {
+				c.family[rep.base] = append(fam[:i], fam[i+1:]...)
+				break
+			}
+		}
+		for i, f := range c.problem.VNFs {
+			if f.ID == id {
+				c.problem.VNFs = append(c.problem.VNFs[:i], c.problem.VNFs[i+1:]...)
+				break
+			}
+		}
+		c.stats.Retired++
+	}
+	sort.Slice(retired, func(i, j int) bool { return retired[i] < retired[j] })
+	return retired, nil
+}
+
+// Utilization returns the current utilization of every serving instance.
+func (c *Controller) Utilization() map[model.VNFID][]float64 {
+	out := make(map[model.VNFID][]float64, len(c.instances))
+	for id, insts := range c.instances {
+		f, ok := c.problem.VNF(id)
+		if !ok {
+			continue
+		}
+		us := make([]float64, len(insts))
+		for i, inst := range insts {
+			us[i] = inst.load / f.ServiceRate
+		}
+		out[id] = us
+	}
+	return out
+}

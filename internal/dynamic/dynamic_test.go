@@ -1,0 +1,350 @@
+package dynamic
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"nfvchain/internal/model"
+)
+
+// baseProblem: one VNF with one instance serving 100 pps, plenty of node
+// capacity for replicas.
+func baseProblem() *model.Problem {
+	return &model.Problem{
+		Nodes: []model.Node{
+			{ID: "n1", Capacity: 100},
+			{ID: "n2", Capacity: 100},
+		},
+		VNFs: []model.VNF{
+			{ID: "fw", Instances: 1, Demand: 10, ServiceRate: 100},
+		},
+	}
+}
+
+func request(id string, rate float64) model.Request {
+	return model.Request{
+		ID:           model.RequestID(id),
+		Chain:        []model.VNFID{"fw"},
+		Rate:         rate,
+		DeliveryProb: 1,
+	}
+}
+
+func newController(t *testing.T, cfg Config) *Controller {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil problem accepted")
+	}
+	if _, err := New(Config{Problem: baseProblem(), SetupCost: -1}); err == nil {
+		t.Error("negative setup cost accepted")
+	}
+	if _, err := New(Config{Problem: baseProblem(), ScaleOutUtilization: 1.5}); err == nil {
+		t.Error("utilization > 1 accepted")
+	}
+	if _, err := New(Config{Problem: baseProblem(), RetireLinger: -2}); err == nil {
+		t.Error("negative linger accepted")
+	}
+	c := newController(t, Config{Problem: baseProblem()})
+	if c.cfg.SetupCost != SetupCostVM {
+		t.Errorf("default setup cost = %v, want VM boot", c.cfg.SetupCost)
+	}
+}
+
+func TestAdmitSimple(t *testing.T) {
+	c := newController(t, Config{Problem: baseProblem()})
+	out, err := c.Admit(request("r1", 50), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Accepted || out.ReadyAt != 0 || len(out.ScaleOuts) != 0 {
+		t.Errorf("outcome = %+v", out)
+	}
+	if got := c.Stats().Admitted; got != 1 {
+		t.Errorf("Admitted = %d", got)
+	}
+	_, pl, sched := c.Snapshot()
+	if err := pl.Validate(c.problem); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sched.Instance("r1", "fw"); !ok {
+		t.Error("request not scheduled")
+	}
+}
+
+func TestAdmitErrors(t *testing.T) {
+	c := newController(t, Config{Problem: baseProblem()})
+	if _, err := c.Admit(model.Request{ID: "bad"}, 0); err == nil {
+		t.Error("invalid request accepted")
+	}
+	if _, err := c.Admit(model.Request{ID: "x", Chain: []model.VNFID{"ghost"}, Rate: 1, DeliveryProb: 1}, 0); err == nil {
+		t.Error("unknown vnf accepted")
+	}
+	if _, err := c.Admit(request("r1", 10), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Admit(request("r1", 10), 2); err == nil {
+		t.Error("duplicate request accepted")
+	}
+	if _, err := c.Admit(request("r2", 10), 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Admit(request("r3", 10), 0.5); err == nil {
+		t.Error("time travel accepted")
+	}
+}
+
+func TestScaleOutOnSaturation(t *testing.T) {
+	c := newController(t, Config{Problem: baseProblem(), SetupCost: SetupCostClickOS})
+	// Fill the base instance close to the 0.9 threshold.
+	if out, err := c.Admit(request("big", 85), 0); err != nil || !out.Accepted {
+		t.Fatalf("first admit: %v %+v", err, out)
+	}
+	// The next request cannot fit (85+10 > 90): a replica must boot.
+	out, err := c.Admit(request("spill", 10), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Accepted {
+		t.Fatal("spill rejected despite spare node capacity")
+	}
+	if len(out.ScaleOuts) != 1 {
+		t.Fatalf("ScaleOuts = %v, want one replica", out.ScaleOuts)
+	}
+	if out.ReadyAt != 1+SetupCostClickOS {
+		t.Errorf("ReadyAt = %v, want now+setup", out.ReadyAt)
+	}
+	st := c.Stats()
+	if st.ScaleOuts != 1 || st.ActiveReplica != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.SetupSecs != SetupCostClickOS {
+		t.Errorf("SetupSecs = %v", st.SetupSecs)
+	}
+	// The replica is a first-class VNF placed on a real node.
+	_, pl, _ := c.Snapshot()
+	host, ok := pl.Node(out.ScaleOuts[0])
+	if !ok {
+		t.Fatal("replica unplaced")
+	}
+	if host != "n1" && host != "n2" {
+		t.Errorf("replica on %s", host)
+	}
+}
+
+func TestRejectWhenNoCapacity(t *testing.T) {
+	p := baseProblem()
+	p.Nodes = []model.Node{{ID: "n1", Capacity: 10}} // room for base only
+	c := newController(t, Config{Problem: p})
+	if out, err := c.Admit(request("r1", 85), 0); err != nil || !out.Accepted {
+		t.Fatalf("%v %+v", err, out)
+	}
+	out, err := c.Admit(request("r2", 50), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Accepted {
+		t.Error("accepted without capacity for a replica")
+	}
+	if c.Stats().Rejected != 1 {
+		t.Errorf("Rejected = %d", c.Stats().Rejected)
+	}
+}
+
+func TestDepartFreesLoad(t *testing.T) {
+	c := newController(t, Config{Problem: baseProblem()})
+	if _, err := c.Admit(request("r1", 85), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Depart("r1", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Depart("r1", 6); err == nil {
+		t.Error("double departure accepted")
+	}
+	if err := c.Depart("ghost", 6); err == nil {
+		t.Error("unknown departure accepted")
+	}
+	// Capacity is free again: a big request fits without scale-out.
+	out, err := c.Admit(request("r2", 85), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Accepted || len(out.ScaleOuts) != 0 {
+		t.Errorf("outcome after departure = %+v", out)
+	}
+	if c.Stats().Departed != 1 {
+		t.Errorf("Departed = %d", c.Stats().Departed)
+	}
+}
+
+func TestScaleInRetiresIdleReplicas(t *testing.T) {
+	c := newController(t, Config{Problem: baseProblem(), RetireLinger: 10, SetupCost: 0.01})
+	if _, err := c.Admit(request("big", 85), 0); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Admit(request("spill", 20), 1)
+	if err != nil || !out.Accepted || len(out.ScaleOuts) != 1 {
+		t.Fatalf("%v %+v", err, out)
+	}
+	replica := out.ScaleOuts[0]
+
+	// Still busy: nothing retires.
+	retired, err := c.MaybeScaleIn(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(retired) != 0 {
+		t.Errorf("busy replica retired: %v", retired)
+	}
+
+	if err := c.Depart("spill", 100); err != nil {
+		t.Fatal(err)
+	}
+	// Idle but within linger.
+	retired, _ = c.MaybeScaleIn(105)
+	if len(retired) != 0 {
+		t.Errorf("retired too early: %v", retired)
+	}
+	// Past linger.
+	retired, err = c.MaybeScaleIn(111)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(retired) != 1 || retired[0] != replica {
+		t.Fatalf("retired = %v, want [%s]", retired, replica)
+	}
+	st := c.Stats()
+	if st.Retired != 1 || st.ActiveReplica != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	// The replica is fully gone: problem, placement, instances.
+	prob, pl, _ := c.Snapshot()
+	if _, ok := prob.VNF(replica); ok {
+		t.Error("retired replica still in problem")
+	}
+	if _, ok := pl.Node(replica); ok {
+		t.Error("retired replica still placed")
+	}
+}
+
+func TestReplicaReuseBeforeRetire(t *testing.T) {
+	c := newController(t, Config{Problem: baseProblem(), RetireLinger: 1000})
+	if _, err := c.Admit(request("big", 85), 0); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Admit(request("spill", 20), 1)
+	if err != nil || len(out.ScaleOuts) != 1 {
+		t.Fatalf("%v %+v", err, out)
+	}
+	// Another spill joins the existing replica instead of booting a new one.
+	out2, err := c.Admit(request("spill2", 20), 2)
+	if err != nil || !out2.Accepted {
+		t.Fatalf("%v %+v", err, out2)
+	}
+	if len(out2.ScaleOuts) != 0 {
+		t.Errorf("unnecessary scale-out: %v", out2.ScaleOuts)
+	}
+}
+
+func TestChainAdmissionAllOrNothing(t *testing.T) {
+	p := &model.Problem{
+		Nodes: []model.Node{{ID: "n1", Capacity: 20}},
+		VNFs: []model.VNF{
+			{ID: "a", Instances: 1, Demand: 10, ServiceRate: 100},
+			{ID: "b", Instances: 1, Demand: 10, ServiceRate: 10}, // tiny µ
+		},
+	}
+	c := newController(t, Config{Problem: p})
+	r := model.Request{ID: "r", Chain: []model.VNFID{"a", "b"}, Rate: 50, DeliveryProb: 1}
+	out, err := c.Admit(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Accepted {
+		t.Fatal("chain admitted despite saturated b and no replica room")
+	}
+	// No partial state: a later feasible request sees a clean slate.
+	out2, err := c.Admit(request2("ok", 5, "a"), 1)
+	if err != nil || !out2.Accepted {
+		t.Fatalf("%v %+v", err, out2)
+	}
+}
+
+func request2(id string, rate float64, chain ...model.VNFID) model.Request {
+	return model.Request{ID: model.RequestID(id), Chain: chain, Rate: rate, DeliveryProb: 1}
+}
+
+func TestUtilizationView(t *testing.T) {
+	c := newController(t, Config{Problem: baseProblem()})
+	if _, err := c.Admit(request("r1", 40), 0); err != nil {
+		t.Fatal(err)
+	}
+	us := c.Utilization()
+	if len(us["fw"]) != 1 || us["fw"][0] != 0.4 {
+		t.Errorf("Utilization = %v", us)
+	}
+}
+
+func TestManyRequestsChurn(t *testing.T) {
+	p := baseProblem()
+	p.Nodes[0].Capacity = 500
+	p.Nodes[1].Capacity = 500
+	c := newController(t, Config{Problem: p, SetupCost: 0.001, RetireLinger: 5})
+	now := 0.0
+	active := []model.RequestID{}
+	for i := 0; i < 200; i++ {
+		now += 0.5
+		id := model.RequestID(fmt.Sprintf("r%03d", i))
+		out, err := c.Admit(model.Request{ID: id, Chain: []model.VNFID{"fw"}, Rate: 20, DeliveryProb: 0.98}, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Accepted {
+			active = append(active, id)
+		}
+		if len(active) > 8 { // steady churn
+			if err := c.Depart(active[0], now); err != nil {
+				t.Fatal(err)
+			}
+			active = active[1:]
+		}
+		if i%20 == 0 {
+			if _, err := c.MaybeScaleIn(now); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := c.Stats()
+	if st.Admitted == 0 || st.ScaleOuts == 0 {
+		t.Errorf("churn produced no activity: %+v", st)
+	}
+	// Internal consistency: placement valid for the evolved problem.
+	prob, pl, sched := c.Snapshot()
+	if err := pl.Validate(prob); err != nil {
+		t.Fatal(err)
+	}
+	// Every active request's schedule references existing VNFs/instances.
+	for rid, m := range sched.InstanceOf {
+		for f, k := range m {
+			vnf, ok := prob.VNF(f)
+			if !ok {
+				t.Fatalf("request %s scheduled on missing vnf %s", rid, f)
+			}
+			if k < 0 || k >= vnf.Instances {
+				t.Fatalf("request %s instance %d out of range", rid, k)
+			}
+		}
+	}
+	if strings.Contains("", "x") {
+		t.Fatal("unreachable")
+	}
+}

@@ -1,0 +1,132 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+
+	"nfvchain/internal/placement"
+	"nfvchain/internal/scheduling"
+	"nfvchain/internal/stats"
+)
+
+// AblationPlacement isolates BFDSU's two design choices (DESIGN.md §4) by
+// comparing, over the Fig. 5 workload sweep:
+//
+//   - BFDSU — used-first search + weighted randomized best fit (the paper);
+//   - BFD — same best-fit core, derandomized and without used/spare lists;
+//   - Random — feasibility-only placement (no fit preference at all).
+//
+// The Y axis is the average utilization of nodes in service (Objective 1).
+func AblationPlacement(cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "ablation-placement",
+		Title:  "Placement ablation: weighted used-first best fit vs its components",
+		XLabel: "requests",
+		YLabel: "avg utilization of used nodes",
+	}
+	algs := func(seed uint64) []placement.Algorithm {
+		return []placement.Algorithm{
+			&placement.BFDSU{Seed: seed},
+			placement.BFD{},
+			&placement.Random{Seed: seed},
+		}
+	}
+	failures := make(map[string]int)
+	for _, pt := range requestSweepPoints(15, 10) {
+		sums := make(map[string]*stats.Summary)
+		for trial := 0; trial < cfg.PlacementTrials; trial++ {
+			seed := cfg.Seed + uint64(trial)*1000003 + uint64(pt.x*7919)
+			prob, err := placementProblem(seed, pt.vnfs, pt.requests, pt.nodes, placementLoadFactor)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: ablation-placement: %w", err)
+			}
+			for _, alg := range algs(seed) {
+				res, err := alg.Place(prob)
+				if err != nil {
+					if errors.Is(err, placement.ErrInfeasible) {
+						failures[alg.Name()]++
+						continue
+					}
+					return nil, fmt.Errorf("experiment: ablation-placement: %s: %w", alg.Name(), err)
+				}
+				if sums[alg.Name()] == nil {
+					sums[alg.Name()] = &stats.Summary{}
+				}
+				sums[alg.Name()].Add(res.Placement.AverageUtilization(prob))
+			}
+		}
+		for _, alg := range algs(0) {
+			if s := sums[alg.Name()]; s != nil {
+				t.AddPoint(alg.Name(), pt.x, s.Mean())
+			}
+		}
+	}
+	for name, n := range failures {
+		t.Note("%s failed to find a feasible placement in %d trials (skipped)", name, n)
+	}
+	for _, label := range []string{"BFDSU", "BFD", "Random"} {
+		t.Note("%s mean utilization: %.2f%%", label, t.Mean(label)*100)
+	}
+	return t, nil
+}
+
+// AblationScheduling compares the three scheduling philosophies over the
+// Fig. 11 sweep (5 instances, P = 0.98): differencing (RCKK), sorted greedy
+// (LPT — CGA with the decreasing sort) and cyclic dealing (RoundRobin). The
+// pairing-rule ablation itself lives in the scheduling package's unit tests:
+// forward pairing collapses all mass onto one instance and random pairing
+// random-walks to instability, which is precisely why Algorithm 2 combines
+// in reverse order — neither variant survives near-saturation comparison.
+// The Y axis is the mean per-instance response time.
+func AblationScheduling(cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "ablation-scheduling",
+		Title:  "Scheduling ablation: differencing vs sorted greedy vs round robin",
+		XLabel: "requests",
+		YLabel: "mean W per instance (s)",
+	}
+	const m, p = 5, 0.98
+	algs := []scheduling.Partitioner{scheduling.RCKK{}, scheduling.CGA{}, scheduling.RoundRobin{}}
+	for _, n := range []int{15, 25, 50, 100, 200} {
+		sums := make(map[string]*stats.Summary)
+		skipped := 0
+		for trial := 0; trial < cfg.SchedulingTrials; trial++ {
+			seed := cfg.Seed + uint64(trial)*2654435761 + uint64(n*41)
+			results := make(map[string]trialResult, len(algs))
+			allStable := true
+			for _, alg := range algs {
+				res, err := schedulingTrial(seed, trialParams{n: n, m: m, p: p, rhoRaw: responseFigRho}, alg)
+				if err != nil {
+					return nil, fmt.Errorf("ablation-scheduling (n=%d): %s: %w", n, alg.Name(), err)
+				}
+				results[alg.Name()] = res
+				allStable = allStable && res.stable
+			}
+			if !allStable {
+				skipped++
+				continue
+			}
+			for name, res := range results {
+				if sums[name] == nil {
+					sums[name] = &stats.Summary{}
+				}
+				sums[name].Add(res.meanW)
+			}
+		}
+		for _, alg := range algs {
+			if s := sums[alg.Name()]; s != nil {
+				t.AddPoint(alg.Name(), float64(n), s.Mean())
+			}
+		}
+		if skipped > 0 {
+			t.Note("n=%d: %d unstable trials skipped", n, skipped)
+		}
+	}
+	return t, nil
+}

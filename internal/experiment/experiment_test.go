@@ -1,0 +1,361 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// testConfig keeps test runtime modest; the shape assertions below use
+// tolerant thresholds accordingly.
+func testConfig() Config {
+	return Config{Seed: 1, PlacementTrials: 6, SchedulingTrials: 40}
+}
+
+func runFig(t *testing.T, id string) *Table {
+	t.Helper()
+	tab, err := Run(id, testConfig())
+	if err != nil {
+		t.Fatalf("Run(%s): %v", id, err)
+	}
+	if tab.ID != id {
+		t.Fatalf("table id = %s, want %s", tab.ID, id)
+	}
+	if len(tab.Series) == 0 {
+		t.Fatalf("%s produced no series", id)
+	}
+	return tab
+}
+
+func TestRegistry(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 17 {
+		t.Errorf("IDs() = %v, want 17 experiments", ids)
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Error("IDs not sorted")
+		}
+	}
+	if _, err := Run("fig99", testConfig()); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if _, err := Run("fig5", Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestConfigs(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := FastConfig().Validate(); err != nil {
+		t.Error(err)
+	}
+	if DefaultConfig().SchedulingTrials != 1000 {
+		t.Error("DefaultConfig must follow the paper's 1000-run protocol")
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	tab := runFig(t, "fig5")
+	b, n, w := tab.Mean("BFDSU"), tab.Mean("NAH"), tab.Mean("WFD")
+	// Paper: BFDSU ≈ 91.8% ≫ NAH ≈ 66.9% (and the spreading baseline even
+	// lower).
+	if b < 0.85 {
+		t.Errorf("BFDSU utilization %.3f, want ≥ 0.85", b)
+	}
+	if b-n < 0.10 {
+		t.Errorf("BFDSU %.3f vs NAH %.3f: gap below 10 points", b, n)
+	}
+	if w >= b {
+		t.Errorf("WFD %.3f should be below BFDSU %.3f", w, b)
+	}
+	// Flat in the number of requests: BFDSU spread below 10 points.
+	s, _ := tab.SeriesByLabel("BFDSU")
+	lo, hi := s.Y[0], s.Y[0]
+	for _, y := range s.Y {
+		if y < lo {
+			lo = y
+		}
+		if y > hi {
+			hi = y
+		}
+	}
+	if hi-lo > 0.10 {
+		t.Errorf("BFDSU utilization varies %.3f–%.3f across request counts, want flat", lo, hi)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	tab := runFig(t, "fig7")
+	// Paper: BFDSU stable while the baselines decay as nodes are added.
+	b, _ := tab.SeriesByLabel("BFDSU")
+	if b.Y[len(b.Y)-1] < b.Y[0]-0.12 {
+		t.Errorf("BFDSU decays from %.3f to %.3f; want stable", b.Y[0], b.Y[len(b.Y)-1])
+	}
+	for _, label := range []string{"WFD", "NAH"} {
+		s, ok := tab.SeriesByLabel(label)
+		if !ok {
+			t.Fatalf("missing series %s", label)
+		}
+		if s.Y[len(s.Y)-1] >= s.Y[0] {
+			t.Errorf("%s should decay with more nodes: %.3f → %.3f", label, s.Y[0], s.Y[len(s.Y)-1])
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	tab := runFig(t, "fig8")
+	b, n, w := tab.Mean("BFDSU"), tab.Mean("NAH"), tab.Mean("WFD")
+	if b > n+0.5 {
+		t.Errorf("BFDSU uses %.2f nodes vs NAH %.2f; want fewer or equal", b, n)
+	}
+	if b >= w {
+		t.Errorf("BFDSU uses %.2f nodes vs spreading WFD %.2f; want clearly fewer", b, w)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	tab := runFig(t, "fig9")
+	// Paper: BFDSU's occupation stays low and flat; the spreading baseline
+	// grows with the node pool.
+	b, _ := tab.SeriesByLabel("BFDSU")
+	w, _ := tab.SeriesByLabel("WFD")
+	if w.Y[len(w.Y)-1] <= w.Y[0] {
+		t.Errorf("WFD occupation should grow: %.0f → %.0f", w.Y[0], w.Y[len(w.Y)-1])
+	}
+	if b.Y[len(b.Y)-1] > 1.5*b.Y[0] {
+		t.Errorf("BFDSU occupation grew %.0f → %.0f; want ~flat", b.Y[0], b.Y[len(b.Y)-1])
+	}
+	if tab.Mean("BFDSU") >= tab.Mean("WFD") {
+		t.Error("BFDSU should occupy less capacity than WFD")
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	tab := runFig(t, "fig10")
+	f, _ := tab.SeriesByLabel("FFD")
+	for _, y := range f.Y {
+		if y != 1 {
+			t.Errorf("FFD iterations = %v, want constant 1", y)
+		}
+	}
+	b, n := tab.Mean("BFDSU"), tab.Mean("NAH")
+	if b <= 1 {
+		t.Errorf("BFDSU iterations %.1f, want > 1", b)
+	}
+	if n <= b {
+		t.Errorf("NAH iterations %.1f should exceed BFDSU %.1f (paper: ≈3×)", n, b)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	tab := runFig(t, "fig11")
+	r, _ := tab.SeriesByLabel("RCKK")
+	c, _ := tab.SeriesByLabel("CGA")
+	for i := range r.Y {
+		if r.Y[i] > c.Y[i]*1.001 {
+			t.Errorf("n=%g: RCKK W %.4g above CGA %.4g", r.X[i], r.Y[i], c.Y[i])
+		}
+	}
+	e, _ := tab.SeriesByLabel("enhancement")
+	if e.Y[0] < 0.10 {
+		t.Errorf("enhancement at n=15 is %.3f, want ≥ 10%% (paper: ≈42%%)", e.Y[0])
+	}
+	last := e.Y[len(e.Y)-1]
+	if last > 0.10 {
+		t.Errorf("enhancement at n=250 is %.3f, want ≤ 10%% (paper: ≈2%%)", last)
+	}
+	if e.Y[0] <= last {
+		t.Error("enhancement should decay as requests grow")
+	}
+}
+
+func TestFig12LowerThanFig11(t *testing.T) {
+	f11 := runFig(t, "fig11")
+	f12 := runFig(t, "fig12")
+	// Paper: higher packet loss (P=0.98 vs 1.00) increases response time.
+	if f11.Mean("RCKK") <= f12.Mean("RCKK") {
+		t.Errorf("RCKK W with loss %.4g should exceed lossless %.4g",
+			f11.Mean("RCKK"), f12.Mean("RCKK"))
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	tab := runFig(t, "fig13")
+	e, _ := tab.SeriesByLabel("enhancement")
+	if e.Y[len(e.Y)-1] <= e.Y[0] {
+		t.Errorf("enhancement should grow with instances: %.3f → %.3f (paper: 5%%→25%%)",
+			e.Y[0], e.Y[len(e.Y)-1])
+	}
+	r, _ := tab.SeriesByLabel("RCKK")
+	c, _ := tab.SeriesByLabel("CGA")
+	for i := range r.Y {
+		if r.Y[i] > c.Y[i]*1.001 {
+			t.Errorf("m=%g: RCKK above CGA", r.X[i])
+		}
+	}
+}
+
+func TestFig15And16Shape(t *testing.T) {
+	f15 := runFig(t, "fig15")
+	f16 := runFig(t, "fig16")
+	// RCKK (nearly) zero under low loss; CGA clearly above.
+	if f15.Mean("RCKK") > 0.03 {
+		t.Errorf("fig15 RCKK rejection %.3f, want ≈0", f15.Mean("RCKK"))
+	}
+	if f15.Mean("CGA") < 2*f15.Mean("RCKK") {
+		t.Errorf("fig15 CGA %.3f not clearly above RCKK %.3f", f15.Mean("CGA"), f15.Mean("RCKK"))
+	}
+	// Higher loss ⇒ higher rejection, for both algorithms.
+	if f16.Mean("CGA") <= f15.Mean("CGA") {
+		t.Errorf("CGA rejection should rise with loss: %.3f vs %.3f", f16.Mean("CGA"), f15.Mean("CGA"))
+	}
+	if f16.Mean("RCKK") < f15.Mean("RCKK") {
+		t.Errorf("RCKK rejection should not fall with loss")
+	}
+	if f16.Mean("RCKK") >= f16.Mean("CGA") {
+		t.Errorf("fig16: RCKK %.3f should stay below CGA %.3f", f16.Mean("RCKK"), f16.Mean("CGA"))
+	}
+}
+
+func TestTailShape(t *testing.T) {
+	tab := runFig(t, "tail")
+	r, _ := tab.SeriesByLabel("RCKK")
+	c, _ := tab.SeriesByLabel("CGA")
+	if len(r.Y) == 0 {
+		t.Fatal("no tail points")
+	}
+	for i := range r.Y {
+		if r.Y[i] > c.Y[i]*1.01 {
+			t.Errorf("n=%g: RCKK p99 %.4g above CGA %.4g", r.X[i], r.Y[i], c.Y[i])
+		}
+	}
+}
+
+func TestAblationPlacementShape(t *testing.T) {
+	tab := runFig(t, "ablation-placement")
+	b, d, r := tab.Mean("BFDSU"), tab.Mean("BFD"), tab.Mean("Random")
+	if r >= b {
+		t.Errorf("Random utilization %.3f should trail BFDSU %.3f", r, b)
+	}
+	if d > b+0.05 {
+		t.Errorf("derandomized BFD %.3f should not clearly beat BFDSU %.3f", d, b)
+	}
+}
+
+func TestAblationSchedulingShape(t *testing.T) {
+	tab := runFig(t, "ablation-scheduling")
+	rckk, _ := tab.SeriesByLabel("RCKK")
+	lpt, _ := tab.SeriesByLabel("CGA")
+	rr, _ := tab.SeriesByLabel("RoundRobin")
+	if len(rckk.Y) == 0 || len(lpt.Y) == 0 || len(rr.Y) == 0 {
+		t.Fatal("missing ablation series")
+	}
+	if tab.Mean("RCKK") > tab.Mean("CGA")*1.001 {
+		t.Errorf("differencing W %.5f above sorted greedy %.5f", tab.Mean("RCKK"), tab.Mean("CGA"))
+	}
+	if tab.Mean("RCKK") > tab.Mean("RoundRobin")*1.001 {
+		t.Errorf("RCKK W %.5f above round robin %.5f", tab.Mean("RCKK"), tab.Mean("RoundRobin"))
+	}
+}
+
+func TestRobustnessShape(t *testing.T) {
+	tab := runFig(t, "robustness")
+	exp, _ := tab.SeriesByLabel("exponential")
+	det, _ := tab.SeriesByLabel("deterministic")
+	ln, _ := tab.SeriesByLabel("lognormal")
+	if len(exp.Y) == 0 || len(det.Y) == 0 || len(ln.Y) == 0 {
+		t.Fatal("missing robustness series")
+	}
+	for i, e := range exp.Y {
+		if e > 0.12 || e < -0.12 {
+			t.Errorf("rho=%g: exponential model error %.3f, want ~0", exp.X[i], e)
+		}
+	}
+	for i, e := range det.Y {
+		if e <= 0 {
+			t.Errorf("rho=%g: deterministic error %.3f, model should overestimate", det.X[i], e)
+		}
+	}
+	if det.Y[len(det.Y)-1] <= det.Y[0] {
+		t.Error("deterministic error should grow with utilization")
+	}
+	for i, e := range ln.Y {
+		if e >= 0 {
+			t.Errorf("rho=%g: lognormal error %.3f, model should underestimate", ln.X[i], e)
+		}
+	}
+}
+
+func TestTableHelpers(t *testing.T) {
+	tab := &Table{ID: "x", Title: "T", XLabel: "n"}
+	tab.AddPoint("a", 1, 10)
+	tab.AddPoint("a", 2, 20)
+	tab.AddPoint("b", 1, 5)
+	if got := tab.Mean("a"); got != 15 {
+		t.Errorf("Mean(a) = %v", got)
+	}
+	if got := tab.Mean("missing"); got != 0 {
+		t.Errorf("Mean(missing) = %v", got)
+	}
+	if _, ok := tab.SeriesByLabel("b"); !ok {
+		t.Error("SeriesByLabel(b) missing")
+	}
+	tab.Note("hello %d", 7)
+	out := tab.String()
+	for _, want := range []string{"x — T", "a", "b", "hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+
+	var csv strings.Builder
+	if err := tab.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "x,a,b\n1,10,5\n") {
+		t.Errorf("CSV = %q", csv.String())
+	}
+
+	empty := &Table{ID: "e"}
+	if !strings.Contains(empty.String(), "no data") {
+		t.Error("empty table String() missing placeholder")
+	}
+	var ecsv strings.Builder
+	if err := empty.WriteCSV(&ecsv); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlacementProblemTightness(t *testing.T) {
+	p, err := placementProblem(3, 15, 200, 10, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := p.TotalDemand() / p.TotalCapacity()
+	if ratio < 0.5 || ratio > 0.7 {
+		t.Errorf("load factor %.3f, want ≈0.6 after quantization", ratio)
+	}
+	for _, n := range p.Nodes {
+		if int(n.Capacity)%int(capacityTier) != 0 {
+			t.Errorf("node capacity %v not on tier", n.Capacity)
+		}
+	}
+}
+
+func TestHeadlineShape(t *testing.T) {
+	tab := runFig(t, "headline")
+	if got := tab.Mean("utilization-improvement-vs-NAH"); got < 0.15 {
+		t.Errorf("utilization improvement %.3f, want >= 15%% (paper: 33.4%%)", got)
+	}
+	if got := tab.Mean("latency-reduction-vs-CGA"); got <= 0 {
+		t.Errorf("latency reduction %.3f, want positive", got)
+	}
+	if tab.Mean("rejection-RCKK") >= tab.Mean("rejection-CGA") {
+		t.Error("RCKK rejection should stay below CGA")
+	}
+	if len(tab.Notes) < 3 {
+		t.Errorf("headline notes = %v", tab.Notes)
+	}
+}

@@ -1,0 +1,57 @@
+package experiment
+
+import (
+	"nfvchain/internal/stats"
+)
+
+// Headline distills the paper's abstract into one table: the average
+// resource-utilization improvement (paper: +33.4% vs NAH), the average
+// total-latency reduction (paper: −19.9% vs CGA), and the job-rejection
+// reduction (paper: −23.4 points worth vs CGA under loss). Each series has
+// a single point: the measured aggregate.
+func Headline(cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "headline",
+		Title:  "Headline claims (paper abstract) — measured aggregates",
+		XLabel: "claim",
+		YLabel: "value",
+	}
+
+	f5, err := Fig5(cfg)
+	if err != nil {
+		return nil, err
+	}
+	b, n := f5.Mean("BFDSU"), f5.Mean("NAH")
+	utilGain := 0.0
+	if n > 0 {
+		utilGain = (b - n) / n
+	}
+	t.AddPoint("utilization-improvement-vs-NAH", 1, utilGain)
+	t.Note("utilization: BFDSU %.2f%% vs NAH %.2f%% → +%.1f%% (paper: +33.4%%)",
+		b*100, n*100, utilGain*100)
+
+	f11, err := Fig11(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e, _ := f11.SeriesByLabel("enhancement")
+	latencyGain := stats.Mean(e.Y)
+	t.AddPoint("latency-reduction-vs-CGA", 2, latencyGain)
+	t.Note("latency: mean enhancement ratio across the Fig. 11 sweep %.1f%% (paper: 19.9%%)",
+		latencyGain*100)
+
+	f16, err := Fig16(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rj, cj := f16.Mean("RCKK"), f16.Mean("CGA")
+	t.AddPoint("rejection-RCKK", 3, rj)
+	t.AddPoint("rejection-CGA", 3, cj)
+	t.Note("rejection under loss: RCKK %.2f%% vs CGA %.2f%% (paper: 4.87%% vs 28.28%%)",
+		rj*100, cj*100)
+
+	return t, nil
+}

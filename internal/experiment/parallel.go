@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+)
+
+// forEachTrial runs fn(trial) for trial ∈ [0, trials) on a bounded worker
+// pool and returns the per-trial results *in trial order*, so downstream
+// aggregation (floating-point folds included) is bit-identical to a serial
+// run. The first error wins; remaining workers drain without starting new
+// trials.
+func forEachTrial[T any](trials int, fn func(trial int) (T, error)) ([]T, error) {
+	results := make([]T, trials)
+	workers := runtime.NumCPU()
+	if workers > trials {
+		workers = trials
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int
+	)
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil || next >= trials {
+			return 0, false
+		}
+		t := next
+		next++
+		return t, true
+	}
+	fail := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				trial, ok := claim()
+				if !ok {
+					return
+				}
+				out, err := fn(trial)
+				if err != nil {
+					fail(err)
+					return
+				}
+				results[trial] = out
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}

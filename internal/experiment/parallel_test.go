@@ -1,0 +1,81 @@
+package experiment
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachTrialOrdering(t *testing.T) {
+	got, err := forEachTrial(100, func(trial int) (int, error) {
+		return trial * trial, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestForEachTrialErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	_, err := forEachTrial(1000, func(trial int) (int, error) {
+		calls.Add(1)
+		if trial == 7 {
+			return 0, boom
+		}
+		return trial, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The pool must stop claiming new trials after the failure.
+	if calls.Load() == 1000 {
+		t.Error("all trials ran despite early failure")
+	}
+}
+
+func TestForEachTrialEdgeCases(t *testing.T) {
+	got, err := forEachTrial(0, func(int) (string, error) { return "x", nil })
+	if err != nil || len(got) != 0 {
+		t.Errorf("zero trials: %v %v", got, err)
+	}
+	one, err := forEachTrial(1, func(int) (string, error) { return "only", nil })
+	if err != nil || len(one) != 1 || one[0] != "only" {
+		t.Errorf("one trial: %v %v", one, err)
+	}
+}
+
+func TestParallelExperimentsDeterministic(t *testing.T) {
+	// The parallel fold must be bit-identical across runs (and hence to a
+	// serial execution): same seeds, same trial-order aggregation.
+	cfg := Config{Seed: 1, PlacementTrials: 4, SchedulingTrials: 20}
+	for _, id := range []string{"fig5", "fig11"} {
+		a, err := Run(id, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(id, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Series) != len(b.Series) {
+			t.Fatalf("%s: series count differs", id)
+		}
+		for si := range a.Series {
+			for i := range a.Series[si].Y {
+				if a.Series[si].Y[i] != b.Series[si].Y[i] {
+					t.Fatalf("%s: %s[%d] differs across runs: %v vs %v",
+						id, a.Series[si].Label, i, a.Series[si].Y[i], b.Series[si].Y[i])
+				}
+			}
+		}
+	}
+}

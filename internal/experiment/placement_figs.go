@@ -1,0 +1,327 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+
+	"nfvchain/internal/model"
+	"nfvchain/internal/placement"
+	"nfvchain/internal/stats"
+)
+
+// placementAlgorithms returns fresh instances of the compared algorithms,
+// seeded per trial. Besides the paper's three series (BFDSU, FFD, NAH) we
+// include WFD: textbook first-fit-decreasing packs far better than the FFD
+// behavior the paper reports (≈69% utilization over 10.8 nodes), which
+// matches a worst-fit/spreading discipline — WFD is that discipline, so the
+// pair brackets any reasonable reading of the baseline (see EXPERIMENTS.md).
+func placementAlgorithms(seed uint64) []placement.Algorithm {
+	return []placement.Algorithm{
+		&placement.BFDSU{Seed: seed},
+		placement.FFD{},
+		placement.WFD{},
+		placement.NAH{},
+	}
+}
+
+// placementMetric extracts one Y value from a placement result.
+type placementMetric func(p *model.Problem, res *placement.Result) float64
+
+// placementSweep runs the three algorithms over `trials` random instances
+// for every (vnfs, requests, nodes) point and adds the metric's mean per
+// algorithm to the table. Infeasible trials (possible for the baselines on
+// tight instances) are skipped and counted in a note.
+func placementSweep(t *Table, cfg Config, points []struct {
+	x                     float64
+	vnfs, requests, nodes int
+},
+	loadFactor float64, metric placementMetric) error {
+	failures := make(map[string]int)
+	for _, pt := range points {
+		if err := placementPoint(t, cfg, pt, loadFactor, metric, failures); err != nil {
+			return err
+		}
+	}
+	for name, n := range failures {
+		t.Note("%s failed to find a feasible placement in %d trials (skipped)", name, n)
+	}
+	return nil
+}
+
+// placementTrialOutcome is one trial's metric per algorithm (ok=false marks
+// an infeasible skip).
+type placementTrialOutcome struct {
+	value map[string]float64
+	ok    map[string]bool
+}
+
+// placementPoint runs one sweep point's trials in parallel (deterministic
+// trial-order fold) and appends the per-algorithm means to the table.
+func placementPoint(t *Table, cfg Config, pt struct {
+	x                     float64
+	vnfs, requests, nodes int
+}, loadFactor float64, metric placementMetric, failures map[string]int) error {
+	perTrial, err := forEachTrial(cfg.PlacementTrials, func(trial int) (placementTrialOutcome, error) {
+		out := placementTrialOutcome{value: map[string]float64{}, ok: map[string]bool{}}
+		seed := cfg.Seed + uint64(trial)*1000003 + uint64(pt.x*7919)
+		prob, err := placementProblem(seed, pt.vnfs, pt.requests, pt.nodes, loadFactor)
+		if err != nil {
+			return out, fmt.Errorf("experiment: %s: %w", t.ID, err)
+		}
+		for _, alg := range placementAlgorithms(seed) {
+			res, err := alg.Place(prob)
+			if err != nil {
+				if errors.Is(err, placement.ErrInfeasible) {
+					continue
+				}
+				return out, fmt.Errorf("experiment: %s: %s: %w", t.ID, alg.Name(), err)
+			}
+			out.value[alg.Name()] = metric(prob, res)
+			out.ok[alg.Name()] = true
+		}
+		return out, nil
+	})
+	if err != nil {
+		return err
+	}
+	sums := make(map[string]*stats.Summary)
+	for _, trial := range perTrial {
+		for _, alg := range placementAlgorithms(0) {
+			name := alg.Name()
+			if !trial.ok[name] {
+				failures[name]++
+				continue
+			}
+			if sums[name] == nil {
+				sums[name] = &stats.Summary{}
+			}
+			sums[name].Add(trial.value[name])
+		}
+	}
+	for _, alg := range placementAlgorithms(0) {
+		if s := sums[alg.Name()]; s != nil {
+			t.AddPoint(alg.Name(), pt.x, s.Mean())
+		}
+	}
+	return nil
+}
+
+func utilizationMetric(p *model.Problem, res *placement.Result) float64 {
+	return res.Placement.AverageUtilization(p)
+}
+
+// requestSweepPoints is the Fig. 5/10 X axis: request counts from 30 to 1000.
+func requestSweepPoints(vnfs, nodes int) []struct {
+	x                     float64
+	vnfs, requests, nodes int
+} {
+	var pts []struct {
+		x                     float64
+		vnfs, requests, nodes int
+	}
+	for _, n := range []int{30, 100, 200, 400, 600, 800, 1000} {
+		pts = append(pts, struct {
+			x                     float64
+			vnfs, requests, nodes int
+		}{float64(n), vnfs, n, nodes})
+	}
+	return pts
+}
+
+// nodeSweepPoints is the Fig. 7/8/9 X axis: node counts from 10 to 30 with
+// 15 VNFs. (The paper sweeps from 6; our demand reference needs ≥10 nodes
+// of room, see fig7ReferenceNodes.)
+func nodeSweepPoints() []struct {
+	x                     float64
+	vnfs, requests, nodes int
+} {
+	var pts []struct {
+		x                     float64
+		vnfs, requests, nodes int
+	}
+	for _, n := range []int{10, 14, 18, 22, 26, 30} {
+		pts = append(pts, struct {
+			x                     float64
+			vnfs, requests, nodes int
+		}{float64(n), 15, 200, n})
+	}
+	return pts
+}
+
+// fig7ReferenceNodes fixes the total demand of the Fig. 7–9 sweeps to what
+// fills placementLoadFactor×0.75 of a 10-node deployment, independent of how
+// many nodes are available. More available nodes then mean more *room*, not
+// more work — exactly the regime where spreading baselines decay while
+// BFDSU stays put.
+const fig7ReferenceNodes = 10
+
+// Fig5 — average resource utilization of used nodes (10 nodes, 15 VNFs) as
+// the number of requests scales from 30 to 1000. Paper: all three stay
+// flat; BFDSU ≈ 91.8%, FFD ≈ 68.6%, NAH ≈ 66.9%.
+func Fig5(cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig5",
+		Title:  "Average resource utilization of 10 nodes vs number of requests",
+		XLabel: "requests",
+		YLabel: "avg utilization of used nodes",
+	}
+	if err := placementSweep(t, cfg, requestSweepPoints(15, 10), placementLoadFactor, utilizationMetric); err != nil {
+		return nil, err
+	}
+	noteOverallUtilization(t)
+	return t, nil
+}
+
+// Fig6 — average resource utilization of used nodes handling 1000 requests
+// as VNFs scale 6→30 and nodes 4→20 together.
+func Fig6(cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig6",
+		Title:  "Average resource utilization of used nodes, 1000 requests, VNFs 6-30 / nodes 4-20",
+		XLabel: "vnfs",
+		YLabel: "avg utilization of used nodes",
+	}
+	var pts []struct {
+		x                     float64
+		vnfs, requests, nodes int
+	}
+	for _, v := range []int{6, 12, 18, 24, 30} {
+		pts = append(pts, struct {
+			x                     float64
+			vnfs, requests, nodes int
+		}{float64(v), v, 1000, (v * 2) / 3})
+	}
+	if err := placementSweep(t, cfg, pts, placementLoadFactor, utilizationMetric); err != nil {
+		return nil, err
+	}
+	noteOverallUtilization(t)
+	return t, nil
+}
+
+// Fig7 — average resource utilization of used nodes for placing 15 VNFs as
+// the number of available nodes scales 6→30. Paper: FFD and NAH decay,
+// BFDSU stays stable.
+func Fig7(cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig7",
+		Title:  "Average resource utilization of used nodes for placing 15 VNFs vs available nodes",
+		XLabel: "nodes",
+		YLabel: "avg utilization of used nodes",
+	}
+	if err := fixedDemandNodeSweep(t, cfg, utilizationMetric); err != nil {
+		return nil, err
+	}
+	noteOverallUtilization(t)
+	return t, nil
+}
+
+// Fig8 — average number of nodes in service for placing 15 VNFs. Paper:
+// BFDSU 8.56 < NAH 10.55 < FFD 10.80 on average.
+func Fig8(cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig8",
+		Title:  "Average number of nodes in service for placing 15 VNFs vs available nodes",
+		XLabel: "nodes",
+		YLabel: "nodes in service",
+	}
+	if err := fixedDemandNodeSweep(t, cfg, func(p *model.Problem, res *placement.Result) float64 {
+		return float64(res.Placement.NodesInService())
+	}); err != nil {
+		return nil, err
+	}
+	for _, s := range t.Series {
+		t.Note("%s mean nodes in service: %.2f", s.Label, t.Mean(s.Label))
+	}
+	return t, nil
+}
+
+// Fig9 — average resource occupation (total capacity of nodes in service)
+// for placing 15 VNFs. Paper: BFDSU stays low and flat; FFD and NAH grow
+// with the number of available nodes.
+func Fig9(cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig9",
+		Title:  "Average resource occupation for placing 15 VNFs vs available nodes",
+		XLabel: "nodes",
+		YLabel: "total capacity of nodes in service",
+	}
+	if err := fixedDemandNodeSweep(t, cfg, func(p *model.Problem, res *placement.Result) float64 {
+		return res.Placement.ResourceOccupation(p)
+	}); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// fixedDemandNodeSweep runs the Fig. 7–9 sweep: VNF total demand is pinned
+// to the fig7ReferenceNodes deployment while available nodes scale, so extra
+// nodes mean extra *room*, not extra work.
+func fixedDemandNodeSweep(t *Table, cfg Config, metric placementMetric) error {
+	failures := make(map[string]int)
+	for _, pt := range nodeSweepPoints() {
+		lf := placementLoadFactor * float64(fig7ReferenceNodes) / float64(pt.nodes)
+		if err := placementPoint(t, cfg, pt, lf, metric, failures); err != nil {
+			return err
+		}
+	}
+	for name, n := range failures {
+		t.Note("%s failed to find a feasible placement in %d trials (skipped)", name, n)
+	}
+	return nil
+}
+
+// Fig10 — iterations to reach a feasible placement for 15 VNFs as requests
+// scale. Paper: FFD constant at 1; BFDSU ≈ 11; NAH ≈ 32 (≈3× BFDSU).
+// Tightness is raised so the randomized restarts actually engage.
+func Fig10(cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig10",
+		Title:  "Iterations to find a feasible placement for 15 VNFs vs number of requests",
+		XLabel: "requests",
+		YLabel: "iterations",
+	}
+	// Tighter than the utilization figures so BFDSU's restart machinery can
+	// engage, but loose enough that the restart-free NAH baseline still
+	// completes most trials.
+	const tightLoadFactor = 0.68
+	if err := placementSweep(t, cfg, requestSweepPoints(15, 10), tightLoadFactor, func(p *model.Problem, res *placement.Result) float64 {
+		return float64(res.Iterations)
+	}); err != nil {
+		return nil, err
+	}
+	for _, s := range t.Series {
+		t.Note("%s mean iterations: %.2f", s.Label, t.Mean(s.Label))
+	}
+	return t, nil
+}
+
+// noteOverallUtilization records the per-algorithm grand means and the
+// BFDSU-vs-baseline enhancement ratios the paper headlines (31.6% over FFD,
+// 33.4% over NAH).
+func noteOverallUtilization(t *Table) {
+	b := t.Mean("BFDSU")
+	for _, base := range []string{"FFD", "WFD", "NAH"} {
+		m := t.Mean(base)
+		if m > 0 {
+			t.Note("BFDSU %.2f%% vs %s %.2f%% → improvement %.1f%%", b*100, base, m*100, (b-m)/m*100)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// seriesMarkers assigns one glyph per series in a plot.
+var seriesMarkers = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Plot renders the table as an ASCII chart: X mapped linearly across width
+// columns, Y autoscaled across height rows, one marker per series. Series
+// beyond len(seriesMarkers) reuse glyphs. Intended for terminal inspection
+// of figure shapes; CSV remains the precise export.
+func (t *Table) Plot(width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	if len(t.Series) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+
+	// Bounds over all finite points.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range t.Series {
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if minX > maxX || minY > maxY {
+		b.WriteString("(no finite data)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = make([]rune, width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - minX) / (maxX - minX) * float64(width-1)))
+		return clampInt(c, 0, width-1)
+	}
+	row := func(y float64) int {
+		r := int(math.Round((y - minY) / (maxY - minY) * float64(height-1)))
+		return clampInt(height-1-r, 0, height-1) // invert: top row = max
+	}
+	for si, s := range t.Series {
+		marker := seriesMarkers[si%len(seriesMarkers)]
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			r, c := row(y), col(x)
+			if grid[r][c] != ' ' && grid[r][c] != marker {
+				grid[r][c] = '?'
+			} else {
+				grid[r][c] = marker
+			}
+		}
+	}
+
+	fmt.Fprintf(&b, "%10.4g ┤", maxY)
+	b.WriteString(string(grid[0]))
+	b.WriteString("\n")
+	for r := 1; r < height-1; r++ {
+		b.WriteString(strings.Repeat(" ", 11))
+		b.WriteString("│")
+		b.WriteString(string(grid[r]))
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%10.4g ┤", minY)
+	b.WriteString(string(grid[height-1]))
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat(" ", 11))
+	b.WriteString("└")
+	b.WriteString(strings.Repeat("─", width))
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%12s%-10.4g%*s%10.4g\n", "", minX, width-20, "", maxX)
+	fmt.Fprintf(&b, "%12s%s vs %s — ", "", t.YLabel, t.XLabel)
+	for si, s := range t.Series {
+		if si > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%c=%s", seriesMarkers[si%len(seriesMarkers)], s.Label)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,76 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func plotTable() *Table {
+	t := &Table{ID: "p", Title: "Plot test", XLabel: "x", YLabel: "y"}
+	for i := 0; i <= 10; i++ {
+		t.AddPoint("up", float64(i), float64(i))
+		t.AddPoint("down", float64(i), float64(10-i))
+	}
+	return t
+}
+
+func TestPlotBasics(t *testing.T) {
+	out := plotTable().Plot(40, 10)
+	for _, want := range []string{"p — Plot test", "*=up", "o=down", "└", "10", "0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// Both markers present.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("markers missing:\n%s", out)
+	}
+	// Crossing point where both series meet renders as collision glyph.
+	if !strings.Contains(out, "?") {
+		t.Errorf("expected collision glyph where series cross:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Errorf("plot too short: %d lines", len(lines))
+	}
+}
+
+func TestPlotDegenerate(t *testing.T) {
+	empty := &Table{ID: "e", Title: "Empty"}
+	if !strings.Contains(empty.Plot(40, 10), "no data") {
+		t.Error("empty table plot missing placeholder")
+	}
+
+	nan := &Table{ID: "n", Title: "NaNs"}
+	nan.AddPoint("s", math.NaN(), math.NaN())
+	nan.AddPoint("s", math.Inf(1), 1)
+	if !strings.Contains(nan.Plot(40, 10), "no finite data") {
+		t.Error("all-NaN table plot missing placeholder")
+	}
+
+	single := &Table{ID: "s", Title: "Single"}
+	single.AddPoint("s", 5, 7)
+	out := single.Plot(40, 10)
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not rendered:\n%s", out)
+	}
+}
+
+func TestPlotClampsTinyDimensions(t *testing.T) {
+	out := plotTable().Plot(1, 1) // clamped to minimums, must not panic
+	if len(out) == 0 {
+		t.Error("empty plot")
+	}
+}
+
+func TestPlotManySeriesReuseMarkers(t *testing.T) {
+	tab := &Table{ID: "m", Title: "Many"}
+	for i := 0; i < 10; i++ {
+		tab.AddPoint(string(rune('a'+i)), float64(i), float64(i))
+	}
+	out := tab.Plot(40, 10)
+	if !strings.Contains(out, "*=a") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+}

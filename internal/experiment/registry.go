@@ -1,0 +1,54 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner regenerates one paper figure.
+type Runner func(Config) (*Table, error)
+
+// registry maps experiment ids to their runners.
+var registry = map[string]Runner{
+	"fig5":  Fig5,
+	"fig6":  Fig6,
+	"fig7":  Fig7,
+	"fig8":  Fig8,
+	"fig9":  Fig9,
+	"fig10": Fig10,
+	"fig11": Fig11,
+	"fig12": Fig12,
+	"fig13": Fig13,
+	"fig14": Fig14,
+	"fig15": Fig15,
+	"fig16": Fig16,
+	"tail":  FigTail,
+
+	// Ablations of the paper's design choices (DESIGN.md §4) and the
+	// abstract's headline numbers in one table.
+	"ablation-placement":  AblationPlacement,
+	"ablation-scheduling": AblationScheduling,
+	"headline":            Headline,
+
+	// Model robustness: how Eq. 12 degrades when service is not exponential.
+	"robustness": Robustness,
+}
+
+// IDs returns the known experiment ids, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, cfg Config) (*Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown id %q (have %v)", id, IDs())
+	}
+	return r(cfg)
+}

@@ -1,0 +1,338 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+
+	"nfvchain/internal/core"
+	"nfvchain/internal/model"
+	"nfvchain/internal/queueing"
+	"nfvchain/internal/rng"
+	"nfvchain/internal/scheduling"
+	"nfvchain/internal/stats"
+)
+
+// trialParams is one scheduling-trial operating point.
+type trialParams struct {
+	n int     // requests
+	m int     // service instances
+	p float64 // delivery probability P
+	// mu fixes the per-instance service rate; when 0 it is scaled from the
+	// drawn rates ("scale µ_f with the number of requests", Figs. 11–14):
+	// µ = Σλ_r/(m·rhoRaw), so a balanced split runs at raw utilization
+	// rhoRaw.
+	mu     float64
+	rhoRaw float64
+	// admission applies admission control (Figs. 15–16). Without it, a
+	// trial whose assignment leaves an unstable instance reports
+	// stable=false and is skipped (Figs. 11–14 compare response times only
+	// where both systems are stable).
+	admission bool
+}
+
+// trialResult is one trial's outcome for one algorithm.
+type trialResult struct {
+	meanW         float64 // Eq. 15: W(f,k) averaged over loaded instances
+	rejectionRate float64
+	stable        bool
+}
+
+// schedulingTrial builds a single-VNF instance — n requests with rates
+// uniform in [1,100] pps sharing one VNF with m service instances — and runs
+// the schedule → (admission) → evaluate pipeline for the algorithm.
+func schedulingTrial(seed uint64, tp trialParams, alg scheduling.Partitioner) (trialResult, error) {
+	stream := rng.Derive(seed, "sched-trial")
+	prob := &model.Problem{
+		Nodes: []model.Node{{ID: "n0", Capacity: 1}},
+		VNFs:  []model.VNF{{ID: "f", Instances: tp.m, Demand: 1.0 / float64(tp.m+1), ServiceRate: 1}},
+	}
+	var sum float64
+	for i := 0; i < tp.n; i++ {
+		rate := stream.Uniform(1, 100)
+		sum += rate
+		prob.Requests = append(prob.Requests, model.Request{
+			ID:           model.RequestID(fmt.Sprintf("r%04d", i)),
+			Chain:        []model.VNFID{"f"},
+			Rate:         rate,
+			DeliveryProb: tp.p,
+		})
+	}
+	mu := tp.mu
+	if mu == 0 {
+		mu = sum / (float64(tp.m) * tp.rhoRaw)
+	}
+	prob.VNFs[0].ServiceRate = mu
+	if err := prob.Validate(); err != nil {
+		return trialResult{}, fmt.Errorf("experiment: scheduling trial: %w", err)
+	}
+
+	sched, err := scheduling.ScheduleAll(prob, alg)
+	if err != nil {
+		return trialResult{}, err
+	}
+	res := trialResult{stable: true}
+	if tp.admission {
+		adm, err := scheduling.ApplyAdmissionControl(prob, sched)
+		if err != nil {
+			return trialResult{}, err
+		}
+		sched = adm.Admitted
+		res.rejectionRate = adm.RejectionRate
+	}
+	pl := model.NewPlacement()
+	pl.Assign("f", "n0")
+	ev, err := core.Evaluate(&core.Solution{Problem: prob, Placement: pl, Schedule: sched})
+	if err != nil {
+		if errors.Is(err, queueing.ErrUnstable) {
+			res.stable = false
+			return res, nil
+		}
+		return trialResult{}, err
+	}
+	res.meanW = ev.AvgResponseTime
+	return res, nil
+}
+
+// schedulingAlgorithms returns the two compared schedulers.
+func schedulingAlgorithms() []scheduling.Partitioner {
+	return []scheduling.Partitioner{scheduling.RCKK{}, scheduling.CGA{ArrivalOrder: true}}
+}
+
+// responseFigRho is the balanced raw utilization of the Fig. 11–14 sweeps.
+// Near saturation the mean of 1/(µ−Λ_k) over instances is dominated by the
+// most loaded instance, so the baseline's O(E[λ]) imbalance costs a large
+// response-time premium at small n that decays as headroom grows with n —
+// the paper's 42%→2% enhancement curve. Trials where either algorithm
+// leaves an unstable instance are skipped for both (pairwise comparison).
+const responseFigRho = 0.85
+
+// rejectionFigRho is the balanced *raw* utilization of the Fig. 15–16
+// sweeps. It sits right at the loss-inflation boundary: with P = 0.997 a
+// balanced split stays stable (effective ρ ≈ 0.983) and only the baseline's
+// imbalance trips admission control, while with P = 0.984 even the balanced
+// split is within a whisker of saturation (effective ρ ≈ 0.996), so load fluctuations and any imbalance shed jobs —
+// the paper's "with a higher packet loss rate, the job rejection rate is
+// consequently higher".
+const rejectionFigRho = 0.98
+
+// pointAggregates collects per-algorithm summaries at one sweep point.
+type pointAggregates struct {
+	w        stats.Summary // per-trial mean W (stable trials only)
+	rej      stats.Summary // per-trial rejection rate
+	unstable int           // skipped trials
+}
+
+// schedulingPointMeans averages SchedulingTrials runs per algorithm at one
+// operating point. Response times are compared *pairwise*: a trial counts
+// toward the W means only when every algorithm's assignment is stable, so
+// neither side is favored by dropping only its own hard trials.
+func schedulingPointMeans(cfg Config, tp trialParams) (map[string]*pointAggregates, error) {
+	algs := schedulingAlgorithms()
+	out := make(map[string]*pointAggregates)
+	for _, alg := range algs {
+		out[alg.Name()] = &pointAggregates{}
+	}
+	// Trials are independent; run them on all cores and fold in trial order
+	// so the floating-point aggregates match a serial run exactly.
+	perTrial, err := forEachTrial(cfg.SchedulingTrials, func(trial int) ([]trialResult, error) {
+		seed := cfg.Seed + uint64(trial)*2654435761 + uint64(tp.n*31+tp.m*7)
+		results := make([]trialResult, len(algs))
+		for i, alg := range algs {
+			res, err := schedulingTrial(seed, tp, alg)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", alg.Name(), err)
+			}
+			results[i] = res
+		}
+		return results, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, results := range perTrial {
+		allStable := true
+		for i, alg := range algs {
+			out[alg.Name()].rej.Add(results[i].rejectionRate)
+			allStable = allStable && results[i].stable
+		}
+		for i, alg := range algs {
+			if allStable {
+				out[alg.Name()].w.Add(results[i].meanW)
+			} else {
+				out[alg.Name()].unstable++
+			}
+		}
+	}
+	return out, nil
+}
+
+// responseTimeVsRequests generates Figs. 11 and 12: mean response time of 5
+// instances as the number of requests scales, plus the enhancement ratio
+// (W_CGA − W_RCKK)/W_CGA.
+func responseTimeVsRequests(id string, cfg Config, p float64) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("Average response time, 5 instances, P = %.2f", p),
+		XLabel: "requests",
+		YLabel: "mean W per instance (s)",
+	}
+	const m = 5
+	unstable := 0
+	for _, n := range []int{15, 25, 50, 100, 150, 200, 250} {
+		ws, err := schedulingPointMeans(cfg, trialParams{n: n, m: m, p: p, rhoRaw: responseFigRho})
+		if err != nil {
+			return nil, fmt.Errorf("%s (n=%d): %w", id, n, err)
+		}
+		t.AddPoint("RCKK", float64(n), ws["RCKK"].w.Mean())
+		t.AddPoint("CGA", float64(n), ws["CGA"].w.Mean())
+		t.AddPoint("enhancement", float64(n), stats.EnhancementRatio(ws["CGA"].w.Mean(), ws["RCKK"].w.Mean()))
+		unstable += ws["RCKK"].unstable + ws["CGA"].unstable
+	}
+	noteEnhancementRange(t)
+	if unstable > 0 {
+		t.Note("%d unstable trials skipped", unstable)
+	}
+	return t, nil
+}
+
+// responseTimeVsInstances generates Figs. 13 and 14: mean response time with
+// 50 requests as the number of service instances scales 2→10.
+func responseTimeVsInstances(id string, cfg Config, p float64) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("Average response time, 50 requests, P = %.2f", p),
+		XLabel: "instances",
+		YLabel: "mean W per instance (s)",
+	}
+	const n = 50
+	unstable := 0
+	for m := 2; m <= 10; m++ {
+		ws, err := schedulingPointMeans(cfg, trialParams{n: n, m: m, p: p, rhoRaw: responseFigRho})
+		if err != nil {
+			return nil, fmt.Errorf("%s (m=%d): %w", id, m, err)
+		}
+		t.AddPoint("RCKK", float64(m), ws["RCKK"].w.Mean())
+		t.AddPoint("CGA", float64(m), ws["CGA"].w.Mean())
+		t.AddPoint("enhancement", float64(m), stats.EnhancementRatio(ws["CGA"].w.Mean(), ws["RCKK"].w.Mean()))
+		unstable += ws["RCKK"].unstable + ws["CGA"].unstable
+	}
+	noteEnhancementRange(t)
+	if unstable > 0 {
+		t.Note("%d unstable trials skipped", unstable)
+	}
+	return t, nil
+}
+
+// rejectionVsRequests generates Figs. 15 and 16: the job rejection rate as
+// the number of requests scales toward and through saturation, under low
+// (P=0.997) or high (P=0.984) packet loss. Unlike Figs. 11–14, µ is fixed
+// (calibrated at the reference load), so growing request counts genuinely
+// load the system and admission control must shed jobs.
+func rejectionVsRequests(id string, cfg Config, p float64) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("Average job rejection rate, 5 instances, P = %.3f", p),
+		XLabel: "requests",
+		YLabel: "job rejection rate",
+	}
+	const m = 5
+	for _, n := range []int{15, 25, 50, 100, 150, 200, 250} {
+		ws, err := schedulingPointMeans(cfg, trialParams{n: n, m: m, p: p, rhoRaw: rejectionFigRho, admission: true})
+		if err != nil {
+			return nil, fmt.Errorf("%s (n=%d): %w", id, n, err)
+		}
+		t.AddPoint("RCKK", float64(n), ws["RCKK"].rej.Mean())
+		t.AddPoint("CGA", float64(n), ws["CGA"].rej.Mean())
+	}
+	t.Note("mean rejection rate: RCKK %.2f%%, CGA %.2f%%", t.Mean("RCKK")*100, t.Mean("CGA")*100)
+	return t, nil
+}
+
+// noteEnhancementRange records the enhancement ratio's endpoints, the way
+// the paper quotes Figs. 11–14 ("reducing from 41.89% to 2.10%").
+func noteEnhancementRange(t *Table) {
+	s, ok := t.SeriesByLabel("enhancement")
+	if !ok || len(s.Y) == 0 {
+		return
+	}
+	t.Note("enhancement ratio from %.2f%% (x=%g) to %.2f%% (x=%g)",
+		s.Y[0]*100, s.X[0], s.Y[len(s.Y)-1]*100, s.X[len(s.X)-1])
+}
+
+// Fig11 — average response time vs requests, P = 0.98.
+func Fig11(cfg Config) (*Table, error) { return responseTimeVsRequests("fig11", cfg, 0.98) }
+
+// Fig12 — average response time vs requests, P = 1.00.
+func Fig12(cfg Config) (*Table, error) { return responseTimeVsRequests("fig12", cfg, 1.00) }
+
+// Fig13 — average response time vs instances, P = 0.98.
+func Fig13(cfg Config) (*Table, error) { return responseTimeVsInstances("fig13", cfg, 0.98) }
+
+// Fig14 — average response time vs instances, P = 1.00.
+func Fig14(cfg Config) (*Table, error) { return responseTimeVsInstances("fig14", cfg, 1.00) }
+
+// Fig15 — job rejection rate vs requests under low loss, P = 0.997.
+func Fig15(cfg Config) (*Table, error) { return rejectionVsRequests("fig15", cfg, 0.997) }
+
+// Fig16 — job rejection rate vs requests under high loss, P = 0.984.
+func Fig16(cfg Config) (*Table, error) { return rejectionVsRequests("fig16", cfg, 0.984) }
+
+// FigTail — the 99th-percentile response-time statistics the paper quotes in
+// prose: p99 over the trial population of per-trial mean W, for requests
+// scaling 10→200 at 5 instances, P = 0.98.
+func FigTail(cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "tail",
+		Title:  "99th-percentile response time over trials, 5 instances, P = 0.98",
+		XLabel: "requests",
+		YLabel: "p99 of per-trial mean W (s)",
+	}
+	const m = 5
+	tpBase := trialParams{m: m, p: 0.98, rhoRaw: responseFigRho}
+	for _, n := range []int{10, 25, 50, 100, 200} {
+		samples := map[string][]float64{}
+		for trial := 0; trial < cfg.SchedulingTrials; trial++ {
+			seed := cfg.Seed + uint64(trial)*2654435761 + uint64(n*131)
+			trialWs := make(map[string]float64, 2)
+			allStable := true
+			for _, alg := range schedulingAlgorithms() {
+				tp := tpBase
+				tp.n = n
+				res, err := schedulingTrial(seed, tp, alg)
+				if err != nil {
+					return nil, fmt.Errorf("tail (n=%d): %s: %w", n, alg.Name(), err)
+				}
+				trialWs[alg.Name()] = res.meanW
+				allStable = allStable && res.stable
+			}
+			if !allStable {
+				continue // pairwise comparison: skip the trial for both
+			}
+			for name, w := range trialWs {
+				samples[name] = append(samples[name], w)
+			}
+		}
+		if len(samples["RCKK"]) == 0 || len(samples["CGA"]) == 0 {
+			continue
+		}
+		rp99 := stats.Percentile(samples["RCKK"], 99)
+		cp99 := stats.Percentile(samples["CGA"], 99)
+		t.AddPoint("RCKK", float64(n), rp99)
+		t.AddPoint("CGA", float64(n), cp99)
+		t.AddPoint("enhancement", float64(n), stats.EnhancementRatio(cp99, rp99))
+	}
+	noteEnhancementRange(t)
+	return t, nil
+}

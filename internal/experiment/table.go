@@ -1,0 +1,132 @@
+// Package experiment regenerates every figure of the paper's evaluation
+// (Section V, Figs. 5–16 plus the 99th-percentile tail statistics quoted in
+// prose). Each experiment returns a Table whose series mirror the figure's
+// curves; the nfvsim CLI prints them and EXPERIMENTS.md records paper-vs-
+// measured values. Experiment parameters follow Section V-A: 6–30 VNFs,
+// 30–1000 requests, 4–50 nodes with capacities up to 5000 units, chains of
+// at most 6 VNFs, λ ∈ [1,100] pps, and P ∈ [0.98, 1].
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Series is one curve of a figure.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Table is the regenerated data behind one paper figure.
+type Table struct {
+	ID     string // e.g. "fig5"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Notes carries scalar findings (overall averages, enhancement ratios).
+	Notes []string
+}
+
+// AddPoint appends (x, y) to the named series, creating it if needed.
+func (t *Table) AddPoint(label string, x, y float64) {
+	for i := range t.Series {
+		if t.Series[i].Label == label {
+			t.Series[i].X = append(t.Series[i].X, x)
+			t.Series[i].Y = append(t.Series[i].Y, y)
+			return
+		}
+	}
+	t.Series = append(t.Series, Series{Label: label, X: []float64{x}, Y: []float64{y}})
+}
+
+// SeriesByLabel returns the named series, or false.
+func (t *Table) SeriesByLabel(label string) (Series, bool) {
+	for _, s := range t.Series {
+		if s.Label == label {
+			return s, true
+		}
+	}
+	return Series{}, false
+}
+
+// Mean returns the average Y of the named series (0 when absent/empty).
+func (t *Table) Mean(label string) float64 {
+	s, ok := t.SeriesByLabel(label)
+	if !ok || len(s.Y) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, y := range s.Y {
+		sum += y
+	}
+	return sum / float64(len(s.Y))
+}
+
+// Note records a scalar finding.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table as aligned text: one row per X value, one column
+// per series.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	if len(t.Series) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-12s", t.XLabel)
+	for _, s := range t.Series {
+		fmt.Fprintf(&b, " %14s", s.Label)
+	}
+	b.WriteString("\n")
+	for i := range t.Series[0].X {
+		fmt.Fprintf(&b, "%-12.6g", t.Series[0].X[i])
+		for _, s := range t.Series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, " %14.6g", s.Y[i])
+			} else {
+				fmt.Fprintf(&b, " %14s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// WriteCSV emits the table as CSV: header x,<series...>, one row per X.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if len(t.Series) == 0 {
+		_, err := fmt.Fprintln(w, "x")
+		return err
+	}
+	cols := []string{"x"}
+	for _, s := range t.Series {
+		cols = append(cols, s.Label)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for i := range t.Series[0].X {
+		row := []string{fmt.Sprintf("%g", t.Series[0].X[i])}
+		for _, s := range t.Series {
+			if i < len(s.Y) {
+				row = append(row, fmt.Sprintf("%g", s.Y[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

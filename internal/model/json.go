@@ -1,0 +1,31 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON serializes the problem as indented JSON.
+func (p *Problem) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(p); err != nil {
+		return fmt.Errorf("model: encode problem: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses a problem from JSON and validates it.
+func ReadJSON(r io.Reader) (*Problem, error) {
+	var p Problem
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("model: decode problem: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("model: invalid problem: %w", err)
+	}
+	return &p, nil
+}

@@ -1,0 +1,134 @@
+package placement
+
+import (
+	"testing"
+
+	"nfvchain/internal/model"
+)
+
+func TestImproveEvacuatesWastefulPlacement(t *testing.T) {
+	// WFD spreads four small VNFs over four nodes; Improve should compress
+	// them onto one.
+	p := &model.Problem{
+		Nodes: []model.Node{
+			{ID: "n1", Capacity: 100}, {ID: "n2", Capacity: 100},
+			{ID: "n3", Capacity: 100}, {ID: "n4", Capacity: 100},
+		},
+		VNFs: []model.VNF{
+			{ID: "a", Instances: 1, Demand: 20, ServiceRate: 1},
+			{ID: "b", Instances: 1, Demand: 20, ServiceRate: 1},
+			{ID: "c", Instances: 1, Demand: 20, ServiceRate: 1},
+			{ID: "d", Instances: 1, Demand: 20, ServiceRate: 1},
+		},
+	}
+	spread, err := WFD{}.Place(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spread.Placement.NodesInService() != 4 {
+		t.Fatalf("WFD used %d nodes, expected 4", spread.Placement.NodesInService())
+	}
+	better, err := Improve(p, spread.Placement, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := better.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	if got := better.NodesInService(); got != 1 {
+		t.Errorf("Improve left %d nodes, want 1", got)
+	}
+	// Input untouched.
+	if spread.Placement.NodesInService() != 4 {
+		t.Error("Improve mutated its input")
+	}
+}
+
+func TestImproveNeverWorsens(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		p := generated(t, seed+500, 12, 80, 9)
+		for _, alg := range allAlgorithms() {
+			res, err := alg.Place(p)
+			if err != nil {
+				continue
+			}
+			before := res.Placement.NodesInService()
+			after, err := Improve(p, res.Placement, 0)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, alg.Name(), err)
+			}
+			if err := after.Validate(p); err != nil {
+				t.Fatalf("seed %d %s: improved placement invalid: %v", seed, alg.Name(), err)
+			}
+			if after.NodesInService() > before {
+				t.Errorf("seed %d %s: Improve grew %d → %d nodes", seed, alg.Name(), before, after.NodesInService())
+			}
+			if after.AverageUtilization(p) < res.Placement.AverageUtilization(p)-1e-9 &&
+				after.NodesInService() == before {
+				t.Errorf("seed %d %s: utilization dropped without node savings", seed, alg.Name())
+			}
+		}
+	}
+}
+
+func TestImproveClosesGapToOptimal(t *testing.T) {
+	var gapBefore, gapAfter int
+	for seed := uint64(0); seed < 8; seed++ {
+		p := generated(t, seed+700, 9, 50, 7)
+		opt, err := (&Exact{}).Place(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spread, err := WFD{}.Place(p)
+		if err != nil {
+			continue
+		}
+		better, err := Improve(p, spread.Placement, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optN := opt.Placement.NodesInService()
+		gapBefore += spread.Placement.NodesInService() - optN
+		gapAfter += better.NodesInService() - optN
+		if better.NodesInService() < optN {
+			t.Fatalf("seed %d: Improve beat the exact optimum — impossible", seed)
+		}
+	}
+	if gapAfter >= gapBefore {
+		t.Errorf("Improve did not shrink WFD's optimality gap: %d → %d", gapBefore, gapAfter)
+	}
+}
+
+func TestImproveRespectsExtras(t *testing.T) {
+	// CPU would allow compression to one node, memory forbids it.
+	p := &model.Problem{
+		Nodes: []model.Node{
+			{ID: "n1", Capacity: 100, Extras: []float64{32}},
+			{ID: "n2", Capacity: 100, Extras: []float64{32}},
+		},
+		VNFs: []model.VNF{
+			{ID: "a", Instances: 1, Demand: 10, ServiceRate: 1, Extras: []float64{20}},
+			{ID: "b", Instances: 1, Demand: 10, ServiceRate: 1, Extras: []float64{20}},
+		},
+	}
+	pl := model.NewPlacement()
+	pl.Assign("a", "n1")
+	pl.Assign("b", "n2")
+	better, err := Improve(p, pl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := better.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	if better.NodesInService() != 2 {
+		t.Errorf("Improve violated memory: %d nodes", better.NodesInService())
+	}
+}
+
+func TestImproveRejectsInvalidInput(t *testing.T) {
+	p := smallProblem()
+	if _, err := Improve(p, model.NewPlacement(), 0); err == nil {
+		t.Error("incomplete placement accepted")
+	}
+}

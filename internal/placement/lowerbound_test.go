@@ -1,0 +1,134 @@
+package placement
+
+import (
+	"testing"
+
+	"nfvchain/internal/model"
+	"nfvchain/internal/workload"
+)
+
+func TestLowerBoundNeverExceedsOptimal(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		p := generated(t, seed+300, 9, 50, 7)
+		lb := LowerBound(p)
+		opt, err := (&Exact{}).Place(p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		optN := opt.Placement.NodesInService()
+		if lb > optN {
+			t.Errorf("seed %d: LB %d > OPT %d", seed, lb, optN)
+		}
+		if lb < 1 {
+			t.Errorf("seed %d: LB %d < 1", seed, lb)
+		}
+	}
+}
+
+func TestLowerBoundCapacityCovering(t *testing.T) {
+	// Demand 250 against capacities 100,100,100: no 2 nodes cover it.
+	p := &model.Problem{
+		Nodes: []model.Node{
+			{ID: "n1", Capacity: 100},
+			{ID: "n2", Capacity: 100},
+			{ID: "n3", Capacity: 100},
+		},
+		VNFs: []model.VNF{
+			{ID: "a", Instances: 1, Demand: 90, ServiceRate: 1},
+			{ID: "b", Instances: 1, Demand: 90, ServiceRate: 1},
+			{ID: "c", Instances: 1, Demand: 70, ServiceRate: 1},
+		},
+	}
+	if lb := LowerBound(p); lb != 3 {
+		t.Errorf("LB = %d, want 3 (250 demand over 100-capacity nodes)", lb)
+	}
+}
+
+func TestLowerBoundBigItems(t *testing.T) {
+	// Four items each over half the largest capacity: pairwise conflicting.
+	p := &model.Problem{
+		Nodes: []model.Node{
+			{ID: "n1", Capacity: 100}, {ID: "n2", Capacity: 100},
+			{ID: "n3", Capacity: 100}, {ID: "n4", Capacity: 100},
+			{ID: "n5", Capacity: 100},
+		},
+		VNFs: []model.VNF{
+			{ID: "a", Instances: 1, Demand: 60, ServiceRate: 1},
+			{ID: "b", Instances: 1, Demand: 60, ServiceRate: 1},
+			{ID: "c", Instances: 1, Demand: 60, ServiceRate: 1},
+			{ID: "d", Instances: 1, Demand: 60, ServiceRate: 1},
+		},
+	}
+	if lb := LowerBound(p); lb != 4 {
+		t.Errorf("LB = %d, want 4 (pigeonhole on big items)", lb)
+	}
+}
+
+func TestLowerBoundExtrasDimension(t *testing.T) {
+	// CPU is loose but memory forces 3 nodes (60 GB demand over 32 GB nodes
+	// would need 2; make it need 3: 3×22 = 66 over 32-GB nodes → covering
+	// bound ceil… 2×32=64 < 66 → 3).
+	p := &model.Problem{
+		Nodes: []model.Node{
+			{ID: "n1", Capacity: 1000, Extras: []float64{32}},
+			{ID: "n2", Capacity: 1000, Extras: []float64{32}},
+			{ID: "n3", Capacity: 1000, Extras: []float64{32}},
+		},
+		VNFs: []model.VNF{
+			{ID: "a", Instances: 1, Demand: 10, ServiceRate: 1, Extras: []float64{22}},
+			{ID: "b", Instances: 1, Demand: 10, ServiceRate: 1, Extras: []float64{22}},
+			{ID: "c", Instances: 1, Demand: 10, ServiceRate: 1, Extras: []float64{22}},
+		},
+	}
+	if lb := LowerBound(p); lb != 3 {
+		t.Errorf("LB = %d, want 3 (memory covering)", lb)
+	}
+}
+
+func TestLowerBoundEdgeCases(t *testing.T) {
+	empty := &model.Problem{Nodes: []model.Node{{ID: "n", Capacity: 1}}}
+	if lb := LowerBound(empty); lb != 0 {
+		t.Errorf("LB of empty VNF set = %d", lb)
+	}
+	tiny := &model.Problem{
+		Nodes: []model.Node{{ID: "n", Capacity: 100}},
+		VNFs:  []model.VNF{{ID: "a", Instances: 1, Demand: 1, ServiceRate: 1}},
+	}
+	if lb := LowerBound(tiny); lb != 1 {
+		t.Errorf("LB = %d, want 1", lb)
+	}
+	// Demand beyond all capacity: bound exceeds node count (flags
+	// infeasibility).
+	over := &model.Problem{
+		Nodes: []model.Node{{ID: "n", Capacity: 10}},
+		VNFs:  []model.VNF{{ID: "a", Instances: 1, Demand: 50, ServiceRate: 1}},
+	}
+	if lb := LowerBound(over); lb != 2 {
+		t.Errorf("LB = %d, want 2 (> node count signals infeasible)", lb)
+	}
+}
+
+func TestLowerBoundOnGeneratedHeuristics(t *testing.T) {
+	// On paper-scale instances (too big for Exact), every heuristic must
+	// respect the bound.
+	cfg := workload.DefaultConfig()
+	cfg.NumRequests = 300
+	p, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := 0.7 * p.TotalCapacity() / p.TotalDemand()
+	for i := range p.VNFs {
+		p.VNFs[i].Demand *= scale
+	}
+	lb := LowerBound(p)
+	for _, alg := range allAlgorithms() {
+		res, err := alg.Place(p)
+		if err != nil {
+			continue
+		}
+		if got := res.Placement.NodesInService(); got < lb {
+			t.Errorf("%s used %d nodes < lower bound %d", alg.Name(), got, lb)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"nfvchain/internal/model"
+	"nfvchain/internal/workload"
+)
+
+// memoryBoundProblem is CPU-loose but memory-tight: packing by CPU alone
+// would cram everything onto one node and violate memory.
+func memoryBoundProblem() *model.Problem {
+	return &model.Problem{
+		Nodes: []model.Node{
+			{ID: "n1", Capacity: 1000, Extras: []float64{32}},
+			{ID: "n2", Capacity: 1000, Extras: []float64{32}},
+			{ID: "n3", Capacity: 1000, Extras: []float64{32}},
+		},
+		VNFs: []model.VNF{
+			{ID: "a", Instances: 1, Demand: 10, ServiceRate: 100, Extras: []float64{20}},
+			{ID: "b", Instances: 1, Demand: 10, ServiceRate: 100, Extras: []float64{20}},
+			{ID: "c", Instances: 1, Demand: 10, ServiceRate: 100, Extras: []float64{20}},
+		},
+	}
+}
+
+func TestMultiResourcePlacementRespectsMemory(t *testing.T) {
+	p := memoryBoundProblem()
+	for _, alg := range allAlgorithms() {
+		t.Run(alg.Name(), func(t *testing.T) {
+			res, err := alg.Place(p)
+			if err != nil {
+				t.Fatalf("Place: %v", err)
+			}
+			if err := res.Placement.Validate(p); err != nil {
+				t.Fatalf("memory constraint violated: %v", err)
+			}
+			// 20 GB each into 32 GB nodes → one VNF per node.
+			if res.Placement.NodesInService() != 3 {
+				t.Errorf("used %d nodes, want 3 (memory forces spreading)", res.Placement.NodesInService())
+			}
+		})
+	}
+}
+
+func TestMultiResourceExactRespectsMemory(t *testing.T) {
+	p := memoryBoundProblem()
+	res, err := (&Exact{}).Place(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Placement.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	if res.Placement.NodesInService() != 3 {
+		t.Errorf("exact used %d nodes, want 3", res.Placement.NodesInService())
+	}
+}
+
+func TestMultiResourcePrecheck(t *testing.T) {
+	t.Run("oversized extra on every node", func(t *testing.T) {
+		p := memoryBoundProblem()
+		p.VNFs[0].Extras = []float64{40}
+		if err := Precheck(p); !errors.Is(err, ErrInfeasible) {
+			t.Errorf("err = %v, want ErrInfeasible", err)
+		}
+	})
+	t.Run("aggregate extra demand too large", func(t *testing.T) {
+		p := memoryBoundProblem()
+		for i := range p.VNFs {
+			p.VNFs[i].Extras = []float64{35 * 3.0 / 3} // 35 each > 96/3 on average? 105 > 96 total
+		}
+		if err := Precheck(p); !errors.Is(err, ErrInfeasible) {
+			t.Errorf("err = %v, want ErrInfeasible", err)
+		}
+	})
+	t.Run("feasible multi-resource passes", func(t *testing.T) {
+		if err := Precheck(memoryBoundProblem()); err != nil {
+			t.Errorf("Precheck: %v", err)
+		}
+	})
+}
+
+func TestMultiResourceGeneratedWorkload(t *testing.T) {
+	cfg := workload.DefaultConfig()
+	cfg.NumRequests = 100
+	p, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.AddMemoryDimension(p, 5); err != nil {
+		t.Fatal(err)
+	}
+	if p.ExtraResources() != 1 {
+		t.Fatalf("ExtraResources = %d", p.ExtraResources())
+	}
+	for _, alg := range allAlgorithms() {
+		res, err := alg.Place(p)
+		if err != nil {
+			// Memory tightness may defeat restartless baselines; that is a
+			// legitimate infeasible, not a bug.
+			if errors.Is(err, ErrInfeasible) {
+				continue
+			}
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if err := res.Placement.Validate(p); err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+	}
+}
+
+func TestMultiResourceDimensionMismatchRejected(t *testing.T) {
+	p := memoryBoundProblem()
+	p.VNFs[0].Extras = nil
+	if err := p.Validate(); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	p2 := memoryBoundProblem()
+	p2.Nodes[1].Extras = []float64{32, 10}
+	if err := p2.Validate(); err == nil {
+		t.Error("ragged node extras accepted")
+	}
+}
+
+func TestMultiResourceInstancesScaleExtras(t *testing.T) {
+	f := model.VNF{ID: "x", Instances: 3, Demand: 5, ServiceRate: 1, Extras: []float64{2, 7}}
+	got := f.TotalExtras()
+	if len(got) != 2 || got[0] != 6 || got[1] != 21 {
+		t.Errorf("TotalExtras = %v", got)
+	}
+	if (model.VNF{Instances: 2}).TotalExtras() != nil {
+		t.Error("CPU-only VNF should have nil TotalExtras")
+	}
+}
+
+func TestMultiResourceManyDims(t *testing.T) {
+	// Three dimensions (memory, bandwidth, disk) all satisfiable.
+	p := &model.Problem{
+		Nodes: []model.Node{
+			{ID: "n1", Capacity: 100, Extras: []float64{64, 10, 500}},
+			{ID: "n2", Capacity: 100, Extras: []float64{64, 10, 500}},
+		},
+		VNFs: []model.VNF{},
+	}
+	for i := 0; i < 6; i++ {
+		p.VNFs = append(p.VNFs, model.VNF{
+			ID:          model.VNFID(fmt.Sprintf("f%d", i)),
+			Instances:   1,
+			Demand:      25,
+			ServiceRate: 10,
+			Extras:      []float64{15, 3, 120},
+		})
+	}
+	res, err := (&BFDSU{Seed: 2}).Place(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Placement.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	// Bandwidth (10 per node, 3 per VNF) caps each node at 3 VNFs.
+	for _, v := range res.Placement.UsedNodes() {
+		if n := len(res.Placement.VNFsOn(v)); n > 3 {
+			t.Errorf("node %s hosts %d VNFs, bandwidth allows 3", v, n)
+		}
+	}
+}

@@ -1,0 +1,453 @@
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"nfvchain/internal/model"
+	"nfvchain/internal/workload"
+)
+
+// smallProblem returns a hand-checkable instance: three nodes, four VNFs.
+func smallProblem() *model.Problem {
+	return &model.Problem{
+		Nodes: []model.Node{
+			{ID: "n1", Capacity: 100},
+			{ID: "n2", Capacity: 100},
+			{ID: "n3", Capacity: 100},
+		},
+		VNFs: []model.VNF{
+			{ID: "a", Instances: 1, Demand: 60, ServiceRate: 100},
+			{ID: "b", Instances: 1, Demand: 40, ServiceRate: 100},
+			{ID: "c", Instances: 2, Demand: 25, ServiceRate: 100}, // total 50
+			{ID: "d", Instances: 1, Demand: 50, ServiceRate: 100},
+		},
+		Requests: []model.Request{
+			{ID: "r1", Chain: []model.VNFID{"a", "b"}, Rate: 10, DeliveryProb: 1},
+			{ID: "r2", Chain: []model.VNFID{"c", "d"}, Rate: 10, DeliveryProb: 1},
+		},
+	}
+}
+
+// generated returns a paper-scale generated instance.
+func generated(t *testing.T, seed uint64, vnfs, requests, nodes int) *model.Problem {
+	t.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.Seed = seed
+	cfg.NumVNFs = vnfs
+	cfg.NumRequests = requests
+	cfg.NumNodes = nodes
+	p, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func allAlgorithms() []Algorithm {
+	return []Algorithm{
+		&BFDSU{Seed: 1},
+		FFD{},
+		BFD{},
+		WFD{},
+		NAH{},
+		&Random{Seed: 1},
+	}
+}
+
+func TestAllAlgorithmsProduceFeasiblePlacements(t *testing.T) {
+	problems := map[string]*model.Problem{
+		"small":     smallProblem(),
+		"generated": generated(t, 3, 15, 200, 10),
+		"tight":     tightProblem(),
+	}
+	for pname, p := range problems {
+		for _, alg := range allAlgorithms() {
+			t.Run(fmt.Sprintf("%s/%s", pname, alg.Name()), func(t *testing.T) {
+				res, err := alg.Place(p)
+				if err != nil {
+					t.Fatalf("Place: %v", err)
+				}
+				if err := res.Placement.Validate(p); err != nil {
+					t.Fatalf("infeasible placement: %v", err)
+				}
+				if res.Iterations < 1 {
+					t.Errorf("Iterations = %d, want >= 1", res.Iterations)
+				}
+			})
+		}
+	}
+}
+
+// tightProblem leaves just enough total capacity that sloppy packing fails.
+func tightProblem() *model.Problem {
+	return &model.Problem{
+		Nodes: []model.Node{
+			{ID: "n1", Capacity: 100},
+			{ID: "n2", Capacity: 100},
+		},
+		VNFs: []model.VNF{
+			{ID: "a", Instances: 1, Demand: 60, ServiceRate: 10},
+			{ID: "b", Instances: 1, Demand: 60, ServiceRate: 10},
+			{ID: "c", Instances: 1, Demand: 40, ServiceRate: 10},
+			{ID: "d", Instances: 1, Demand: 40, ServiceRate: 10},
+		},
+	}
+}
+
+func TestPrecheck(t *testing.T) {
+	t.Run("oversized vnf", func(t *testing.T) {
+		p := smallProblem()
+		p.VNFs[0].Demand = 101
+		err := Precheck(p)
+		if !errors.Is(err, ErrInfeasible) {
+			t.Errorf("err = %v, want ErrInfeasible", err)
+		}
+	})
+	t.Run("total demand over capacity", func(t *testing.T) {
+		p := smallProblem()
+		for i := range p.VNFs {
+			p.VNFs[i].Demand = 90
+			p.VNFs[i].Instances = 1
+		}
+		err := Precheck(p)
+		if !errors.Is(err, ErrInfeasible) {
+			t.Errorf("err = %v, want ErrInfeasible", err)
+		}
+	})
+	t.Run("invalid problem", func(t *testing.T) {
+		if err := Precheck(&model.Problem{}); err == nil {
+			t.Error("empty problem accepted")
+		}
+	})
+	t.Run("feasible", func(t *testing.T) {
+		if err := Precheck(smallProblem()); err != nil {
+			t.Errorf("Precheck: %v", err)
+		}
+	})
+}
+
+func TestFFDDeterministicSinglePass(t *testing.T) {
+	p := smallProblem()
+	r1, err := FFD{}.Place(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := FFD{}.Place(p)
+	if r1.Iterations != 1 || r2.Iterations != 1 {
+		t.Errorf("FFD iterations = %d/%d, want 1", r1.Iterations, r2.Iterations)
+	}
+	for f, v := range r1.Placement.NodeOf {
+		if r2.Placement.NodeOf[f] != v {
+			t.Error("FFD not deterministic")
+		}
+	}
+	// FFD places a(60) on n1, b(40)→n1 (residual 40), d(50)→n2, c(50)→n2.
+	if v, _ := r1.Placement.Node("a"); v != "n1" {
+		t.Errorf("a on %s, want n1", v)
+	}
+	if v, _ := r1.Placement.Node("b"); v != "n1" {
+		t.Errorf("b on %s, want n1 (first fit)", v)
+	}
+	if r1.Placement.NodesInService() != 2 {
+		t.Errorf("FFD used %d nodes, want 2", r1.Placement.NodesInService())
+	}
+}
+
+func TestBFDPrefersSnuggestNode(t *testing.T) {
+	p := &model.Problem{
+		Nodes: []model.Node{
+			{ID: "big", Capacity: 200},
+			{ID: "snug", Capacity: 55},
+		},
+		VNFs: []model.VNF{
+			{ID: "a", Instances: 1, Demand: 50, ServiceRate: 1},
+		},
+	}
+	res, err := BFD{}.Place(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.Placement.Node("a"); v != "snug" {
+		t.Errorf("BFD placed on %s, want snug", v)
+	}
+	resW, err := WFD{}.Place(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := resW.Placement.Node("a"); v != "big" {
+		t.Errorf("WFD placed on %s, want big", v)
+	}
+}
+
+func TestBFDSUDeterministicPerSeed(t *testing.T) {
+	p := generated(t, 5, 15, 100, 10)
+	a, err := (&BFDSU{Seed: 7}).Place(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (&BFDSU{Seed: 7}).Place(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f, v := range a.Placement.NodeOf {
+		if b.Placement.NodeOf[f] != v {
+			t.Fatal("same seed, different placement")
+		}
+	}
+	if a.Iterations != b.Iterations {
+		t.Error("same seed, different iterations")
+	}
+}
+
+func TestBFDSUPrefersUsedNodes(t *testing.T) {
+	// Two VNFs that both fit on one node: BFDSU must co-locate them because
+	// the used list is searched before the spare list.
+	p := &model.Problem{
+		Nodes: []model.Node{
+			{ID: "n1", Capacity: 100},
+			{ID: "n2", Capacity: 100},
+			{ID: "n3", Capacity: 100},
+		},
+		VNFs: []model.VNF{
+			{ID: "a", Instances: 1, Demand: 50, ServiceRate: 1},
+			{ID: "b", Instances: 1, Demand: 50, ServiceRate: 1},
+		},
+	}
+	for seed := uint64(0); seed < 20; seed++ {
+		res, err := (&BFDSU{Seed: seed}).Place(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Placement.NodesInService() != 1 {
+			t.Fatalf("seed %d: BFDSU used %d nodes, want 1 (used-first rule)", seed, res.Placement.NodesInService())
+		}
+	}
+}
+
+func TestBFDSUSolvesTrapThatBestFitFails(t *testing.T) {
+	// A best-fit trap: nodes 100 and 120 with VNFs 60,60,50,50 (total 220 =
+	// total capacity). The unique packing puts both 60s on the 120-node and
+	// both 50s on the 100-node. Deterministic BFD wedges the first 60 onto
+	// the snugger 100-node (residual 40 < 60) and dead-ends; BFDSU's
+	// weighted draw plus restarts finds the packing.
+	p := &model.Problem{
+		Nodes: []model.Node{
+			{ID: "n100", Capacity: 100},
+			{ID: "n120", Capacity: 120},
+		},
+		VNFs: []model.VNF{
+			{ID: "a", Instances: 1, Demand: 60, ServiceRate: 1},
+			{ID: "b", Instances: 1, Demand: 60, ServiceRate: 1},
+			{ID: "c", Instances: 1, Demand: 50, ServiceRate: 1},
+			{ID: "d", Instances: 1, Demand: 50, ServiceRate: 1},
+		},
+	}
+	if _, err := (BFD{}).Place(p); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("BFD err = %v; expected the trap to defeat deterministic best fit", err)
+	}
+	res, err := (&BFDSU{Seed: 3}).Place(p)
+	if err != nil {
+		t.Fatalf("BFDSU failed the trap: %v", err)
+	}
+	if err := res.Placement.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations < 1 {
+		t.Error("iterations must count the restarts that solved the trap")
+	}
+}
+
+func TestBFDSUExhaustsRestarts(t *testing.T) {
+	// Feasible by Precheck but impossible to pack: two 60s into 100+20
+	// passes neither precheck… construct demand 60+55 into 100+20: total
+	// 115 ≤ 120 and max 60 ≤ 100, yet infeasible.
+	p := &model.Problem{
+		Nodes: []model.Node{
+			{ID: "n1", Capacity: 100},
+			{ID: "n2", Capacity: 20},
+		},
+		VNFs: []model.VNF{
+			{ID: "a", Instances: 1, Demand: 60, ServiceRate: 1},
+			{ID: "b", Instances: 1, Demand: 55, ServiceRate: 1},
+		},
+	}
+	alg := &BFDSU{Seed: 1, MaxRestarts: 50}
+	if _, err := alg.Place(p); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible after restart exhaustion", err)
+	}
+}
+
+func TestNAHAnchorsOnLargestNode(t *testing.T) {
+	p := &model.Problem{
+		Nodes: []model.Node{
+			{ID: "small", Capacity: 80},
+			{ID: "large", Capacity: 200},
+		},
+		VNFs: []model.VNF{
+			{ID: "a", Instances: 1, Demand: 50, ServiceRate: 1},
+			{ID: "b", Instances: 1, Demand: 30, ServiceRate: 1},
+		},
+		Requests: []model.Request{
+			{ID: "r", Chain: []model.VNFID{"b", "a"}, Rate: 1, DeliveryProb: 1},
+		},
+	}
+	res, err := NAH{}.Place(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Most demanding VNF of the chain (a) anchors on the largest node, and b
+	// co-locates.
+	if v, _ := res.Placement.Node("a"); v != "large" {
+		t.Errorf("anchor on %s, want large", v)
+	}
+	if v, _ := res.Placement.Node("b"); v != "large" {
+		t.Errorf("chain member on %s, want co-located", v)
+	}
+	// One anchor selection + one co-placement attempt.
+	if res.Iterations != 2 {
+		t.Errorf("iterations = %d, want 2", res.Iterations)
+	}
+}
+
+func TestNAHPlacesOrphanVNFs(t *testing.T) {
+	p := smallProblem()
+	p.Requests = nil // no chains at all
+	res, err := NAH{}.Place(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Placement.Validate(p); err != nil {
+		t.Fatalf("orphan VNFs unplaced: %v", err)
+	}
+}
+
+func TestNAHSharedVNFPlacedOnce(t *testing.T) {
+	p := smallProblem()
+	p.Requests = []model.Request{
+		{ID: "r1", Chain: []model.VNFID{"a", "b"}, Rate: 1, DeliveryProb: 1},
+		{ID: "r2", Chain: []model.VNFID{"a", "c"}, Rate: 1, DeliveryProb: 1},
+		{ID: "r3", Chain: []model.VNFID{"a", "d"}, Rate: 1, DeliveryProb: 1},
+	}
+	res, err := NAH{}.Place(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Placement.Validate(p); err != nil {
+		t.Fatal(err) // Validate catches double-placement or missing VNFs
+	}
+}
+
+func TestRandomPlacementFeasible(t *testing.T) {
+	p := generated(t, 11, 10, 50, 8)
+	res, err := (&Random{Seed: 2}).Place(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Placement.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactFindsOptimum(t *testing.T) {
+	// Optimal packing uses exactly 2 nodes: {60,40} and {50,50}.
+	p := smallProblem()
+	res, err := (&Exact{}).Place(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Placement.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Placement.NodesInService(); got != 2 {
+		t.Errorf("Exact used %d nodes, want 2", got)
+	}
+}
+
+func TestExactBeatsOrMatchesHeuristics(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		p := generated(t, seed, 8, 40, 6)
+		opt, err := (&Exact{}).Place(p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, alg := range allAlgorithms() {
+			res, err := alg.Place(p)
+			if err != nil {
+				continue // heuristics may fail tight instances
+			}
+			if res.Placement.NodesInService() < opt.Placement.NodesInService() {
+				t.Errorf("seed %d: %s used %d nodes < optimal %d", seed, alg.Name(),
+					res.Placement.NodesInService(), opt.Placement.NodesInService())
+			}
+		}
+	}
+}
+
+func TestTheorem2BoundHolds(t *testing.T) {
+	// Theorem 2: SUM(V) ≤ 2·OPT(V) asymptotically; verify on exhaustively
+	// solvable instances.
+	for seed := uint64(0); seed < 8; seed++ {
+		p := generated(t, seed+100, 9, 60, 7)
+		opt, err := (&Exact{}).Place(p)
+		if err != nil {
+			t.Fatalf("seed %d: exact: %v", seed, err)
+		}
+		res, err := (&BFDSU{Seed: seed}).Place(p)
+		if err != nil {
+			t.Fatalf("seed %d: bfdsu: %v", seed, err)
+		}
+		sum := res.Placement.NodesInService()
+		optN := opt.Placement.NodesInService()
+		if sum > 2*optN {
+			t.Errorf("seed %d: BFDSU used %d nodes > 2×OPT=%d — Theorem 2 violated", seed, sum, 2*optN)
+		}
+	}
+}
+
+func TestExactSizeGuards(t *testing.T) {
+	p := generated(t, 1, 20, 100, 10)
+	if _, err := (&Exact{}).Place(p); err == nil {
+		t.Error("oversized instance accepted")
+	}
+	small := smallProblem()
+	if _, err := (&Exact{MaxVNFs: 2}).Place(small); err == nil {
+		t.Error("custom vnf guard ignored")
+	}
+	if _, err := (&Exact{MaxNodes: 1}).Place(small); err == nil {
+		t.Error("custom node guard ignored")
+	}
+}
+
+func TestExactInfeasible(t *testing.T) {
+	p := &model.Problem{
+		Nodes: []model.Node{
+			{ID: "n1", Capacity: 100},
+			{ID: "n2", Capacity: 20},
+		},
+		VNFs: []model.VNF{
+			{ID: "a", Instances: 1, Demand: 60, ServiceRate: 1},
+			{ID: "b", Instances: 1, Demand: 55, ServiceRate: 1},
+		},
+	}
+	if _, err := (&Exact{}).Place(p); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestAlgorithmNames(t *testing.T) {
+	want := map[string]bool{"BFDSU": true, "FFD": true, "BFD": true, "WFD": true, "NAH": true, "Random": true}
+	for _, alg := range allAlgorithms() {
+		if !want[alg.Name()] {
+			t.Errorf("unexpected name %q", alg.Name())
+		}
+		delete(want, alg.Name())
+	}
+	if len(want) != 0 {
+		t.Errorf("missing algorithms: %v", want)
+	}
+	if (&Exact{}).Name() != "Exact" {
+		t.Error("Exact name wrong")
+	}
+}

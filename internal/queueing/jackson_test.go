@@ -1,0 +1,250 @@
+package queueing
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func tandem2(lambda0, p float64, mu1, mu2 float64) *JacksonNetwork {
+	n, err := ChainNetwork(lambda0, p, []float64{mu1, mu2})
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func TestJacksonValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		n    JacksonNetwork
+	}{
+		{"empty", JacksonNetwork{}},
+		{"dim mismatch", JacksonNetwork{External: []float64{1}, ServiceRate: []float64{1, 2}, Routing: [][]float64{{0}}}},
+		{"negative external", JacksonNetwork{External: []float64{-1}, ServiceRate: []float64{1}, Routing: [][]float64{{0}}}},
+		{"zero mu", JacksonNetwork{External: []float64{1}, ServiceRate: []float64{0}, Routing: [][]float64{{0}}}},
+		{"ragged routing", JacksonNetwork{External: []float64{1, 0}, ServiceRate: []float64{1, 1}, Routing: [][]float64{{0, 0}, {0}}}},
+		{"negative prob", JacksonNetwork{External: []float64{1}, ServiceRate: []float64{1}, Routing: [][]float64{{-0.1}}}},
+		{"superstochastic row", JacksonNetwork{External: []float64{1, 0}, ServiceRate: []float64{1, 1}, Routing: [][]float64{{0.6, 0.6}, {0, 0}}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.n.Validate(); err == nil {
+				t.Error("invalid network accepted")
+			}
+		})
+	}
+}
+
+func TestChainNetworkTrafficRates(t *testing.T) {
+	// Paper Fig. 3: steady-state λ = λ0/P at every station.
+	n := tandem2(1, 0.8, 10, 10)
+	lam, err := n.TrafficRates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / 0.8
+	for i, l := range lam {
+		if !close(l, want, 1e-9) {
+			t.Errorf("λ_%d = %v, want %v (λ0/P)", i, l, want)
+		}
+	}
+}
+
+func TestChainNetworkMatchesClosedForm(t *testing.T) {
+	// The paper's closed form: E[T_i] = 1/(Pµ_i − λ0), E[T] = Σ E[T_i].
+	lambda0, p := 2.0, 0.9
+	mus := []float64{7, 11, 5}
+	n, err := ChainNetwork(lambda0, p, mus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := n.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, mu := range mus {
+		want := (1 / p) / (mu - lambda0/p) // = 1/(pµ−λ0) scaled: E[T_i] as seen per network pass
+		_ = want
+		// Station response per visit: 1/(µ − λ0/p).
+		perVisit := 1 / (mu - lambda0/p)
+		if !close(ms[i].ResponseTime, perVisit, 1e-9) {
+			t.Errorf("station %d response = %v, want %v", i, ms[i].ResponseTime, perVisit)
+		}
+		if !close(ms[i].MeanJobs, (lambda0/p)/(mu-lambda0/p), 1e-9) {
+			t.Errorf("station %d jobs = %v", i, ms[i].MeanJobs)
+		}
+	}
+	// Network sojourn per external packet (Little over the whole net):
+	// E[T] = Σ E[N_i] / λ0 = Σ [ (λ0/p) / (µ_i − λ0/p) ] / λ0 = Σ 1/(pµ_i − λ0).
+	resp, err := n.MeanResponseTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	closedForm, err := TandemWithLossResponseTime(lambda0, p, mus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(resp, closedForm, 1e-9) {
+		t.Errorf("network E[T] = %v, closed form = %v", resp, closedForm)
+	}
+}
+
+func TestJacksonNoFeedbackReducesToTandem(t *testing.T) {
+	n := tandem2(3, 1, 5, 8) // P=1: plain tandem, Burke's theorem
+	ms, err := n.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(ms[0].ResponseTime, 1.0/2, 1e-9) {
+		t.Errorf("station 0 = %v, want 1/(5−3)", ms[0].ResponseTime)
+	}
+	if !close(ms[1].ResponseTime, 1.0/5, 1e-9) {
+		t.Errorf("station 1 = %v, want 1/(8−3)", ms[1].ResponseTime)
+	}
+}
+
+func TestJacksonUnstable(t *testing.T) {
+	n := tandem2(6, 1, 5, 8)
+	if _, err := n.Solve(); !errors.Is(err, ErrUnstable) {
+		t.Errorf("err = %v, want ErrUnstable", err)
+	}
+	if _, err := n.MeanJobs(); !errors.Is(err, ErrUnstable) {
+		t.Errorf("MeanJobs err = %v", err)
+	}
+	if _, err := n.MeanResponseTime(); !errors.Is(err, ErrUnstable) {
+		t.Errorf("MeanResponseTime err = %v", err)
+	}
+}
+
+func TestJacksonSingularLoop(t *testing.T) {
+	// A lossless closed loop (row sums = 1 with a cycle) has singular I−Pᵀ
+	// when it keeps all traffic forever.
+	n := &JacksonNetwork{
+		External:    []float64{1, 0},
+		ServiceRate: []float64{2, 2},
+		Routing:     [][]float64{{0, 1}, {1, 0}},
+	}
+	if _, err := n.TrafficRates(); err == nil {
+		t.Error("singular routing accepted")
+	}
+}
+
+func TestJacksonStationaryProb(t *testing.T) {
+	n := tandem2(1, 1, 2, 4) // ρ = 0.5, 0.25
+	p00, err := n.StationaryProb([]int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(p00, 0.5*0.75, 1e-12) {
+		t.Errorf("π(0,0) = %v, want 0.375", p00)
+	}
+	p12, err := n.StationaryProb([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (0.5 * 0.5) * (0.75 * 0.25 * 0.25)
+	if !close(p12, want, 1e-12) {
+		t.Errorf("π(1,2) = %v, want %v", p12, want)
+	}
+	if _, err := n.StationaryProb([]int{1}); err == nil {
+		t.Error("wrong-length state accepted")
+	}
+	if _, err := n.StationaryProb([]int{-1, 0}); err == nil {
+		t.Error("negative state accepted")
+	}
+}
+
+func TestJacksonProductFormSumsToOne(t *testing.T) {
+	n := tandem2(1, 0.9, 3, 5)
+	var total float64
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 40; j++ {
+			p, err := n.StationaryProb([]int{i, j})
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += p
+		}
+	}
+	if math.Abs(total-1) > 1e-6 {
+		t.Errorf("Σπ = %v, want ≈1", total)
+	}
+}
+
+func TestJacksonLittlesLawNetworkWide(t *testing.T) {
+	f := func(l8, p8 uint8) bool {
+		lambda0 := 0.1 + float64(l8)/256*2 // (0.1, 2.1)
+		p := 0.5 + float64(p8)/256*0.5     // (0.5, 1)
+		n, err := ChainNetwork(lambda0, p, []float64{6, 9, 7})
+		if err != nil {
+			return false
+		}
+		jobs, err1 := n.MeanJobs()
+		resp, err2 := n.MeanResponseTime()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return close(jobs, lambda0*resp, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChainNetworkValidation(t *testing.T) {
+	if _, err := ChainNetwork(1, 0.5, nil); err == nil {
+		t.Error("empty chain accepted")
+	}
+	if _, err := ChainNetwork(1, 0, []float64{1}); err == nil {
+		t.Error("P=0 accepted")
+	}
+	if _, err := ChainNetwork(1, 1.2, []float64{1}); err == nil {
+		t.Error("P>1 accepted")
+	}
+}
+
+func TestSolveLinearKnownSystem(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := solveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(x[0], 1, 1e-9) || !close(x[1], 3, 1e-9) {
+		t.Errorf("x = %v, want [1 3]", x)
+	}
+	// Inputs unmodified.
+	if a[0][0] != 2 || b[1] != 10 {
+		t.Error("solveLinear mutated inputs")
+	}
+}
+
+func TestSolveLinearErrors(t *testing.T) {
+	if _, err := solveLinear(nil, nil); err == nil {
+		t.Error("empty system accepted")
+	}
+	if _, err := solveLinear([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("non-square accepted")
+	}
+	if _, err := solveLinear([][]float64{{1, 1}, {1, 1}}, []float64{1, 2}); err == nil {
+		t.Error("singular accepted")
+	}
+	if _, err := solveLinear([][]float64{{1}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestSolveLinearNeedsPivoting(t *testing.T) {
+	// Zero on the diagonal forces a row swap.
+	a := [][]float64{{0, 1}, {1, 0}}
+	b := []float64{2, 3}
+	x, err := solveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(x[0], 3, 1e-9) || !close(x[1], 2, 1e-9) {
+		t.Errorf("x = %v, want [3 2]", x)
+	}
+}

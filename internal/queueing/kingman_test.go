@@ -1,0 +1,69 @@
+package queueing
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestKingmanReducesToMM1(t *testing.T) {
+	mm1 := MM1{Lambda: 3, Mu: 5}
+	kg := Kingman{Lambda: 3, Mu: 5, CA: 1, CS: 1}
+	w1, err := mm1.MeanWaitingTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wk, err := kg.MeanWaitingTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(w1, wk, 1e-12) {
+		t.Errorf("Kingman CA=CS=1 W_q = %v, M/M/1 = %v", wk, w1)
+	}
+	r1, _ := mm1.MeanResponseTime()
+	rk, _ := kg.MeanResponseTime()
+	if !close(r1, rk, 1e-12) {
+		t.Errorf("response: %v vs %v", rk, r1)
+	}
+}
+
+func TestKingmanMD1IsHalfMM1Waiting(t *testing.T) {
+	// Pollaczek–Khinchine: M/D/1 waiting is half of M/M/1.
+	mm1 := MM1{Lambda: 4, Mu: 5}
+	md1 := Kingman{Lambda: 4, Mu: 5, CA: 1, CS: 0}
+	w1, _ := mm1.MeanWaitingTime()
+	wd, err := md1.MeanWaitingTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(wd, w1/2, 1e-12) {
+		t.Errorf("M/D/1 W_q = %v, want half of %v", wd, w1)
+	}
+}
+
+func TestKingmanVariabilityMonotone(t *testing.T) {
+	base := Kingman{Lambda: 4, Mu: 5, CA: 1, CS: 1}
+	heavy := Kingman{Lambda: 4, Mu: 5, CA: 1, CS: 2}
+	wb, _ := base.MeanWaitingTime()
+	wh, err := heavy.MeanWaitingTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wh <= wb {
+		t.Errorf("more service variability should wait longer: %v vs %v", wh, wb)
+	}
+}
+
+func TestKingmanErrors(t *testing.T) {
+	if _, err := (Kingman{Lambda: 6, Mu: 5, CA: 1, CS: 1}).MeanWaitingTime(); !errors.Is(err, ErrUnstable) {
+		t.Errorf("overload err = %v", err)
+	}
+	if _, err := (Kingman{Lambda: -1, Mu: 5}).MeanWaitingTime(); err == nil {
+		t.Error("negative lambda accepted")
+	}
+	if _, err := (Kingman{Lambda: 1, Mu: 0}).MeanWaitingTime(); err == nil {
+		t.Error("zero mu accepted")
+	}
+	if _, err := (Kingman{Lambda: 1, Mu: 2, CA: -1}).MeanWaitingTime(); err == nil {
+		t.Error("negative CV accepted")
+	}
+}

@@ -1,0 +1,59 @@
+package queueing
+
+import (
+	"errors"
+	"math"
+)
+
+// solveLinear solves A·x = b by Gaussian elimination with partial pivoting.
+// A and b are not modified. It returns an error on dimension mismatch or a
+// (numerically) singular matrix.
+func solveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, errors.New("solve: dimension mismatch")
+	}
+	// Work on copies.
+	m := make([][]float64, n)
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, errors.New("solve: matrix not square")
+		}
+		m[i] = append([]float64(nil), a[i]...)
+		m[i] = append(m[i], b[i]) // augmented column
+	}
+
+	for col := 0; col < n; col++ {
+		// Partial pivot: pick the row with the largest magnitude in col.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return nil, errors.New("solve: singular matrix")
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			factor := m[r][col] / m[col][col]
+			if factor == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= factor * m[col][c]
+			}
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := m[i][n]
+		for j := i + 1; j < n; j++ {
+			sum -= m[i][j] * x[j]
+		}
+		x[i] = sum / m[i][i]
+	}
+	return x, nil
+}

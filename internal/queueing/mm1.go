@@ -1,0 +1,171 @@
+// Package queueing implements the open-Jackson-network machinery the paper
+// builds its model on (Section III-B): M/M/1 service instances, Burke/Little
+// identities, Kleinrock flow merging, packet-loss retransmission feedback
+// (λ = λ0/P), and a general Jackson network solver for chains of VNFs.
+package queueing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrUnstable is returned when a queue's arrival rate reaches or exceeds its
+// service rate (ρ ≥ 1), i.e. no steady state exists.
+var ErrUnstable = errors.New("queueing: utilization >= 1, no steady state")
+
+// MM1 is a single-server queue with Poisson arrivals at rate Lambda and
+// exponential service at rate Mu (the model of one VNF service instance).
+type MM1 struct {
+	Lambda float64 // packet arrival rate Λ_k^f
+	Mu     float64 // service rate µ_f
+}
+
+// Validate reports non-positive parameters.
+func (q MM1) Validate() error {
+	if q.Lambda < 0 {
+		return fmt.Errorf("queueing: negative arrival rate %v", q.Lambda)
+	}
+	if q.Mu <= 0 {
+		return fmt.Errorf("queueing: service rate %v must be positive", q.Mu)
+	}
+	return nil
+}
+
+// Utilization returns ρ = Λ/µ (Eq. 9).
+func (q MM1) Utilization() float64 { return q.Lambda / q.Mu }
+
+// Stable reports whether ρ < 1.
+func (q MM1) Stable() bool { return q.Lambda < q.Mu }
+
+// MeanJobs returns E[N] = ρ/(1−ρ), the steady-state mean number of packets
+// in the system (Eq. 10).
+func (q MM1) MeanJobs() (float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	if !q.Stable() {
+		return 0, ErrUnstable
+	}
+	rho := q.Utilization()
+	return rho / (1 - rho), nil
+}
+
+// MeanResponseTime returns E[T] = 1/(µ−Λ): queueing plus processing latency
+// of one packet.
+func (q MM1) MeanResponseTime() (float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	if !q.Stable() {
+		return 0, ErrUnstable
+	}
+	return 1 / (q.Mu - q.Lambda), nil
+}
+
+// MeanWaitingTime returns W_q = ρ/(µ−Λ), time in buffer before service.
+func (q MM1) MeanWaitingTime() (float64, error) {
+	t, err := q.MeanResponseTime()
+	if err != nil {
+		return 0, err
+	}
+	return t * q.Utilization(), nil
+}
+
+// ProbJobs returns π(n) = (1−ρ)·ρⁿ (Eq. 8), or an error when unstable.
+func (q MM1) ProbJobs(n int) (float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	if !q.Stable() {
+		return 0, ErrUnstable
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("queueing: negative job count %d", n)
+	}
+	rho := q.Utilization()
+	return (1 - rho) * math.Pow(rho, float64(n)), nil
+}
+
+// ResponseTimeQuantile returns the p-quantile (p ∈ [0,1)) of the sojourn
+// time, which in an M/M/1 queue is exponential with rate µ−Λ:
+// T_p = −ln(1−p)/(µ−Λ). Used for analytic p99 tail comparisons.
+func (q MM1) ResponseTimeQuantile(p float64) (float64, error) {
+	if p < 0 || p >= 1 {
+		return 0, fmt.Errorf("queueing: quantile %v outside [0,1)", p)
+	}
+	t, err := q.MeanResponseTime()
+	if err != nil {
+		return 0, err
+	}
+	return -math.Log(1-p) * t, nil
+}
+
+// EffectiveRate returns the retransmission-inflated arrival rate λ0/P of a
+// flow whose packets are delivered correctly with probability P (Burke's
+// theorem applied to the loss-feedback loop, Section III-B). P must lie in
+// (0,1] and λ0 must be non-negative.
+func EffectiveRate(lambda0, p float64) (float64, error) {
+	if lambda0 < 0 {
+		return 0, fmt.Errorf("queueing: negative external rate %v", lambda0)
+	}
+	if p <= 0 || p > 1 {
+		return 0, fmt.Errorf("queueing: delivery probability %v outside (0,1]", p)
+	}
+	return lambda0 / p, nil
+}
+
+// InstanceResponseTime evaluates the paper's Eq. 12 for one service
+// instance: W = 1/(P·µ − Σ_r λ_r), where rawRates are the *external* rates
+// λ_r of the requests sharing the instance and P is their common delivery
+// probability. Equivalently W = (1/P)/(µ − Λ) with Λ = Σλ_r/P.
+func InstanceResponseTime(mu, p float64, rawRates []float64) (float64, error) {
+	if mu <= 0 {
+		return 0, fmt.Errorf("queueing: service rate %v must be positive", mu)
+	}
+	if p <= 0 || p > 1 {
+		return 0, fmt.Errorf("queueing: delivery probability %v outside (0,1]", p)
+	}
+	var sum float64
+	for _, r := range rawRates {
+		if r < 0 {
+			return 0, fmt.Errorf("queueing: negative request rate %v", r)
+		}
+		sum += r
+	}
+	denom := p*mu - sum
+	if denom <= 0 {
+		return 0, ErrUnstable
+	}
+	return 1 / denom, nil
+}
+
+// TandemWithLossResponseTime reproduces the paper's Fig. 3 worked example:
+// a request with external Poisson rate lambda0 traverses VNFs with service
+// rates mus in sequence; lost packets (delivered with probability p) are
+// retransmitted from the source. The total mean response time is
+// Σ_i 1/(p·µ_i − λ0).
+func TandemWithLossResponseTime(lambda0, p float64, mus []float64) (float64, error) {
+	if len(mus) == 0 {
+		return 0, errors.New("queueing: empty tandem")
+	}
+	var total float64
+	for _, mu := range mus {
+		t, err := InstanceResponseTime(mu, p, []float64{lambda0})
+		if err != nil {
+			return 0, err
+		}
+		total += t
+	}
+	return total, nil
+}
+
+// MergeRates applies Kleinrock's approximation: flows merging at a service
+// instance behave as one Poisson stream whose rate is the sum of the parts.
+func MergeRates(rates ...float64) float64 {
+	var sum float64
+	for _, r := range rates {
+		sum += r
+	}
+	return sum
+}

@@ -1,0 +1,110 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MM1K is a single-server queue with Poisson arrivals, exponential service,
+// and room for at most K packets in the system (one in service plus K−1
+// waiting). Arrivals finding the system full are dropped. This is the
+// analytic counterpart of the simulator's finite BufferSize mode: the
+// admission-control story of the paper quantified at packet granularity
+// instead of job granularity.
+//
+// Unlike M/M/1, an M/M/1/K queue has a steady state for any ρ — overload
+// shows up as blocking probability, not divergence.
+type MM1K struct {
+	Lambda float64 // arrival rate
+	Mu     float64 // service rate
+	K      int     // system capacity (≥ 1)
+}
+
+// Validate reports structurally invalid parameters.
+func (q MM1K) Validate() error {
+	if q.Lambda < 0 {
+		return fmt.Errorf("queueing: negative arrival rate %v", q.Lambda)
+	}
+	if q.Mu <= 0 {
+		return fmt.Errorf("queueing: service rate %v must be positive", q.Mu)
+	}
+	if q.K < 1 {
+		return fmt.Errorf("queueing: system capacity %d must be >= 1", q.K)
+	}
+	return nil
+}
+
+// rho returns Λ/µ (may exceed 1; the chain remains ergodic).
+func (q MM1K) rho() float64 { return q.Lambda / q.Mu }
+
+// ProbJobs returns π(n), the steady-state probability of n packets in the
+// system, for n in [0, K].
+func (q MM1K) ProbJobs(n int) (float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	if n < 0 || n > q.K {
+		return 0, fmt.Errorf("queueing: state %d outside [0,%d]", n, q.K)
+	}
+	rho := q.rho()
+	if rho == 1 {
+		return 1 / float64(q.K+1), nil
+	}
+	return (1 - rho) * math.Pow(rho, float64(n)) / (1 - math.Pow(rho, float64(q.K+1))), nil
+}
+
+// BlockingProb returns π(K): the probability an arriving packet is dropped.
+func (q MM1K) BlockingProb() (float64, error) {
+	return q.ProbJobs(q.K)
+}
+
+// Throughput returns the accepted rate Λ·(1−π(K)).
+func (q MM1K) Throughput() (float64, error) {
+	b, err := q.BlockingProb()
+	if err != nil {
+		return 0, err
+	}
+	return q.Lambda * (1 - b), nil
+}
+
+// MeanJobs returns E[N] = Σ n·π(n).
+func (q MM1K) MeanJobs() (float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	var mean float64
+	for n := 0; n <= q.K; n++ {
+		p, err := q.ProbJobs(n)
+		if err != nil {
+			return 0, err
+		}
+		mean += float64(n) * p
+	}
+	return mean, nil
+}
+
+// MeanResponseTime returns the mean sojourn of *accepted* packets:
+// E[T] = E[N] / (Λ·(1−π(K))) by Little's law over the accepted stream.
+func (q MM1K) MeanResponseTime() (float64, error) {
+	jobs, err := q.MeanJobs()
+	if err != nil {
+		return 0, err
+	}
+	thr, err := q.Throughput()
+	if err != nil {
+		return 0, err
+	}
+	if thr == 0 {
+		return 0, fmt.Errorf("queueing: zero throughput")
+	}
+	return jobs / thr, nil
+}
+
+// Utilization returns the server busy probability 1 − π(0).
+func (q MM1K) Utilization() (float64, error) {
+	p0, err := q.ProbJobs(0)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - p0, nil
+}

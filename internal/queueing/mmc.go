@@ -1,0 +1,100 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MMC is an M/M/c queue: Poisson arrivals at rate Lambda served by C
+// identical exponential servers of rate Mu each. The paper co-locates M_f
+// single-server instances of a VNF on one node; MMC quantifies the
+// alternative pooled design (one shared queue feeding all instances), which
+// the ablation benchmarks compare against the paper's per-instance split.
+type MMC struct {
+	Lambda float64
+	Mu     float64
+	C      int
+}
+
+// Validate reports structurally invalid parameters.
+func (q MMC) Validate() error {
+	if q.Lambda < 0 {
+		return fmt.Errorf("queueing: negative arrival rate %v", q.Lambda)
+	}
+	if q.Mu <= 0 {
+		return fmt.Errorf("queueing: service rate %v must be positive", q.Mu)
+	}
+	if q.C < 1 {
+		return fmt.Errorf("queueing: server count %d must be >= 1", q.C)
+	}
+	return nil
+}
+
+// Utilization returns ρ = Λ/(c·µ).
+func (q MMC) Utilization() float64 { return q.Lambda / (float64(q.C) * q.Mu) }
+
+// Stable reports whether ρ < 1.
+func (q MMC) Stable() bool { return q.Utilization() < 1 }
+
+// ErlangC returns the probability an arriving packet must wait (all c
+// servers busy).
+func (q MMC) ErlangC() (float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	if !q.Stable() {
+		return 0, ErrUnstable
+	}
+	a := q.Lambda / q.Mu // offered load in Erlangs
+	c := q.C
+	// Iteratively build the normalizing sum to avoid factorial overflow.
+	term := 1.0
+	sum := term
+	for k := 1; k < c; k++ {
+		term *= a / float64(k)
+		sum += term
+	}
+	term *= a / float64(c) // a^c/c!
+	last := term / (1 - q.Utilization())
+	return last / (sum + last), nil
+}
+
+// MeanWaitingTime returns the mean time in buffer W_q = C(c,a)/(c·µ−Λ).
+func (q MMC) MeanWaitingTime() (float64, error) {
+	pc, err := q.ErlangC()
+	if err != nil {
+		return 0, err
+	}
+	return pc / (float64(q.C)*q.Mu - q.Lambda), nil
+}
+
+// MeanResponseTime returns W = W_q + 1/µ.
+func (q MMC) MeanResponseTime() (float64, error) {
+	wq, err := q.MeanWaitingTime()
+	if err != nil {
+		return 0, err
+	}
+	return wq + 1/q.Mu, nil
+}
+
+// MeanJobs returns L = Λ·W by Little's law.
+func (q MMC) MeanJobs() (float64, error) {
+	w, err := q.MeanResponseTime()
+	if err != nil {
+		return 0, err
+	}
+	return q.Lambda * w, nil
+}
+
+// LittlesLaw returns L = λ·W; exposed so callers and tests can assert the
+// identity between independently computed quantities.
+func LittlesLaw(lambda, w float64) float64 { return lambda * w }
+
+// assertFinite guards internal math; exported formulas never return NaN/Inf
+// for validated stable inputs.
+func assertFinite(x float64) error {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return fmt.Errorf("queueing: non-finite result %v", x)
+	}
+	return nil
+}

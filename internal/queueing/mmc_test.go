@@ -1,0 +1,91 @@
+package queueing
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestMMCReducesToMM1(t *testing.T) {
+	m1 := MM1{Lambda: 3, Mu: 4}
+	mc := MMC{Lambda: 3, Mu: 4, C: 1}
+	w1, err1 := m1.MeanResponseTime()
+	wc, err2 := mc.MeanResponseTime()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !close(w1, wc, 1e-9) {
+		t.Errorf("M/M/1 = %v, M/M/c(c=1) = %v", w1, wc)
+	}
+	j1, _ := m1.MeanJobs()
+	jc, _ := mc.MeanJobs()
+	if !close(j1, jc, 1e-9) {
+		t.Errorf("jobs: %v vs %v", j1, jc)
+	}
+}
+
+func TestMMCErlangC(t *testing.T) {
+	// Known value: Λ=2, µ=1.5, c=2 → a=4/3, ρ=2/3.
+	q := MMC{Lambda: 2, Mu: 1.5, C: 2}
+	pc, err := q.ErlangC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C(2, 4/3) = (a²/2!)/(1−ρ) / (1 + a + (a²/2!)/(1−ρ))
+	a := 4.0 / 3
+	last := (a * a / 2) / (1 - 2.0/3)
+	want := last / (1 + a + last)
+	if !close(pc, want, 1e-9) {
+		t.Errorf("ErlangC = %v, want %v", pc, want)
+	}
+	if pc <= 0 || pc >= 1 {
+		t.Errorf("ErlangC = %v outside (0,1)", pc)
+	}
+}
+
+func TestMMCPoolingBeatsSplit(t *testing.T) {
+	// Classic result: one pooled M/M/2 has lower mean response than two
+	// separate M/M/1 queues each receiving half the load.
+	pooled := MMC{Lambda: 3, Mu: 2, C: 2}
+	split := MM1{Lambda: 1.5, Mu: 2}
+	wp, err := pooled.MeanResponseTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := split.MeanResponseTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wp >= ws {
+		t.Errorf("pooled %v >= split %v; pooling should win", wp, ws)
+	}
+}
+
+func TestMMCUnstableAndInvalid(t *testing.T) {
+	if _, err := (MMC{Lambda: 8, Mu: 2, C: 2}).MeanResponseTime(); !errors.Is(err, ErrUnstable) {
+		t.Errorf("unstable err = %v", err)
+	}
+	if _, err := (MMC{Lambda: 1, Mu: 0, C: 2}).ErlangC(); err == nil {
+		t.Error("zero mu accepted")
+	}
+	if _, err := (MMC{Lambda: 1, Mu: 1, C: 0}).ErlangC(); err == nil {
+		t.Error("zero servers accepted")
+	}
+	if _, err := (MMC{Lambda: -1, Mu: 1, C: 1}).ErlangC(); err == nil {
+		t.Error("negative lambda accepted")
+	}
+}
+
+func TestMMCLittlesLaw(t *testing.T) {
+	q := MMC{Lambda: 5, Mu: 2, C: 4}
+	w, err := q.MeanResponseTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := q.MeanJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(jobs, LittlesLaw(5, w), 1e-9) {
+		t.Errorf("L = %v, λW = %v", jobs, 5*w)
+	}
+}

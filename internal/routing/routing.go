@@ -1,0 +1,128 @@
+// Package routing resolves placed VNF chains to physical paths over the
+// datacenter topology. It turns the paper's abstract per-hop constant L
+// (Eq. 16) into measured path delays — the Fig. 1 motivation made concrete:
+// a chain served intra-server pays no network latency, while every
+// inter-server transition pays the shortest-path delay between the two
+// hosts — and provides a topology-aware placement algorithm that trades a
+// little packing tightness for chain locality.
+package routing
+
+import (
+	"errors"
+	"fmt"
+
+	"nfvchain/internal/model"
+	"nfvchain/internal/topology"
+)
+
+// Path is the physical route of one request under a placement.
+type Path struct {
+	// Waypoints is the sequence of computing nodes visited, one per chain
+	// position (consecutive duplicates preserved — they indicate
+	// intra-server transitions).
+	Waypoints []model.NodeID
+	// Hops is the full vertex sequence including switches, with consecutive
+	// shortest paths concatenated. Length 1 for a fully co-located chain.
+	Hops []string
+	// Delay is the total link delay along Hops.
+	Delay float64
+	// Transitions counts inter-node transitions (the paper's Σ η − 1 term
+	// counts *distinct* nodes; Transitions counts actual network crossings,
+	// which also charges A→B→A patterns).
+	Transitions int
+}
+
+// Router resolves chains against one topology. Computing-node ids in the
+// model must match compute vertex ids in the graph.
+type Router struct {
+	topo *topology.Graph
+}
+
+// NewRouter validates that the graph is usable (connected, has compute
+// vertices) and returns a router.
+func NewRouter(g *topology.Graph) (*Router, error) {
+	if g == nil {
+		return nil, errors.New("routing: nil topology")
+	}
+	if len(g.ComputeVertices()) == 0 {
+		return nil, errors.New("routing: topology has no computing nodes")
+	}
+	if !g.Connected() {
+		return nil, errors.New("routing: topology is disconnected")
+	}
+	return &Router{topo: g}, nil
+}
+
+// ChainPath resolves request r's chain under the placement to its physical
+// path. Every VNF in the chain must be placed on a node that exists in the
+// topology.
+func (rt *Router) ChainPath(p *model.Problem, pl *model.Placement, r model.Request) (*Path, error) {
+	if len(r.Chain) == 0 {
+		return nil, fmt.Errorf("routing: request %s has an empty chain", r.ID)
+	}
+	path := &Path{}
+	for _, fid := range r.Chain {
+		node, ok := pl.Node(fid)
+		if !ok {
+			return nil, fmt.Errorf("routing: request %s: vnf %s unplaced", r.ID, fid)
+		}
+		if !rt.topo.HasVertex(string(node)) {
+			return nil, fmt.Errorf("routing: node %s not in topology", node)
+		}
+		path.Waypoints = append(path.Waypoints, node)
+	}
+	path.Hops = []string{string(path.Waypoints[0])}
+	for i := 1; i < len(path.Waypoints); i++ {
+		a, b := string(path.Waypoints[i-1]), string(path.Waypoints[i])
+		if a == b {
+			continue // intra-server transition: no network crossing
+		}
+		segment, delay := rt.topo.ShortestPath(a, b)
+		if segment == nil {
+			return nil, fmt.Errorf("routing: no path between %s and %s", a, b)
+		}
+		path.Hops = append(path.Hops, segment[1:]...)
+		path.Delay += delay
+		path.Transitions++
+	}
+	return path, nil
+}
+
+// NetworkDelays resolves every request and returns per-request path delays.
+// Rejected requests (absent from the schedule, if one is given) are skipped
+// when sched is non-nil.
+func (rt *Router) NetworkDelays(p *model.Problem, pl *model.Placement, sched *model.Schedule) (map[model.RequestID]float64, error) {
+	out := make(map[model.RequestID]float64, len(p.Requests))
+	for _, r := range p.Requests {
+		if sched != nil && len(sched.InstanceOf[r.ID]) == 0 {
+			continue
+		}
+		path, err := rt.ChainPath(p, pl, r)
+		if err != nil {
+			return nil, err
+		}
+		out[r.ID] = path.Delay
+	}
+	return out, nil
+}
+
+// CalibrateLinkDelay returns the constant L that makes the paper's Eq. 16
+// approximation Σ(η−1)·L match the topology-measured network delays in
+// aggregate: L = Σ path delays / Σ (span−1). It returns 0 when every chain
+// is fully co-located.
+func (rt *Router) CalibrateLinkDelay(p *model.Problem, pl *model.Placement) (float64, error) {
+	var delaySum float64
+	var spanSum int
+	for _, r := range p.Requests {
+		path, err := rt.ChainPath(p, pl, r)
+		if err != nil {
+			return 0, err
+		}
+		delaySum += path.Delay
+		spanSum += pl.NodeSpan(r) - 1
+	}
+	if spanSum == 0 {
+		return 0, nil
+	}
+	return delaySum / float64(spanSum), nil
+}

@@ -1,0 +1,208 @@
+package routing
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"nfvchain/internal/model"
+	"nfvchain/internal/topology"
+)
+
+// lineProblem places three VNFs on a 4-node line topology c0-c1-c2-c3.
+func lineProblem() (*model.Problem, *model.Placement, *topology.Graph) {
+	g := topology.Line(4)
+	p := &model.Problem{
+		Nodes: []model.Node{
+			{ID: "c0", Capacity: 100},
+			{ID: "c1", Capacity: 100},
+			{ID: "c2", Capacity: 100},
+			{ID: "c3", Capacity: 100},
+		},
+		VNFs: []model.VNF{
+			{ID: "a", Instances: 1, Demand: 10, ServiceRate: 100},
+			{ID: "b", Instances: 1, Demand: 10, ServiceRate: 100},
+			{ID: "c", Instances: 1, Demand: 10, ServiceRate: 100},
+		},
+		Requests: []model.Request{
+			{ID: "r1", Chain: []model.VNFID{"a", "b", "c"}, Rate: 1, DeliveryProb: 1},
+		},
+	}
+	pl := model.NewPlacement()
+	pl.Assign("a", "c0")
+	pl.Assign("b", "c3")
+	pl.Assign("c", "c3")
+	return p, pl, g
+}
+
+func TestNewRouterValidation(t *testing.T) {
+	if _, err := NewRouter(nil); err == nil {
+		t.Error("nil topology accepted")
+	}
+	empty := topology.New()
+	if _, err := NewRouter(empty); err == nil {
+		t.Error("empty topology accepted")
+	}
+	onlySwitch := topology.New()
+	onlySwitch.AddVertex("sw", topology.KindSwitch)
+	if _, err := NewRouter(onlySwitch); err == nil {
+		t.Error("switch-only topology accepted")
+	}
+	disconnected := topology.Line(2)
+	disconnected.AddVertex("island", topology.KindCompute)
+	if _, err := NewRouter(disconnected); err == nil {
+		t.Error("disconnected topology accepted")
+	}
+	if _, err := NewRouter(topology.Line(3)); err != nil {
+		t.Errorf("valid topology rejected: %v", err)
+	}
+}
+
+func TestChainPath(t *testing.T) {
+	p, pl, g := lineProblem()
+	rt, err := NewRouter(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := rt.ChainPath(p, pl, p.Requests[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a on c0, b and c on c3: one network crossing c0→c3 (3 links), then
+	// b→c intra-server.
+	if path.Transitions != 1 {
+		t.Errorf("Transitions = %d, want 1", path.Transitions)
+	}
+	if math.Abs(path.Delay-3*topology.DefaultLinkDelay) > 1e-12 {
+		t.Errorf("Delay = %v, want 3 links", path.Delay)
+	}
+	wantHops := []string{"c0", "c1", "c2", "c3"}
+	if len(path.Hops) != len(wantHops) {
+		t.Fatalf("Hops = %v", path.Hops)
+	}
+	for i := range wantHops {
+		if path.Hops[i] != wantHops[i] {
+			t.Errorf("Hops[%d] = %s, want %s", i, path.Hops[i], wantHops[i])
+		}
+	}
+	if len(path.Waypoints) != 3 {
+		t.Errorf("Waypoints = %v", path.Waypoints)
+	}
+}
+
+func TestChainPathCoLocated(t *testing.T) {
+	p, pl, g := lineProblem()
+	pl.Assign("a", "c2")
+	pl.Assign("b", "c2")
+	pl.Assign("c", "c2")
+	rt, _ := NewRouter(g)
+	path, err := rt.ChainPath(p, pl, p.Requests[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path.Delay != 0 || path.Transitions != 0 || len(path.Hops) != 1 {
+		t.Errorf("co-located chain should be free: %+v", path)
+	}
+}
+
+func TestChainPathChargesRevisits(t *testing.T) {
+	// A→B→A placement: Eq. 16's span-1 counts one distinct transition, but
+	// the physical route crosses the network twice.
+	p, pl, g := lineProblem()
+	pl.Assign("a", "c0")
+	pl.Assign("b", "c1")
+	pl.Assign("c", "c0")
+	rt, _ := NewRouter(g)
+	path, err := rt.ChainPath(p, pl, p.Requests[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path.Transitions != 2 {
+		t.Errorf("Transitions = %d, want 2 (there and back)", path.Transitions)
+	}
+	if math.Abs(path.Delay-2*topology.DefaultLinkDelay) > 1e-12 {
+		t.Errorf("Delay = %v, want 2 links", path.Delay)
+	}
+	span := pl.NodeSpan(p.Requests[0])
+	if span-1 >= path.Transitions {
+		t.Errorf("span-1 = %d should under-count vs transitions %d here", span-1, path.Transitions)
+	}
+}
+
+func TestChainPathErrors(t *testing.T) {
+	p, pl, g := lineProblem()
+	rt, _ := NewRouter(g)
+
+	t.Run("unplaced vnf", func(t *testing.T) {
+		broken := pl.Clone()
+		delete(broken.NodeOf, "b")
+		if _, err := rt.ChainPath(p, broken, p.Requests[0]); err == nil || !strings.Contains(err.Error(), "unplaced") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("node outside topology", func(t *testing.T) {
+		broken := pl.Clone()
+		broken.Assign("b", "cX")
+		if _, err := rt.ChainPath(p, broken, p.Requests[0]); err == nil || !strings.Contains(err.Error(), "not in topology") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("empty chain", func(t *testing.T) {
+		if _, err := rt.ChainPath(p, pl, model.Request{ID: "x"}); err == nil {
+			t.Error("empty chain accepted")
+		}
+	})
+}
+
+func TestNetworkDelays(t *testing.T) {
+	p, pl, g := lineProblem()
+	p.Requests = append(p.Requests, model.Request{
+		ID: "r2", Chain: []model.VNFID{"b", "c"}, Rate: 1, DeliveryProb: 1,
+	})
+	rt, _ := NewRouter(g)
+	delays, err := rt.NetworkDelays(p, pl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delays) != 2 {
+		t.Fatalf("delays = %v", delays)
+	}
+	if delays["r2"] != 0 {
+		t.Errorf("co-located r2 delay = %v", delays["r2"])
+	}
+	// With a schedule that rejected r1, only r2 is resolved.
+	sched := model.NewSchedule()
+	sched.Assign("r2", "b", 0)
+	sched.Assign("r2", "c", 0)
+	delays, err = rt.NetworkDelays(p, pl, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := delays["r1"]; ok {
+		t.Error("rejected request resolved")
+	}
+}
+
+func TestCalibrateLinkDelay(t *testing.T) {
+	p, pl, g := lineProblem()
+	rt, _ := NewRouter(g)
+	// r1 spans {c0,c3} → span-1 = 1; measured delay 3 → L = 3.
+	l, err := rt.CalibrateLinkDelay(p, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l-3) > 1e-12 {
+		t.Errorf("L = %v, want 3", l)
+	}
+	// Fully co-located: L = 0.
+	for _, f := range p.VNFs {
+		pl.Assign(f.ID, "c1")
+	}
+	l, err = rt.CalibrateLinkDelay(p, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l != 0 {
+		t.Errorf("co-located L = %v, want 0", l)
+	}
+}

@@ -1,0 +1,95 @@
+package scheduling
+
+import (
+	"fmt"
+	"sort"
+
+	"nfvchain/internal/model"
+)
+
+// AdmissionResult is the outcome of admission control over a schedule.
+type AdmissionResult struct {
+	// Admitted is the schedule with rejected requests removed everywhere.
+	Admitted *model.Schedule
+	// Rejected lists the dropped requests, sorted by id.
+	Rejected []model.RequestID
+	// RejectionRate is |Rejected| / |requests with at least one assignment|,
+	// the paper's job rejection rate metric (Figs. 15–16).
+	RejectionRate float64
+}
+
+// ApplyAdmissionControl enforces ρ < 1 on every service instance: while any
+// instance's effective arrival rate Λ_k^f reaches or exceeds its service
+// rate µ_f, the *lowest-rate* request on that instance is rejected. Shedding
+// light requests first removes the least traffic beyond what stability
+// strictly requires — the admission controller "ensures the normal operation
+// of the services" while carrying the most load — at the cost of more
+// rejected jobs when an instance is badly overloaded, which is exactly the
+// penalty the paper's job rejection rate measures. A rejected request is
+// removed from *all* instances, since its whole chain stops being served.
+func ApplyAdmissionControl(p *model.Problem, s *model.Schedule) (*AdmissionResult, error) {
+	if err := s.Validate(p); err != nil {
+		return nil, fmt.Errorf("scheduling: admission control on invalid schedule: %w", err)
+	}
+	admitted := s.Clone()
+	rejected := make(map[model.RequestID]bool)
+
+	reject := func(r model.RequestID) {
+		rejected[r] = true
+		delete(admitted.InstanceOf, r)
+	}
+
+	// Iterate to a fixed point: rejecting a request may unload several
+	// instances at once, and order must be deterministic.
+	for changed := true; changed; {
+		changed = false
+		for _, f := range p.VNFs {
+			loads := admitted.InstanceLoads(p, f.ID)
+			for k, load := range loads {
+				if load < f.ServiceRate {
+					continue
+				}
+				victim := lightestRequestOn(p, admitted, f.ID, k)
+				if victim == "" {
+					continue
+				}
+				reject(victim)
+				changed = true
+			}
+		}
+	}
+
+	res := &AdmissionResult{Admitted: admitted}
+	for r := range rejected {
+		res.Rejected = append(res.Rejected, r)
+	}
+	sort.Slice(res.Rejected, func(i, j int) bool { return res.Rejected[i] < res.Rejected[j] })
+	scheduled := 0
+	for _, r := range p.Requests {
+		if len(s.InstanceOf[r.ID]) > 0 {
+			scheduled++
+		}
+	}
+	if scheduled > 0 {
+		res.RejectionRate = float64(len(res.Rejected)) / float64(scheduled)
+	}
+	return res, nil
+}
+
+// lightestRequestOn returns the lowest-effective-rate request assigned to
+// instance k of VNF f (ties by id), or "" when the instance is empty.
+func lightestRequestOn(p *model.Problem, s *model.Schedule, f model.VNFID, k int) model.RequestID {
+	var best model.RequestID
+	var bestRate float64
+	for _, r := range p.Requests {
+		kk, ok := s.Instance(r.ID, f)
+		if !ok || kk != k {
+			continue
+		}
+		rate := r.EffectiveRate()
+		if best == "" || rate < bestRate || (rate == bestRate && r.ID < best) {
+			best, bestRate = r.ID, rate
+		}
+	}
+	return best
+}

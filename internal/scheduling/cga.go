@@ -1,0 +1,141 @@
+package scheduling
+
+import (
+	"sort"
+)
+
+// CGA is the paper's baseline scheduler: the greedy descent of Korf's
+// Complete Greedy Algorithm, better known as LPT (Longest Processing Time).
+// Items are taken in descending weight order and each goes to the instance
+// with the currently smallest load. The paper notes the complete search
+// "does not scale as the number of instances increases", so the first
+// (greedy) descent is the operative baseline; set MaxNodes > 0 to let CGA
+// keep searching the branch-and-bound tree for a better makespan within
+// that node budget.
+type CGA struct {
+	// MaxNodes bounds the complete-search extension; 0 means pure greedy.
+	MaxNodes int
+	// ArrivalOrder processes items as given instead of sorting them by
+	// decreasing weight first. Korf's CGA sorts; the CGA numbers the paper
+	// reports (enhancement ratios of ~42% shrinking to ~2%, persistent job
+	// rejection under load) are only reachable by a greedy that does not —
+	// arrival-order greedy keeps an O(E[λ]) imbalance at any request count,
+	// while the LPT sort balances almost perfectly for n ≫ m. The
+	// experiment harness uses this mode for the paper-faithful baseline;
+	// see EXPERIMENTS.md.
+	ArrivalOrder bool
+}
+
+// Name implements Partitioner.
+func (c CGA) Name() string { return "CGA" }
+
+// Partition implements Partitioner.
+func (c CGA) Partition(items []Item, m int) ([]int, error) {
+	if err := validate(items, m); err != nil {
+		return nil, err
+	}
+	n := len(items)
+	assign := make([]int, n)
+	if n == 0 || m == 1 {
+		return assign, nil
+	}
+	var order []int
+	if c.ArrivalOrder {
+		order = make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+	} else {
+		order = sortedIndexesByWeightDesc(items)
+	}
+
+	greedy := greedyAssign(items, order, m)
+	best := greedy
+	if c.MaxNodes > 0 {
+		bestSpan := Makespan(Loads(items, greedy, m))
+		budget := c.MaxNodes
+		cur := append([]int(nil), greedy...)
+		best = append([]int(nil), greedy...)
+		cgaSearch(items, order, m, 0, make([]float64, m), cur, &best, &bestSpan, &budget)
+	}
+	copy(assign, best)
+	return assign, nil
+}
+
+// sortedIndexesByWeightDesc returns item indexes in descending weight order
+// with id tie-breaks.
+func sortedIndexesByWeightDesc(items []Item) []int {
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		wa, wb := items[order[a]].Weight, items[order[b]].Weight
+		if wa != wb {
+			return wa > wb
+		}
+		return items[order[a]].ID < items[order[b]].ID
+	})
+	return order
+}
+
+// greedyAssign is the LPT descent: each item (heaviest first) goes to the
+// least-loaded instance. The returned slice is indexed like items.
+func greedyAssign(items []Item, order []int, m int) []int {
+	loads := make([]float64, m)
+	assign := make([]int, len(items))
+	for _, idx := range order {
+		k := 0
+		for j := 1; j < m; j++ {
+			if loads[j] < loads[k] {
+				k = j
+			}
+		}
+		loads[k] += items[idx].Weight
+		assign[idx] = k
+	}
+	return assign
+}
+
+// cgaSearch explores assignments of order[depth:] depth-first in
+// increasing-load order, pruning branches whose makespan already meets the
+// incumbent and skipping duplicate loads (Korf's symmetry rule). cur and
+// best are indexed like items.
+func cgaSearch(items []Item, order []int, m, depth int, loads []float64, cur []int, best *[]int, bestSpan *float64, budget *int) {
+	if *budget <= 0 {
+		return
+	}
+	*budget--
+	if depth == len(order) {
+		span := Makespan(loads)
+		if span < *bestSpan {
+			*bestSpan = span
+			copy(*best, cur)
+		}
+		return
+	}
+	idx := order[depth]
+	w := items[idx].Weight
+	targets := make([]int, m)
+	for k := range targets {
+		targets[k] = k
+	}
+	sort.SliceStable(targets, func(a, b int) bool { return loads[targets[a]] < loads[targets[b]] })
+	var lastLoad float64
+	first := true
+	for _, k := range targets {
+		if !first && loads[k] == lastLoad {
+			continue // equal-load instances are symmetric
+		}
+		first, lastLoad = false, loads[k]
+		if loads[k]+w >= *bestSpan {
+			continue // cannot beat the incumbent
+		}
+		loads[k] += w
+		cur[idx] = k
+		cgaSearch(items, order, m, depth+1, loads, cur, best, bestSpan, budget)
+		loads[k] -= w
+	}
+}
+
+var _ Partitioner = CGA{}

@@ -1,0 +1,214 @@
+package scheduling
+
+import (
+	"sort"
+)
+
+// CKK is the Complete Karmarkar-Karp algorithm (Korf 2009), the second
+// complete comparator the paper names alongside CGA. Its first descent is
+// exactly the KK differencing heuristic; on backtracking it explores the
+// alternative combinations of the two largest partitions, so given enough
+// node budget it converges to the optimal makespan. For m = 2 the branch is
+// the classic binary choice (difference the two largest values vs. sum
+// them); for m > 2 it branches over distinct pairings of the two leading
+// tuples, which is why — as the paper observes — it "does not scale well as
+// the number of instances increases".
+type CKK struct {
+	// MaxNodes bounds the search-tree size; 0 means DefaultCKKMaxNodes.
+	MaxNodes int
+	// MaxPairings bounds how many of the m! pairings are tried per branch
+	// point for m > 2 (ordered from reverse pairing outward); 0 means
+	// DefaultCKKMaxPairings.
+	MaxPairings int
+}
+
+// Defaults for CKK's tractability guards.
+const (
+	DefaultCKKMaxNodes    = 200_000
+	DefaultCKKMaxPairings = 6
+)
+
+// Name implements Partitioner.
+func (c CKK) Name() string { return "CKK" }
+
+// Partition implements Partitioner.
+func (c CKK) Partition(items []Item, m int) ([]int, error) {
+	if err := validate(items, m); err != nil {
+		return nil, err
+	}
+	n := len(items)
+	assign := make([]int, n)
+	if n == 0 || m == 1 {
+		return assign, nil
+	}
+
+	maxNodes := c.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = DefaultCKKMaxNodes
+	}
+	maxPairings := c.MaxPairings
+	if maxPairings <= 0 {
+		maxPairings = DefaultCKKMaxPairings
+	}
+
+	// Seed the incumbent with plain RCKK (the first CKK descent).
+	incumbent, err := RCKK{}.Partition(items, m)
+	if err != nil {
+		return nil, err
+	}
+	bestSpan := Makespan(Loads(items, incumbent, m))
+
+	// Initial partition list, one per item, descending.
+	list := make([]*partition, 0, n)
+	for _, idx := range sortedIndexesByWeightDesc(items) {
+		p := &partition{sums: make([]float64, m), sets: make([][]int, m)}
+		p.sums[0] = items[idx].Weight
+		p.sets[0] = []int{idx}
+		list = append(list, p)
+	}
+
+	s := &ckkSearch{
+		items:       items,
+		m:           m,
+		best:        incumbent,
+		bestSpan:    bestSpan,
+		budget:      maxNodes,
+		maxPairings: maxPairings,
+	}
+	s.search(list)
+	copy(assign, s.best)
+	return assign, nil
+}
+
+type ckkSearch struct {
+	items       []Item
+	m           int
+	best        []int
+	bestSpan    float64
+	budget      int
+	maxPairings int
+}
+
+// search recursively combines the two leading partitions under every
+// admissible pairing. list is always sorted descending by leading value.
+func (s *ckkSearch) search(list []*partition) {
+	if s.budget <= 0 {
+		return
+	}
+	s.budget--
+	if len(list) == 1 {
+		final := list[0]
+		assign := make([]int, len(s.items))
+		for pos, set := range final.sets {
+			for _, idx := range set {
+				assign[idx] = pos
+			}
+		}
+		span := Makespan(Loads(s.items, assign, s.m))
+		if span < s.bestSpan {
+			s.bestSpan = span
+			s.best = assign
+		}
+		return
+	}
+
+	a, b := list[0], list[1]
+	rest := list[2:]
+
+	// Lower bound: the largest remaining leading value can never shrink
+	// below (a0 − everything else's capacity to offset); cheap bound: the
+	// current leading value minus the sum of all other leading values.
+	var offset float64
+	for _, p := range list[1:] {
+		offset += p.sums[0]
+	}
+	if a.sums[0]-offset >= s.bestSpan {
+		return
+	}
+
+	for _, perm := range pairings(s.m, s.maxPairings) {
+		c := combineWith(a, b, perm)
+		next := insertSorted(append([]*partition(nil), rest...), c)
+		s.search(next)
+		if s.budget <= 0 {
+			return
+		}
+	}
+}
+
+// combineWith merges b into a pairing position i of a with position perm[i]
+// of b, then sorts and normalizes.
+func combineWith(a, b *partition, perm []int) *partition {
+	m := len(a.sums)
+	c := &partition{sums: make([]float64, m), sets: make([][]int, m)}
+	for i := 0; i < m; i++ {
+		j := perm[i]
+		c.sums[i] = a.sums[i] + b.sums[j]
+		set := append([]int(nil), a.sets[i]...)
+		set = append(set, b.sets[j]...)
+		c.sets[i] = set
+	}
+	sortPartition(c)
+	normalize(c)
+	return c
+}
+
+// pairings enumerates up to limit permutations of [0,m), starting from the
+// reverse pairing (the KK move) and then lexicographic alternatives. For
+// m = 2 this is exactly {reverse, identity} — difference vs. sum.
+func pairings(m, limit int) [][]int {
+	reverse := make([]int, m)
+	for i := range reverse {
+		reverse[i] = m - 1 - i
+	}
+	out := [][]int{reverse}
+	if limit <= 1 {
+		return out
+	}
+	// Enumerate permutations in lexicographic order, skipping the reverse
+	// pairing already emitted.
+	perm := make([]int, m)
+	for i := range perm {
+		perm[i] = i
+	}
+	for len(out) < limit {
+		cand := append([]int(nil), perm...)
+		if !equalInts(cand, reverse) {
+			out = append(out, cand)
+		}
+		if !nextPermutation(perm) {
+			break
+		}
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// nextPermutation advances perm to the next lexicographic permutation,
+// returning false after the last one.
+func nextPermutation(perm []int) bool {
+	i := len(perm) - 2
+	for i >= 0 && perm[i] >= perm[i+1] {
+		i--
+	}
+	if i < 0 {
+		return false
+	}
+	j := len(perm) - 1
+	for perm[j] <= perm[i] {
+		j--
+	}
+	perm[i], perm[j] = perm[j], perm[i]
+	sort.Ints(perm[i+1:])
+	return true
+}
+
+var _ Partitioner = CKK{}

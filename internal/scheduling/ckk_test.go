@@ -1,0 +1,149 @@
+package scheduling
+
+import (
+	"testing"
+
+	"nfvchain/internal/model"
+	"nfvchain/internal/rng"
+)
+
+func TestCKKTwoWayFindsOptimum(t *testing.T) {
+	// The classic CKK motivating case: KK alone gets spread 2 on
+	// {8,7,6,5,4}; complete search reaches the perfect split (makespan 15).
+	is := items(8, 7, 6, 5, 4)
+	assign, err := CKK{}.Partition(is, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span := Makespan(Loads(is, assign, 2)); span != 15 {
+		t.Errorf("CKK makespan = %v, want optimal 15", span)
+	}
+}
+
+func TestCKKNeverWorseThanRCKK(t *testing.T) {
+	s := rng.New(17)
+	for trial := 0; trial < 40; trial++ {
+		n := 8 + s.IntN(12)
+		is := make([]Item, n)
+		for i := range is {
+			is[i] = Item{ID: model.RequestID(string(rune('a' + i))), Weight: float64(s.UniformInt(1, 50))}
+		}
+		m := 2 + s.IntN(3)
+		rckk, err := RCKK{}.Partition(is, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ckk, err := CKK{}.Partition(is, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rSpan := Makespan(Loads(is, rckk, m))
+		cSpan := Makespan(Loads(is, ckk, m))
+		if cSpan > rSpan+1e-9 {
+			t.Errorf("trial %d: CKK makespan %v worse than its own first descent %v", trial, cSpan, rSpan)
+		}
+	}
+}
+
+func TestCKKMatchesExactOnSmallInstances(t *testing.T) {
+	s := rng.New(23)
+	for trial := 0; trial < 15; trial++ {
+		n := 6 + s.IntN(8)
+		is := make([]Item, n)
+		for i := range is {
+			is[i] = Item{ID: model.RequestID(string(rune('a' + i))), Weight: float64(s.UniformInt(1, 30))}
+		}
+		opt, err := (&Exact{}).Partition(is, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ckk, err := CKK{}.Partition(is, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optSpan := Makespan(Loads(is, opt, 2))
+		ckkSpan := Makespan(Loads(is, ckk, 2))
+		if ckkSpan > optSpan+1e-9 {
+			t.Errorf("trial %d: CKK 2-way %v not optimal (%v)", trial, ckkSpan, optSpan)
+		}
+	}
+}
+
+func TestCKKBudgetDegradesGracefully(t *testing.T) {
+	is := items(8, 7, 6, 5, 4, 9, 3, 2, 11, 1)
+	tiny, err := CKK{MaxNodes: 1}.Partition(is, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a single node the incumbent is the RCKK descent.
+	rckk, _ := RCKK{}.Partition(is, 3)
+	if Makespan(Loads(is, tiny, 3)) > Makespan(Loads(is, rckk, 3))+1e-9 {
+		t.Error("budget-1 CKK worse than RCKK seed")
+	}
+}
+
+func TestCKKValidations(t *testing.T) {
+	if _, err := (CKK{}).Partition(items(1), 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	got, err := CKK{}.Partition(nil, 4)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty items: %v, %v", got, err)
+	}
+	got, err = CKK{}.Partition(items(3, 2, 1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range got {
+		if k != 0 {
+			t.Error("m=1 must assign all to instance 0")
+		}
+	}
+}
+
+func TestPairings(t *testing.T) {
+	ps := pairings(2, 10)
+	if len(ps) != 2 {
+		t.Fatalf("pairings(2) = %v, want 2 permutations", ps)
+	}
+	if ps[0][0] != 1 || ps[0][1] != 0 {
+		t.Errorf("first pairing %v, want reverse", ps[0])
+	}
+	ps3 := pairings(3, 100)
+	if len(ps3) != 6 {
+		t.Errorf("pairings(3) = %d, want 3! = 6", len(ps3))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps3 {
+		key := fmtInts(p)
+		if seen[key] {
+			t.Errorf("duplicate pairing %v", p)
+		}
+		seen[key] = true
+	}
+	if got := pairings(4, 3); len(got) != 3 {
+		t.Errorf("pairings limit ignored: %d", len(got))
+	}
+}
+
+func fmtInts(xs []int) string {
+	out := ""
+	for _, x := range xs {
+		out += string(rune('0' + x))
+	}
+	return out
+}
+
+func TestNextPermutation(t *testing.T) {
+	perm := []int{0, 1, 2}
+	count := 1
+	for nextPermutation(perm) {
+		count++
+	}
+	if count != 6 {
+		t.Errorf("enumerated %d permutations of 3, want 6", count)
+	}
+	if !equalInts(perm, []int{2, 1, 0}) {
+		t.Errorf("final permutation %v, want descending", perm)
+	}
+}

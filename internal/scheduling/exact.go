@@ -1,0 +1,114 @@
+package scheduling
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Exact computes a makespan-optimal partition by branch-and-bound, seeded
+// with the LPT incumbent. Multi-way number partitioning is NP-hard (the
+// paper cites Korf), so Exact guards its instance size; it exists to measure
+// the optimality gap of RCKK and CGA on small instances.
+type Exact struct {
+	// MaxItems bounds the accepted item count (default 24).
+	MaxItems int
+	// MaxExpansions caps the search-tree size (default 10e6).
+	MaxExpansions int
+}
+
+// Defaults for Exact's tractability guards.
+const (
+	DefaultExactMaxItems      = 24
+	DefaultExactMaxExpansions = 10_000_000
+)
+
+// Name implements Partitioner.
+func (e *Exact) Name() string { return "Exact" }
+
+// Partition implements Partitioner.
+func (e *Exact) Partition(items []Item, m int) ([]int, error) {
+	if err := validate(items, m); err != nil {
+		return nil, err
+	}
+	maxItems := e.MaxItems
+	if maxItems <= 0 {
+		maxItems = DefaultExactMaxItems
+	}
+	if len(items) > maxItems {
+		return nil, fmt.Errorf("scheduling: exact search limited to %d items, got %d", maxItems, len(items))
+	}
+	maxExp := e.MaxExpansions
+	if maxExp <= 0 {
+		maxExp = DefaultExactMaxExpansions
+	}
+	n := len(items)
+	assign := make([]int, n)
+	if n == 0 || m == 1 {
+		return assign, nil
+	}
+	order := sortedIndexesByWeightDesc(items)
+	best := greedyAssign(items, order, m)
+	bestSpan := Makespan(Loads(items, best, m))
+	// Lower bound: max(total/m, heaviest item). Stop early when greedy hits it.
+	var total, heaviest float64
+	for _, it := range items {
+		total += it.Weight
+		if it.Weight > heaviest {
+			heaviest = it.Weight
+		}
+	}
+	lower := total / float64(m)
+	if heaviest > lower {
+		lower = heaviest
+	}
+	if bestSpan > lower+1e-12 {
+		cur := append([]int(nil), best...)
+		incumbent := append([]int(nil), best...)
+		budget := maxExp
+		exactSearch(items, order, m, 0, make([]float64, m), cur, &incumbent, &bestSpan, lower, &budget)
+		best = incumbent
+	}
+	copy(assign, best)
+	return assign, nil
+}
+
+// exactSearch is cgaSearch without a node budget cutoff semantic change:
+// it prunes with the same rules plus a global lower bound for early exit.
+func exactSearch(items []Item, order []int, m, depth int, loads []float64, cur []int, best *[]int, bestSpan *float64, lower float64, budget *int) {
+	if *budget <= 0 || *bestSpan <= lower+1e-12 {
+		return
+	}
+	*budget--
+	if depth == len(order) {
+		span := Makespan(loads)
+		if span < *bestSpan {
+			*bestSpan = span
+			copy(*best, cur)
+		}
+		return
+	}
+	idx := order[depth]
+	w := items[idx].Weight
+	targets := make([]int, m)
+	for k := range targets {
+		targets[k] = k
+	}
+	sort.SliceStable(targets, func(a, b int) bool { return loads[targets[a]] < loads[targets[b]] })
+	var lastLoad float64
+	first := true
+	for _, k := range targets {
+		if !first && loads[k] == lastLoad {
+			continue
+		}
+		first, lastLoad = false, loads[k]
+		if loads[k]+w >= *bestSpan {
+			continue
+		}
+		loads[k] += w
+		cur[idx] = k
+		exactSearch(items, order, m, depth+1, loads, cur, best, bestSpan, lower, budget)
+		loads[k] -= w
+	}
+}
+
+var _ Partitioner = (*Exact)(nil)

@@ -1,0 +1,133 @@
+package scheduling
+
+import (
+	"sort"
+)
+
+// RCKK is the paper's Reverse Complete Karmarkar-Karp heuristic
+// (Algorithm 2). Every request starts as its own m-tuple partition
+// (λ_r, 0, …, 0); the two partitions with the largest leading values are
+// repeatedly combined *in reverse order* — the largest position of one with
+// the smallest of the other — then re-sorted and normalized by subtracting
+// the smallest position. The surviving tuple's positions are the instance
+// assignments. Reverse pairing is what cancels large against small; the
+// forward-combining KK variant in this package exists to ablate exactly
+// that choice.
+type RCKK struct{}
+
+// Name implements Partitioner.
+func (RCKK) Name() string { return "RCKK" }
+
+// partition is one m-tuple with the item indexes backing each position.
+type partition struct {
+	sums []float64
+	sets [][]int // parallel to sums; values index the caller's item slice
+}
+
+// Partition implements Partitioner.
+func (RCKK) Partition(items []Item, m int) ([]int, error) {
+	if err := validate(items, m); err != nil {
+		return nil, err
+	}
+	n := len(items)
+	assign := make([]int, n)
+	if n == 0 {
+		return assign, nil
+	}
+	if m == 1 {
+		return assign, nil // all zeros
+	}
+
+	// One partition per item: (λ_r, 0, …, 0). Build in descending weight
+	// order so the list starts sorted by leading value.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		wa, wb := items[order[a]].Weight, items[order[b]].Weight
+		if wa != wb {
+			return wa > wb
+		}
+		return items[order[a]].ID < items[order[b]].ID
+	})
+	list := make([]*partition, 0, n)
+	for _, idx := range order {
+		p := &partition{sums: make([]float64, m), sets: make([][]int, m)}
+		p.sums[0] = items[idx].Weight
+		p.sets[0] = []int{idx}
+		list = append(list, p)
+	}
+
+	for len(list) > 1 {
+		a, b := list[0], list[1]
+		list = list[2:]
+		c := combineReverse(a, b, m)
+		list = insertSorted(list, c)
+	}
+
+	final := list[0]
+	for pos, set := range final.sets {
+		for _, idx := range set {
+			assign[idx] = pos
+		}
+	}
+	return assign, nil
+}
+
+// combineReverse merges b into a with reverse pairing: position i of a with
+// position m−1−i of b, then re-sorts positions descending and normalizes by
+// the smallest position (Algorithm 2 steps 3–5).
+func combineReverse(a, b *partition, m int) *partition {
+	c := &partition{sums: make([]float64, m), sets: make([][]int, m)}
+	for i := 0; i < m; i++ {
+		j := m - 1 - i
+		c.sums[i] = a.sums[i] + b.sums[j]
+		set := append([]int(nil), a.sets[i]...)
+		set = append(set, b.sets[j]...)
+		c.sets[i] = set
+	}
+	sortPartition(c)
+	normalize(c)
+	return c
+}
+
+// sortPartition orders the tuple's positions by descending sum, carrying the
+// backing sets along.
+func sortPartition(p *partition) {
+	idx := make([]int, len(p.sums))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return p.sums[idx[a]] > p.sums[idx[b]] })
+	sums := make([]float64, len(p.sums))
+	sets := make([][]int, len(p.sets))
+	for to, from := range idx {
+		sums[to] = p.sums[from]
+		sets[to] = p.sets[from]
+	}
+	p.sums, p.sets = sums, sets
+}
+
+// normalize subtracts the smallest (last) position from every position.
+func normalize(p *partition) {
+	last := p.sums[len(p.sums)-1]
+	if last == 0 {
+		return
+	}
+	for i := range p.sums {
+		p.sums[i] -= last
+	}
+}
+
+// insertSorted returns list with p inserted keeping descending order of the
+// leading value.
+func insertSorted(list []*partition, p *partition) []*partition {
+	pos := sort.Search(len(list), func(i int) bool { return list[i].sums[0] < p.sums[0] })
+	list = append(list, nil)
+	copy(list[pos+1:], list[pos:])
+	list[pos] = p
+	return list
+}
+
+var _ Partitioner = RCKK{}

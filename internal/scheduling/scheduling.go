@@ -1,0 +1,157 @@
+// Package scheduling implements the request-scheduling algorithms of the
+// paper's Section IV-B. Assigning the requests R_f that use a VNF f to its
+// M_f service instances so that per-instance total arrival rates are as
+// equal as possible is multi-way number partitioning (NP-hard); the paper's
+// contribution is RCKK (Reverse Complete Karmarkar-Karp, Algorithm 2),
+// evaluated against CGA (the greedy descent of Korf's Complete Greedy
+// Algorithm). Additional comparators — forward-combining KK (ablation), an
+// exact branch-and-bound partitioner, round-robin and random — support the
+// optimality and ablation analyses.
+//
+// Balanced instance loads minimize the average M/M/1 response latency
+// W(f,k) = 1/(P·µ_f − Σ_r λ_r z_{r,k}^f) across instances (paper Eq. 12/15),
+// which is why every algorithm here reduces to partitioning the requests'
+// effective rates.
+package scheduling
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"nfvchain/internal/model"
+)
+
+// Item is one request's contribution to a VNF's load: its retransmission-
+// inflated arrival rate λ_r/P_r.
+type Item struct {
+	ID     model.RequestID
+	Weight float64
+}
+
+// Partitioner splits items across m service instances.
+type Partitioner interface {
+	// Name returns the short algorithm identifier used in experiment output.
+	Name() string
+	// Partition returns assign[i] = instance index of items[i], with every
+	// index in [0,m). Implementations must not mutate items.
+	Partition(items []Item, m int) ([]int, error)
+}
+
+// validate rejects structurally bad partition inputs on behalf of all
+// implementations.
+func validate(items []Item, m int) error {
+	if m < 1 {
+		return fmt.Errorf("scheduling: instance count %d < 1", m)
+	}
+	for _, it := range items {
+		if it.Weight < 0 {
+			return fmt.Errorf("scheduling: item %s has negative weight %v", it.ID, it.Weight)
+		}
+	}
+	return nil
+}
+
+// sortedByWeightDesc returns a copy of items in descending weight order with
+// id tie-breaks, the scan order shared by RCKK, CGA and KK.
+func sortedByWeightDesc(items []Item) []Item {
+	out := append([]Item(nil), items...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Loads sums item weights per instance for a given assignment.
+func Loads(items []Item, assign []int, m int) []float64 {
+	loads := make([]float64, m)
+	for i, it := range items {
+		loads[assign[i]] += it.Weight
+	}
+	return loads
+}
+
+// Makespan returns the maximum instance load, the quantity exact
+// partitioning minimizes.
+func Makespan(loads []float64) float64 {
+	var maxL float64
+	for _, l := range loads {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	return maxL
+}
+
+// Spread returns max−min instance load, the balance measure the paper's
+// Objective 2 insight targets ("balance Σλ_r of each instance as nearly
+// equal as possible").
+func Spread(loads []float64) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	minL, maxL := loads[0], loads[0]
+	for _, l := range loads[1:] {
+		if l < minL {
+			minL = l
+		}
+		if l > maxL {
+			maxL = l
+		}
+	}
+	return maxL - minL
+}
+
+// ErrNoRequests is returned by ScheduleAll helpers when a VNF has requests
+// but zero instances — a malformed problem that Validate would reject.
+var ErrNoRequests = errors.New("scheduling: vnf has zero instances")
+
+// ItemsFor builds the partition input for VNF f: one item per request in
+// R_f, weighted by its effective rate λ_r/P_r (Eq. 7).
+func ItemsFor(p *model.Problem, f model.VNFID) []Item {
+	var items []Item
+	for _, r := range p.Requests {
+		if r.Uses(f) {
+			items = append(items, Item{ID: r.ID, Weight: r.EffectiveRate()})
+		}
+	}
+	return items
+}
+
+// ScheduleAll partitions every VNF's request set across its instances with
+// the given algorithm and returns the complete schedule (the z_{r,k}^f
+// matrix of Eq. 5).
+func ScheduleAll(p *model.Problem, alg Partitioner) (*model.Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("scheduling: %w", err)
+	}
+	s := model.NewSchedule()
+	for _, f := range p.VNFs {
+		items := ItemsFor(p, f.ID)
+		if len(items) == 0 {
+			continue
+		}
+		if f.Instances < 1 {
+			return nil, fmt.Errorf("scheduling: vnf %s: %w", f.ID, ErrNoRequests)
+		}
+		assign, err := alg.Partition(items, f.Instances)
+		if err != nil {
+			return nil, fmt.Errorf("scheduling: vnf %s: %w", f.ID, err)
+		}
+		if len(assign) != len(items) {
+			return nil, fmt.Errorf("scheduling: vnf %s: %s returned %d assignments for %d items",
+				f.ID, alg.Name(), len(assign), len(items))
+		}
+		for i, it := range items {
+			if assign[i] < 0 || assign[i] >= f.Instances {
+				return nil, fmt.Errorf("scheduling: vnf %s: %s assigned item %s to instance %d outside [0,%d)",
+					f.ID, alg.Name(), it.ID, assign[i], f.Instances)
+			}
+			s.Assign(it.ID, f.ID, assign[i])
+		}
+	}
+	return s, nil
+}

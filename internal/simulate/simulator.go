@@ -1,0 +1,459 @@
+package simulate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nfvchain/internal/model"
+	"nfvchain/internal/rng"
+	"nfvchain/internal/stats"
+	"nfvchain/internal/workload"
+)
+
+// InstanceKey identifies one service instance of a VNF.
+type InstanceKey struct {
+	VNF      model.VNFID
+	Instance int
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Problem  *model.Problem
+	Schedule *model.Schedule
+	// Placement is optional; when present, consecutive chain stages hosted
+	// on different nodes incur LinkDelay (the paper's per-hop constant L in
+	// Eq. 16). When nil, all stages are considered co-located.
+	Placement *model.Placement
+
+	Horizon float64 // simulated seconds; must be positive
+	Warmup  float64 // samples from packets arriving before Warmup are discarded
+
+	// LinkDelay is the constant inter-node latency L. Ignored without a
+	// placement.
+	LinkDelay float64
+
+	// BufferSize bounds each instance's waiting room (excluding the packet
+	// in service); 0 means unbounded. Full buffers drop arriving packets.
+	BufferSize int
+
+	// Trace optionally replays recorded external arrivals instead of
+	// generating Poisson arrivals online.
+	Trace *workload.Trace
+
+	// ServiceDist selects the per-packet service-time distribution; the
+	// zero value means ServiceExponential (the paper's model assumption).
+	// Non-exponential choices keep each instance's mean rate µ but change
+	// its variability, quantifying how far the open-Jackson analytics can
+	// be trusted when the M/M/1 assumption is violated.
+	ServiceDist ServiceDist
+
+	Seed uint64
+}
+
+// ServiceDist selects the service-time distribution of every instance.
+type ServiceDist int
+
+// Supported service-time distributions (mean always 1/µ).
+const (
+	// ServiceExponential: CV = 1; the paper's M/M/1 assumption.
+	ServiceExponential ServiceDist = iota
+	// ServiceDeterministic: CV = 0; an M/D/1 system, the best case for
+	// queueing (half the M/M/1 waiting time by Pollaczek–Khinchine).
+	ServiceDeterministic
+	// ServiceLogNormal: CV ≈ 1.31 (σ = 1); heavier-than-exponential tails,
+	// the regime where M/M/1 analytics underestimate latency.
+	ServiceLogNormal
+)
+
+// CV returns the distribution's coefficient of variation.
+func (d ServiceDist) CV() float64 {
+	switch d {
+	case ServiceDeterministic:
+		return 0
+	case ServiceLogNormal:
+		return math.Sqrt(math.E - 1)
+	default:
+		return 1
+	}
+}
+
+// sample draws one service time with mean 1/mu.
+func (d ServiceDist) sample(s *rng.Stream, mu float64) float64 {
+	switch d {
+	case ServiceDeterministic:
+		return 1 / mu
+	case ServiceLogNormal:
+		// E[lognormal(µ̂,1)] = exp(µ̂+1/2) = 1/mu → µ̂ = −ln(mu) − 1/2.
+		return s.LogNormal(-math.Log(mu)-0.5, 1)
+	default:
+		return s.Exp(mu)
+	}
+}
+
+// Results aggregates one run's measurements.
+type Results struct {
+	Horizon, Warmup float64
+
+	// Generated counts external packet arrivals admitted before the
+	// horizon (retransmissions are not new packets).
+	Generated int
+	// Delivered counts packets that completed their chain and passed the
+	// delivery check; Latency summarizes their end-to-end sojourn
+	// (including retransmission passes and link hops).
+	Delivered int
+	Latency   stats.Summary
+	// LatencySamples holds every measured end-to-end latency (post-warmup),
+	// enabling percentile tail analysis.
+	LatencySamples []float64
+
+	// Retransmissions counts failed delivery checks (each triggers a new
+	// pass from the source).
+	Retransmissions int
+	// Dropped counts packets lost to full buffers.
+	Dropped int
+
+	// Utilization is the measured busy fraction of each instance over
+	// [Warmup, Horizon].
+	Utilization map[InstanceKey]float64
+
+	// MeanJobs is the time-averaged number of packets in each instance's
+	// system (queue + service) over [Warmup, Horizon] — the empirical
+	// counterpart of the paper's Eq. 10, E[N] = ρ/(1−ρ).
+	MeanJobs map[InstanceKey]float64
+
+	// PerRequest summarizes delivered latency per request.
+	PerRequest map[model.RequestID]*stats.Summary
+
+	// PerInstance summarizes the per-visit sojourn (queueing + service) at
+	// each instance — the empirical W(f,k) of the paper's Eq. 11.
+	PerInstance map[InstanceKey]*stats.Summary
+}
+
+// packet is one in-flight packet.
+type packet struct {
+	reqIndex   int
+	stage      int     // index into the request's chain
+	birth      float64 // first external arrival time (retransmissions keep it)
+	visitStart float64 // arrival time at the current instance
+}
+
+// instance is the runtime state of one service instance.
+type instance struct {
+	key   InstanceKey
+	mu    float64
+	queue []*packet
+	// busy is non-nil while serving.
+	busy         *packet
+	serviceStart float64
+	busyTime     float64 // accumulated within [warmup, horizon]
+	stream       *rng.Stream
+
+	// Time-averaged population bookkeeping (∫N dt over [warmup, horizon]).
+	population int
+	lastChange float64
+	popArea    float64
+}
+
+// notePopulation folds the time since the last change into the ∫N dt area
+// and applies the population delta.
+func (inst *instance) notePopulation(now, warmup, horizon float64, delta int) {
+	inst.popArea += float64(inst.population) * overlap(inst.lastChange, now, warmup, horizon)
+	inst.lastChange = now
+	inst.population += delta
+}
+
+// simulation is the run state.
+type simulation struct {
+	cfg     Config
+	agenda  *agenda
+	now     float64
+	results *Results
+
+	requests  []model.Request
+	instances map[InstanceKey]*instance
+	// route[i][s] is the instance serving stage s of request i.
+	route [][]*instance
+	// hop[i][s] is the link delay entering stage s of request i (0 for s=0
+	// or co-located stages).
+	hop [][]float64
+
+	arrivalStreams  []*rng.Stream
+	deliveryStreams []*rng.Stream
+}
+
+// Run executes the simulation and returns its measurements.
+func Run(cfg Config) (*Results, error) {
+	if cfg.Problem == nil || cfg.Schedule == nil {
+		return nil, errors.New("simulate: Problem and Schedule are required")
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("simulate: horizon %v must be positive", cfg.Horizon)
+	}
+	if cfg.Warmup < 0 || cfg.Warmup >= cfg.Horizon {
+		return nil, fmt.Errorf("simulate: warmup %v outside [0, horizon)", cfg.Warmup)
+	}
+	if cfg.LinkDelay < 0 {
+		return nil, fmt.Errorf("simulate: negative link delay %v", cfg.LinkDelay)
+	}
+	if cfg.BufferSize < 0 {
+		return nil, fmt.Errorf("simulate: negative buffer size %d", cfg.BufferSize)
+	}
+	switch cfg.ServiceDist {
+	case ServiceExponential, ServiceDeterministic, ServiceLogNormal:
+	default:
+		return nil, fmt.Errorf("simulate: unknown service distribution %d", cfg.ServiceDist)
+	}
+	// Partial validation: requests absent from the schedule were rejected by
+	// admission control and simply generate no traffic.
+	if err := cfg.Schedule.ValidatePartial(cfg.Problem); err != nil {
+		return nil, fmt.Errorf("simulate: %w", err)
+	}
+	if cfg.Placement != nil {
+		if err := cfg.Placement.Validate(cfg.Problem); err != nil {
+			return nil, fmt.Errorf("simulate: %w", err)
+		}
+	}
+
+	s := &simulation{
+		cfg:    cfg,
+		agenda: newAgenda(),
+		results: &Results{
+			Horizon:     cfg.Horizon,
+			Warmup:      cfg.Warmup,
+			Utilization: make(map[InstanceKey]float64),
+			MeanJobs:    make(map[InstanceKey]float64),
+			PerRequest:  make(map[model.RequestID]*stats.Summary),
+			PerInstance: make(map[InstanceKey]*stats.Summary),
+		},
+		instances: make(map[InstanceKey]*instance),
+	}
+	if err := s.build(); err != nil {
+		return nil, err
+	}
+	s.seedArrivals()
+	s.loop()
+	s.finalize()
+	return s.results, nil
+}
+
+// build resolves each request's chain to concrete instances and link hops.
+func (s *simulation) build() error {
+	p := s.cfg.Problem
+	for _, r := range p.Requests {
+		// Skip requests the admission controller removed from the schedule.
+		if len(s.cfg.Schedule.InstanceOf[r.ID]) == 0 {
+			continue
+		}
+		s.requests = append(s.requests, r)
+	}
+	s.route = make([][]*instance, len(s.requests))
+	s.hop = make([][]float64, len(s.requests))
+	s.arrivalStreams = make([]*rng.Stream, len(s.requests))
+	s.deliveryStreams = make([]*rng.Stream, len(s.requests))
+
+	for i, r := range s.requests {
+		s.arrivalStreams[i] = rng.Derive(s.cfg.Seed, "arrivals/"+string(r.ID))
+		s.deliveryStreams[i] = rng.Derive(s.cfg.Seed, "delivery/"+string(r.ID))
+		s.route[i] = make([]*instance, len(r.Chain))
+		s.hop[i] = make([]float64, len(r.Chain))
+		var prevNode model.NodeID
+		for stage, fid := range r.Chain {
+			k, ok := s.cfg.Schedule.Instance(r.ID, fid)
+			if !ok {
+				return fmt.Errorf("simulate: request %s unassigned at vnf %s", r.ID, fid)
+			}
+			f, _ := p.VNF(fid)
+			key := InstanceKey{VNF: fid, Instance: k}
+			inst, exists := s.instances[key]
+			if !exists {
+				inst = &instance{
+					key:    key,
+					mu:     f.ServiceRate,
+					stream: rng.Derive(s.cfg.Seed, fmt.Sprintf("service/%s/%d", fid, k)),
+				}
+				s.instances[key] = inst
+			}
+			s.route[i][stage] = inst
+			if s.cfg.Placement != nil {
+				node, _ := s.cfg.Placement.Node(fid)
+				if stage > 0 && node != prevNode {
+					s.hop[i][stage] = s.cfg.LinkDelay
+				}
+				prevNode = node
+			}
+		}
+		s.results.PerRequest[r.ID] = &stats.Summary{}
+	}
+	return nil
+}
+
+// seedArrivals schedules the first external arrival of every request, or
+// pushes the whole trace.
+func (s *simulation) seedArrivals() {
+	if s.cfg.Trace != nil {
+		index := make(map[model.RequestID]int, len(s.requests))
+		for i, r := range s.requests {
+			index[r.ID] = i
+		}
+		for _, a := range s.cfg.Trace.Arrivals {
+			i, ok := index[a.Request]
+			if !ok || a.Time >= s.cfg.Horizon {
+				continue
+			}
+			s.results.Generated++
+			s.agenda.push(&event{
+				time: a.Time,
+				kind: evArrival,
+				pkt:  &packet{reqIndex: i, birth: a.Time},
+				inst: s.route[i][0],
+			})
+		}
+		return
+	}
+	for i := range s.requests {
+		s.scheduleNextSource(i, 0)
+	}
+}
+
+// scheduleNextSource draws the next Poisson arrival of request i after t.
+func (s *simulation) scheduleNextSource(i int, t float64) {
+	next := t + s.arrivalStreams[i].Exp(s.requests[i].Rate)
+	if next >= s.cfg.Horizon {
+		return
+	}
+	s.agenda.push(&event{time: next, kind: evSource, reqIndex: i})
+}
+
+// loop drains the agenda until the horizon.
+func (s *simulation) loop() {
+	for !s.agenda.empty() {
+		e := s.agenda.pop()
+		if e.time > s.cfg.Horizon {
+			break
+		}
+		s.now = e.time
+		switch e.kind {
+		case evSource:
+			i := e.reqIndex
+			s.results.Generated++
+			s.agenda.push(&event{
+				time: s.now,
+				kind: evArrival,
+				pkt:  &packet{reqIndex: i, birth: s.now},
+				inst: s.route[i][0],
+			})
+			s.scheduleNextSource(i, s.now)
+		case evArrival:
+			s.arrive(e.pkt, e.inst)
+		case evService:
+			s.complete(e.inst)
+		}
+	}
+}
+
+// arrive delivers a packet to an instance's queue or service position.
+func (s *simulation) arrive(p *packet, inst *instance) {
+	p.visitStart = s.now
+	if inst.busy == nil {
+		inst.notePopulation(s.now, s.cfg.Warmup, s.cfg.Horizon, +1)
+		s.startService(inst, p)
+		return
+	}
+	if s.cfg.BufferSize > 0 && len(inst.queue) >= s.cfg.BufferSize {
+		s.results.Dropped++
+		return
+	}
+	inst.notePopulation(s.now, s.cfg.Warmup, s.cfg.Horizon, +1)
+	inst.queue = append(inst.queue, p)
+}
+
+// startService begins serving p at inst and schedules its completion.
+func (s *simulation) startService(inst *instance, p *packet) {
+	inst.busy = p
+	inst.serviceStart = s.now
+	d := s.cfg.ServiceDist.sample(inst.stream, inst.mu)
+	s.agenda.push(&event{time: s.now + d, kind: evService, inst: inst})
+}
+
+// complete finishes the in-service packet of inst and advances it.
+func (s *simulation) complete(inst *instance) {
+	p := inst.busy
+	inst.busyTime += overlap(inst.serviceStart, s.now, s.cfg.Warmup, s.cfg.Horizon)
+	inst.notePopulation(s.now, s.cfg.Warmup, s.cfg.Horizon, -1)
+	if p.visitStart >= s.cfg.Warmup {
+		sum := s.results.PerInstance[inst.key]
+		if sum == nil {
+			sum = &stats.Summary{}
+			s.results.PerInstance[inst.key] = sum
+		}
+		sum.Add(s.now - p.visitStart)
+	}
+	inst.busy = nil
+	if len(inst.queue) > 0 {
+		next := inst.queue[0]
+		copy(inst.queue, inst.queue[1:])
+		inst.queue = inst.queue[:len(inst.queue)-1]
+		s.startService(inst, next)
+	}
+	s.advance(p)
+}
+
+// advance moves a finished packet to its next stage, delivery check, or
+// retransmission.
+func (s *simulation) advance(p *packet) {
+	r := s.requests[p.reqIndex]
+	if p.stage+1 < len(r.Chain) {
+		p.stage++
+		s.agenda.push(&event{
+			time: s.now + s.hop[p.reqIndex][p.stage],
+			kind: evArrival,
+			pkt:  p,
+			inst: s.route[p.reqIndex][p.stage],
+		})
+		return
+	}
+	// End of chain: delivery check.
+	if s.deliveryStreams[p.reqIndex].Bernoulli(r.DeliveryProb) {
+		s.results.Delivered++
+		if p.birth >= s.cfg.Warmup {
+			lat := s.now - p.birth
+			s.results.Latency.Add(lat)
+			s.results.LatencySamples = append(s.results.LatencySamples, lat)
+			s.results.PerRequest[r.ID].Add(lat)
+		}
+		return
+	}
+	// NACK: retransmit from the source immediately (paper Fig. 3).
+	s.results.Retransmissions++
+	p.stage = 0
+	s.agenda.push(&event{time: s.now, kind: evArrival, pkt: p, inst: s.route[p.reqIndex][0]})
+}
+
+// finalize folds in-flight busy time and normalizes utilizations.
+func (s *simulation) finalize() {
+	span := s.cfg.Horizon - s.cfg.Warmup
+	for key, inst := range s.instances {
+		busy := inst.busyTime
+		if inst.busy != nil {
+			busy += overlap(inst.serviceStart, s.cfg.Horizon, s.cfg.Warmup, s.cfg.Horizon)
+		}
+		s.results.Utilization[key] = busy / span
+		inst.notePopulation(s.cfg.Horizon, s.cfg.Warmup, s.cfg.Horizon, 0)
+		s.results.MeanJobs[key] = inst.popArea / span
+	}
+}
+
+// overlap returns the length of [a,b] ∩ [lo,hi].
+func overlap(a, b, lo, hi float64) float64 {
+	if a < lo {
+		a = lo
+	}
+	if b > hi {
+		b = hi
+	}
+	if b <= a {
+		return 0
+	}
+	return b - a
+}

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram counts observations into fixed-width bins over [Lo,Hi); values
+// outside the range land in underflow/overflow counters.
+type Histogram struct {
+	Lo, Hi    float64
+	counts    []int
+	underflow int
+	overflow  int
+	total     int
+}
+
+// NewHistogram builds a histogram with the given bounds and bin count.
+// It returns an error for non-positive bins or an empty range.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: histogram bins %d must be positive", bins)
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("stats: histogram range [%v,%v) is empty", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, counts: make([]int, bins)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.underflow++
+	case x >= h.Hi:
+		h.overflow++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.counts)))
+		if i >= len(h.counts) { // float rounding at the upper edge
+			i = len(h.counts) - 1
+		}
+		h.counts[i]++
+	}
+}
+
+// Count returns the number of observations in bin i.
+func (h *Histogram) Count(i int) int { return h.counts[i] }
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// Total returns all observations including under/overflow.
+func (h *Histogram) Total() int { return h.total }
+
+// Underflow returns the count of observations below Lo.
+func (h *Histogram) Underflow() int { return h.underflow }
+
+// Overflow returns the count of observations at or above Hi.
+func (h *Histogram) Overflow() int { return h.overflow }
+
+// Quantile returns an approximate quantile (q in [0,1]) from the binned
+// counts, attributing each bin's mass to its midpoint. NaN when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	target := q * float64(h.total)
+	cum := float64(h.underflow)
+	if cum >= target && h.underflow > 0 {
+		return h.Lo
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.counts))
+	for i, c := range h.counts {
+		cum += float64(c)
+		if cum >= target {
+			return h.Lo + (float64(i)+0.5)*width
+		}
+	}
+	return h.Hi
+}
+
+// String renders a compact ASCII bar chart, useful in CLI output.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxCount := 1
+	for _, c := range h.counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.counts))
+	for i, c := range h.counts {
+		bar := strings.Repeat("#", c*40/maxCount)
+		fmt.Fprintf(&b, "[%8.3g,%8.3g) %6d %s\n", h.Lo+float64(i)*width, h.Lo+float64(i+1)*width, c, bar)
+	}
+	if h.underflow > 0 || h.overflow > 0 {
+		fmt.Fprintf(&b, "underflow=%d overflow=%d\n", h.underflow, h.overflow)
+	}
+	return b.String()
+}

@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("accepted zero bins")
+	}
+	if _, err := NewHistogram(10, 10, 4); err == nil {
+		t.Error("accepted empty range")
+	}
+	if _, err := NewHistogram(10, 5, 4); err == nil {
+		t.Error("accepted inverted range")
+	}
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil || h.Bins() != 5 {
+		t.Fatalf("NewHistogram: %v, bins=%d", err, h.Bins())
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h, _ := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 5, 9.99, -1, 10, 42} {
+		h.Add(x)
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d, want 8", h.Total())
+	}
+	if h.Underflow() != 1 {
+		t.Errorf("Underflow = %d, want 1", h.Underflow())
+	}
+	if h.Overflow() != 2 {
+		t.Errorf("Overflow = %d, want 2 (10 and 42)", h.Overflow())
+	}
+	if h.Count(0) != 2 { // 0 and 1.9
+		t.Errorf("bin0 = %d, want 2", h.Count(0))
+	}
+	if h.Count(1) != 1 { // 2
+		t.Errorf("bin1 = %d, want 1", h.Count(1))
+	}
+	if h.Count(2) != 1 { // 5
+		t.Errorf("bin2 = %d, want 1", h.Count(2))
+	}
+	if h.Count(4) != 1 { // 9.99
+		t.Errorf("bin4 = %d, want 1", h.Count(4))
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h, _ := NewHistogram(0, 100, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	med := h.Quantile(0.5)
+	if med < 35 || med > 65 {
+		t.Errorf("median estimate %v implausible", med)
+	}
+	if !math.IsNaN((&Histogram{}).Quantile(0.5)) {
+		t.Error("Quantile on empty histogram should be NaN")
+	}
+	hi := h.Quantile(1)
+	if hi < 90 {
+		t.Errorf("q=1 estimate %v too low", hi)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h, _ := NewHistogram(0, 4, 2)
+	h.Add(1)
+	h.Add(1)
+	h.Add(3)
+	h.Add(-5)
+	s := h.String()
+	if !strings.Contains(s, "#") {
+		t.Errorf("String missing bars: %q", s)
+	}
+	if !strings.Contains(s, "underflow=1") {
+		t.Errorf("String missing underflow: %q", s)
+	}
+}

@@ -1,0 +1,219 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Variance() != 0 || s.CI95() != 0 {
+		t.Error("zero-value Summary not neutral")
+	}
+	s.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if !close(s.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	// Population variance is 4; sample variance = 32/7.
+	if !close(s.Variance(), 32.0/7, 1e-12) {
+		t.Errorf("Variance = %v, want %v", s.Variance(), 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if !close(s.Sum(), 40, 1e-9) {
+		t.Errorf("Sum = %v, want 40", s.Sum())
+	}
+	if s.CI95() <= 0 {
+		t.Errorf("CI95 = %v, want positive", s.CI95())
+	}
+	if s.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestSummarySingleObservation(t *testing.T) {
+	var s Summary
+	s.Add(3)
+	if s.Mean() != 3 || s.Min() != 3 || s.Max() != 3 || s.Variance() != 0 {
+		t.Errorf("single-observation summary wrong: %v", s.String())
+	}
+}
+
+func TestSummaryMerge(t *testing.T) {
+	xs := []float64{1, 5, 2, 8, 3, 9, 4, 4, 7}
+	var whole, a, b Summary
+	whole.AddAll(xs)
+	a.AddAll(xs[:4])
+	b.AddAll(xs[4:])
+	a.Merge(&b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	if !close(a.Mean(), whole.Mean(), 1e-12) {
+		t.Errorf("merged mean = %v, want %v", a.Mean(), whole.Mean())
+	}
+	if !close(a.Variance(), whole.Variance(), 1e-9) {
+		t.Errorf("merged variance = %v, want %v", a.Variance(), whole.Variance())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Errorf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+
+	var empty Summary
+	a.Merge(&empty) // no-op
+	if a.N() != whole.N() {
+		t.Error("merging empty changed N")
+	}
+	var fresh Summary
+	fresh.Merge(&whole)
+	if fresh.N() != whole.N() || !close(fresh.Mean(), whole.Mean(), 1e-12) {
+		t.Error("merge into empty failed")
+	}
+}
+
+func TestSummaryMergeMatchesSequential(t *testing.T) {
+	f := func(as, bs []float64) bool {
+		ok := func(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 }
+		var seq, left, right Summary
+		for _, x := range as {
+			if !ok(x) {
+				return true
+			}
+			seq.Add(x)
+			left.Add(x)
+		}
+		for _, x := range bs {
+			if !ok(x) {
+				return true
+			}
+			seq.Add(x)
+			right.Add(x)
+		}
+		left.Merge(&right)
+		return left.N() == seq.N() && close(left.Mean(), seq.Mean(), 1e-6) &&
+			close(left.Variance(), seq.Variance(), 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15},
+		{100, 50},
+		{50, 35},
+		{25, 20},
+		{75, 40},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); !close(got, tt.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	// Input unchanged.
+	if !sort.Float64sAreSorted(xs[:2]) || xs[0] != 15 {
+		t.Error("Percentile mutated input")
+	}
+	if got := Percentile([]float64{7}, 99); got != 7 {
+		t.Errorf("Percentile singleton = %v", got)
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Percentile(xs, 50); !close(got, 5, 1e-12) {
+		t.Errorf("Percentile(50) = %v, want 5", got)
+	}
+	if got := Percentile(xs, 99); !close(got, 9.9, 1e-12) {
+		t.Errorf("Percentile(99) = %v, want 9.9", got)
+	}
+}
+
+func TestPercentilesBatch(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	got := Percentiles(xs, 0, 50, 100)
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if !close(got[i], want[i], 1e-12) {
+			t.Errorf("Percentiles[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty":       func() { Percentile(nil, 50) },
+		"negative":    func() { Percentile([]float64{1}, -1) },
+		"over 100":    func() { Percentile([]float64{1}, 101) },
+		"batch empty": func() { Percentiles(nil, 50) },
+		"batch range": func() { Percentiles([]float64{1}, 200) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestPercentileWithinBounds(t *testing.T) {
+	f := func(raw []float64, p8 uint8) bool {
+		xs := raw[:0:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p := float64(p8) / 255 * 100
+		v := Percentile(xs, p)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3}); !close(got, 2, 1e-12) {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+}
+
+func TestEnhancementRatio(t *testing.T) {
+	if got := EnhancementRatio(1.60, 1.23); !close(got, 0.23125, 1e-9) {
+		t.Errorf("EnhancementRatio = %v, want 0.23125", got)
+	}
+	if got := EnhancementRatio(0, 5); got != 0 {
+		t.Errorf("EnhancementRatio(0,·) = %v, want 0", got)
+	}
+	if got := EnhancementRatio(10, 12); !close(got, -0.2, 1e-12) {
+		t.Errorf("EnhancementRatio regression = %v, want -0.2", got)
+	}
+}
+
+func close(a, b, eps float64) bool { return math.Abs(a-b) <= eps }

@@ -1,0 +1,123 @@
+package topology
+
+import (
+	"fmt"
+
+	"nfvchain/internal/rng"
+)
+
+// DefaultLinkDelay is the per-link delay used by generators when the caller
+// does not care about absolute delay values. It corresponds to the paper's
+// constant L: the sum of average propagation and transmission delay on the
+// link between two computing nodes.
+const DefaultLinkDelay = 1.0
+
+// Line returns a path topology of n computing nodes c0-c1-…-c(n-1).
+func Line(n int) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddVertex(computeID(i), KindCompute)
+		if i > 0 {
+			g.MustAddEdge(computeID(i-1), computeID(i), DefaultLinkDelay)
+		}
+	}
+	return g
+}
+
+// Ring returns a cycle topology of n computing nodes.
+func Ring(n int) *Graph {
+	g := Line(n)
+	if n > 2 {
+		g.MustAddEdge(computeID(n-1), computeID(0), DefaultLinkDelay)
+	}
+	return g
+}
+
+// Star returns n computing nodes hanging off one central switch — the
+// minimal stand-in for a single-rack deployment where every pair of servers
+// is equidistant.
+func Star(n int) *Graph {
+	g := New()
+	g.AddVertex("sw0", KindSwitch)
+	for i := 0; i < n; i++ {
+		g.AddVertex(computeID(i), KindCompute)
+		g.MustAddEdge("sw0", computeID(i), DefaultLinkDelay/2)
+	}
+	return g
+}
+
+// FatTree returns a k-ary fat-tree: (k/2)² core switches, k pods each with
+// k/2 aggregation and k/2 edge switches, and (k/2) hosts per edge switch —
+// k³/4 computing nodes total. k must be even and ≥ 2.
+func FatTree(k int) (*Graph, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("topology: fat-tree arity %d must be even and >= 2", k)
+	}
+	g := New()
+	half := k / 2
+	// Core switches.
+	for i := 0; i < half*half; i++ {
+		g.AddVertex(fmt.Sprintf("core%d", i), KindSwitch)
+	}
+	host := 0
+	for p := 0; p < k; p++ {
+		for a := 0; a < half; a++ {
+			agg := fmt.Sprintf("agg%d_%d", p, a)
+			g.AddVertex(agg, KindSwitch)
+			// Each aggregation switch connects to half core switches.
+			for c := 0; c < half; c++ {
+				g.MustAddEdge(agg, fmt.Sprintf("core%d", a*half+c), DefaultLinkDelay)
+			}
+		}
+		for e := 0; e < half; e++ {
+			edge := fmt.Sprintf("edge%d_%d", p, e)
+			g.AddVertex(edge, KindSwitch)
+			for a := 0; a < half; a++ {
+				g.MustAddEdge(edge, fmt.Sprintf("agg%d_%d", p, a), DefaultLinkDelay)
+			}
+			for h := 0; h < half; h++ {
+				id := computeID(host)
+				host++
+				g.AddVertex(id, KindCompute)
+				g.MustAddEdge(edge, id, DefaultLinkDelay)
+			}
+		}
+	}
+	return g, nil
+}
+
+// RandomConnected returns a random connected topology of n computing nodes:
+// a uniform random spanning tree (via random Prüfer-like attachment) plus
+// extra random edges up to the requested edge count m (clamped to the
+// complete-graph maximum). Determinism comes from the caller's stream.
+func RandomConnected(n, m int, s *rng.Stream) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topology: random graph needs n >= 1, got %d", n)
+	}
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddVertex(computeID(i), KindCompute)
+	}
+	// Random attachment spanning tree: node i links to a uniform earlier node.
+	for i := 1; i < n; i++ {
+		j := s.IntN(i)
+		g.MustAddEdge(computeID(i), computeID(j), DefaultLinkDelay)
+	}
+	maxEdges := n * (n - 1) / 2
+	if m > maxEdges {
+		m = maxEdges
+	}
+	for g.NumEdges() < m {
+		a, b := s.IntN(n), s.IntN(n)
+		if a == b {
+			continue
+		}
+		if _, dup := g.EdgeDelay(computeID(a), computeID(b)); dup {
+			continue
+		}
+		g.MustAddEdge(computeID(a), computeID(b), DefaultLinkDelay)
+	}
+	return g, nil
+}
+
+func computeID(i int) string { return fmt.Sprintf("c%d", i) }

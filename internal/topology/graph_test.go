@@ -1,0 +1,142 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	if KindCompute.String() != "compute" || KindSwitch.String() != "switch" {
+		t.Error("Kind.String wrong")
+	}
+	if !strings.Contains(Kind(0).String(), "0") {
+		t.Error("invalid kind should render numerically")
+	}
+}
+
+func TestAddVertexAndEdge(t *testing.T) {
+	g := New()
+	g.AddVertex("a", KindCompute)
+	g.AddVertex("b", KindSwitch)
+	if err := g.AddEdge("a", "b", 2.5); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if g.NumVertices() != 2 || g.NumEdges() != 1 {
+		t.Errorf("counts = %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if d, ok := g.EdgeDelay("b", "a"); !ok || d != 2.5 {
+		t.Errorf("EdgeDelay(b,a) = %v, %v — edges must be symmetric", d, ok)
+	}
+	if v, ok := g.Vertex("b"); !ok || v.Kind != KindSwitch {
+		t.Errorf("Vertex(b) = %+v, %v", v, ok)
+	}
+	// Re-adding updates the kind without duplicating.
+	g.AddVertex("b", KindCompute)
+	if g.NumVertices() != 2 {
+		t.Error("AddVertex duplicated existing id")
+	}
+	if v, _ := g.Vertex("b"); v.Kind != KindCompute {
+		t.Error("AddVertex did not update kind")
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New()
+	g.AddVertex("a", KindCompute)
+	g.AddVertex("b", KindCompute)
+	tests := []struct {
+		name    string
+		a, b    string
+		delay   float64
+		wantErr string
+	}{
+		{"self loop", "a", "a", 1, "self-loop"},
+		{"zero delay", "a", "b", 0, "delay"},
+		{"missing endpoint a", "x", "b", 1, "undefined"},
+		{"missing endpoint b", "a", "y", 1, "undefined"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := g.AddEdge(tt.a, tt.b, tt.delay)
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Errorf("AddEdge = %v, want error containing %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestMustAddEdgePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAddEdge did not panic on bad edge")
+		}
+	}()
+	New().MustAddEdge("x", "y", 1)
+}
+
+func TestComputeVertices(t *testing.T) {
+	g := Star(3)
+	cs := g.ComputeVertices()
+	if len(cs) != 3 {
+		t.Fatalf("Star(3) compute vertices = %v", cs)
+	}
+	all := g.Vertices()
+	if len(all) != 4 {
+		t.Errorf("Star(3) total vertices = %d, want 4 (incl. switch)", len(all))
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := New()
+	for _, id := range []string{"m", "a", "z"} {
+		g.AddVertex(id, KindCompute)
+	}
+	g.MustAddEdge("m", "z", 1)
+	g.MustAddEdge("m", "a", 1)
+	nbrs := g.Neighbors("m")
+	if len(nbrs) != 2 || nbrs[0] != "a" || nbrs[1] != "z" {
+		t.Errorf("Neighbors(m) = %v, want [a z]", nbrs)
+	}
+}
+
+func TestEdgesDeterministic(t *testing.T) {
+	g := Ring(4)
+	e1 := g.Edges()
+	e2 := g.Edges()
+	if len(e1) != 4 {
+		t.Fatalf("Ring(4) edges = %d, want 4", len(e1))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatal("Edges order not deterministic")
+		}
+		if e1[i].A >= e1[i].B {
+			t.Errorf("edge %v not normalized A<B", e1[i])
+		}
+	}
+}
+
+func TestConnected(t *testing.T) {
+	if !New().Connected() {
+		t.Error("empty graph should be connected")
+	}
+	g := Line(5)
+	if !g.Connected() {
+		t.Error("Line(5) disconnected")
+	}
+	g.AddVertex("island", KindCompute)
+	if g.Connected() {
+		t.Error("graph with isolated vertex reported connected")
+	}
+}
+
+func TestComputeNodes(t *testing.T) {
+	g := Line(3)
+	nodes := g.ComputeNodes(func(i int, id string) float64 { return float64(100 * (i + 1)) })
+	if len(nodes) != 3 {
+		t.Fatalf("ComputeNodes len = %d", len(nodes))
+	}
+	if nodes[1].Capacity != 200 || string(nodes[1].ID) != "c1" {
+		t.Errorf("nodes[1] = %+v", nodes[1])
+	}
+}

@@ -1,0 +1,148 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The paper scales its simulated datacenter substrate from reference
+// networks of the SNDlib survivable-network-design library [Orlowski et al.,
+// Networks 2010], with 4 to 50 computing nodes. The library itself ships
+// only as XML data files; here each reference network is embedded as an
+// explicit vertex/edge list in SNDlib style (same node counts and link
+// densities as the published instances). Placement and scheduling consume
+// only node counts, capacities and inter-node distances, so this embedding
+// preserves everything the algorithms observe.
+
+type namedTopology struct {
+	nodes []string
+	edges [][2]string
+}
+
+var sndlibTopologies = map[string]namedTopology{
+	// Abilene: 12 nodes, 15 links (the Internet2 research backbone).
+	"abilene": {
+		nodes: []string{
+			"ATLAM5", "ATLAng", "CHINng", "DNVRng", "HSTNng", "IPLSng",
+			"KSCYng", "LOSAng", "NYCMng", "SNVAng", "STTLng", "WASHng",
+		},
+		edges: [][2]string{
+			{"ATLAM5", "ATLAng"}, {"ATLAng", "HSTNng"}, {"ATLAng", "IPLSng"},
+			{"ATLAng", "WASHng"}, {"CHINng", "IPLSng"}, {"CHINng", "NYCMng"},
+			{"DNVRng", "KSCYng"}, {"DNVRng", "SNVAng"}, {"DNVRng", "STTLng"},
+			{"HSTNng", "KSCYng"}, {"HSTNng", "LOSAng"}, {"IPLSng", "KSCYng"},
+			{"LOSAng", "SNVAng"}, {"NYCMng", "WASHng"}, {"SNVAng", "STTLng"},
+		},
+	},
+	// Polska: 12 nodes, 18 links (Polish national backbone).
+	"polska": {
+		nodes: []string{
+			"Gdansk", "Bydgoszcz", "Kolobrzeg", "Szczecin", "Poznan", "Warszawa",
+			"Lodz", "Wroclaw", "Katowice", "Krakow", "Rzeszow", "Bialystok",
+		},
+		edges: [][2]string{
+			{"Gdansk", "Kolobrzeg"}, {"Gdansk", "Bydgoszcz"}, {"Gdansk", "Warszawa"},
+			{"Gdansk", "Bialystok"}, {"Kolobrzeg", "Szczecin"}, {"Kolobrzeg", "Bydgoszcz"},
+			{"Szczecin", "Poznan"}, {"Bydgoszcz", "Poznan"}, {"Bydgoszcz", "Warszawa"},
+			{"Poznan", "Wroclaw"}, {"Poznan", "Lodz"}, {"Wroclaw", "Lodz"},
+			{"Wroclaw", "Katowice"}, {"Lodz", "Warszawa"}, {"Katowice", "Krakow"},
+			{"Krakow", "Rzeszow"}, {"Rzeszow", "Bialystok"}, {"Warszawa", "Bialystok"},
+		},
+	},
+	// Nobel-Germany: 17 nodes, 26 links.
+	"nobel-germany": {
+		nodes: []string{
+			"Aachen", "Augsburg", "Berlin", "Bielefeld", "Bremen", "Dortmund",
+			"Dresden", "Duesseldorf", "Essen", "Frankfurt", "Hamburg", "Hannover",
+			"Karlsruhe", "Leipzig", "Muenchen", "Nuernberg", "Ulm",
+		},
+		edges: [][2]string{
+			{"Aachen", "Duesseldorf"}, {"Aachen", "Frankfurt"}, {"Augsburg", "Muenchen"},
+			{"Augsburg", "Ulm"}, {"Berlin", "Hamburg"}, {"Berlin", "Hannover"},
+			{"Berlin", "Leipzig"}, {"Bielefeld", "Dortmund"}, {"Bielefeld", "Hannover"},
+			{"Bremen", "Hamburg"}, {"Bremen", "Hannover"}, {"Dortmund", "Essen"},
+			{"Dortmund", "Hannover"}, {"Dresden", "Berlin"}, {"Dresden", "Leipzig"},
+			{"Duesseldorf", "Essen"}, {"Duesseldorf", "Frankfurt"}, {"Hamburg", "Hannover"},
+			{"Frankfurt", "Hannover"}, {"Frankfurt", "Karlsruhe"}, {"Frankfurt", "Leipzig"},
+			{"Frankfurt", "Nuernberg"}, {"Karlsruhe", "Ulm"}, {"Leipzig", "Nuernberg"},
+			{"Muenchen", "Nuernberg"}, {"Muenchen", "Ulm"},
+		},
+	},
+	// Geant: 22 nodes, 36 links (the pan-European research network).
+	"geant": {
+		nodes: []string{
+			"at", "be", "ch", "cz", "de", "dk", "es", "fr", "gr", "hr", "hu",
+			"ie", "il", "it", "lu", "nl", "no", "pl", "pt", "se", "sk", "uk",
+		},
+		edges: [][2]string{
+			{"at", "ch"}, {"at", "cz"}, {"at", "de"}, {"at", "hu"}, {"at", "it"},
+			{"at", "sk"}, {"be", "fr"}, {"be", "nl"}, {"be", "uk"}, {"ch", "de"},
+			{"ch", "fr"}, {"ch", "it"}, {"cz", "de"}, {"cz", "pl"}, {"cz", "sk"},
+			{"de", "dk"}, {"de", "fr"}, {"de", "nl"}, {"de", "pl"}, {"dk", "no"},
+			{"dk", "se"}, {"es", "fr"}, {"es", "it"}, {"es", "pt"}, {"fr", "lu"},
+			{"fr", "uk"}, {"gr", "it"}, {"gr", "il"}, {"hr", "hu"}, {"hr", "it"},
+			{"hu", "sk"}, {"ie", "uk"}, {"il", "it"}, {"lu", "de"}, {"nl", "uk"},
+			{"no", "se"},
+		},
+	},
+}
+
+// germany50 is generated structurally: 50 nodes on a ring with 38 fixed
+// chords — 88 links, matching the published instance's size. Built once at
+// package init of SNDlibNames/SNDlib via buildGermany50.
+var germany50Chords = [][2]int{
+	{0, 10}, {1, 17}, {2, 25}, {3, 31}, {4, 40}, {5, 22}, {6, 33}, {7, 44},
+	{8, 19}, {9, 27}, {11, 29}, {12, 38}, {13, 45}, {14, 26}, {15, 34},
+	{16, 42}, {18, 36}, {20, 41}, {21, 39}, {23, 47}, {24, 43}, {28, 46},
+	{30, 48}, {32, 49}, {0, 25}, {5, 30}, {10, 35}, {15, 40}, {20, 45},
+	{2, 37}, {7, 28}, {12, 33}, {17, 48}, {22, 43}, {4, 21}, {9, 36},
+	{14, 41}, {19, 46},
+}
+
+func buildGermany50() *Graph {
+	g := New()
+	for i := 0; i < 50; i++ {
+		g.AddVertex(fmt.Sprintf("g%02d", i), KindCompute)
+	}
+	for i := 0; i < 50; i++ {
+		g.MustAddEdge(fmt.Sprintf("g%02d", i), fmt.Sprintf("g%02d", (i+1)%50), DefaultLinkDelay)
+	}
+	for _, ch := range germany50Chords {
+		g.MustAddEdge(fmt.Sprintf("g%02d", ch[0]), fmt.Sprintf("g%02d", ch[1]), DefaultLinkDelay)
+	}
+	return g
+}
+
+// SNDlibNames lists the embedded reference networks, sorted.
+func SNDlibNames() []string {
+	names := make([]string, 0, len(sndlibTopologies)+1)
+	for n := range sndlibTopologies {
+		names = append(names, n)
+	}
+	names = append(names, "germany50")
+	sort.Strings(names)
+	return names
+}
+
+// SNDlib returns the named reference network with every node as a computing
+// node and uniform link delays. Unknown names return an error listing the
+// available networks.
+func SNDlib(name string) (*Graph, error) {
+	if name == "germany50" {
+		return buildGermany50(), nil
+	}
+	t, ok := sndlibTopologies[name]
+	if !ok {
+		return nil, fmt.Errorf("topology: unknown sndlib network %q (have %v)", name, SNDlibNames())
+	}
+	g := New()
+	for _, n := range t.nodes {
+		g.AddVertex(n, KindCompute)
+	}
+	for _, e := range t.edges {
+		if err := g.AddEdge(e[0], e[1], DefaultLinkDelay); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

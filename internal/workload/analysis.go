@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"math"
+	"sort"
+
+	"nfvchain/internal/model"
+	"nfvchain/internal/stats"
+)
+
+// TraceStats summarizes one request's arrival process in a recorded trace.
+// It answers the question the paper's model quietly assumes away: *is this
+// flow actually Poisson?* — via the inter-arrival coefficient of variation
+// (1 for exponential gaps) and a Kolmogorov–Smirnov test against the fitted
+// exponential distribution.
+type TraceStats struct {
+	Request model.RequestID
+	// Count is the number of arrivals observed.
+	Count int
+	// Rate is the empirical mean arrival rate (arrivals / horizon).
+	Rate float64
+	// MeanGap and CVGap describe the inter-arrival gaps; CV ≈ 1 indicates
+	// exponential (Poisson process), CV ≫ 1 indicates burstiness.
+	MeanGap, CVGap float64
+	// KSStatistic is the Kolmogorov–Smirnov distance between the empirical
+	// gap distribution and Exp(1/MeanGap).
+	KSStatistic float64
+	// PoissonLike reports whether KSStatistic is below the 5% critical
+	// value 1.358/√n — i.e. exponential gaps are not rejected.
+	PoissonLike bool
+}
+
+// AnalyzeTrace computes per-request arrival statistics, sorted by request
+// id. Requests with fewer than three arrivals are reported with Count/Rate
+// only (no gap statistics).
+func AnalyzeTrace(t *Trace) []TraceStats {
+	byReq := make(map[model.RequestID][]float64)
+	for _, a := range t.Arrivals {
+		byReq[a.Request] = append(byReq[a.Request], a.Time)
+	}
+	out := make([]TraceStats, 0, len(byReq))
+	for id, times := range byReq {
+		st := TraceStats{Request: id, Count: len(times)}
+		if t.Horizon > 0 {
+			st.Rate = float64(len(times)) / t.Horizon
+		}
+		if len(times) >= 3 {
+			sort.Float64s(times)
+			gaps := make([]float64, len(times)-1)
+			var sum stats.Summary
+			for i := 1; i < len(times); i++ {
+				gaps[i-1] = times[i] - times[i-1]
+				sum.Add(gaps[i-1])
+			}
+			st.MeanGap = sum.Mean()
+			if st.MeanGap > 0 {
+				st.CVGap = sum.StdDev() / st.MeanGap
+				st.KSStatistic = ksExponential(gaps, 1/st.MeanGap)
+				critical := 1.358 / math.Sqrt(float64(len(gaps)))
+				st.PoissonLike = st.KSStatistic < critical
+			}
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Request < out[j].Request })
+	return out
+}
+
+// ksExponential returns the Kolmogorov–Smirnov statistic between the sample
+// and the exponential distribution with the given rate. The sample is not
+// modified.
+func ksExponential(sample []float64, rate float64) float64 {
+	xs := append([]float64(nil), sample...)
+	sort.Float64s(xs)
+	n := float64(len(xs))
+	var d float64
+	for i, x := range xs {
+		f := 1 - math.Exp(-rate*x)
+		lo := f - float64(i)/n
+		hi := float64(i+1)/n - f
+		if lo > d {
+			d = lo
+		}
+		if hi > d {
+			d = hi
+		}
+	}
+	return d
+}

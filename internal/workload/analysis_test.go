@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"nfvchain/internal/model"
+)
+
+func analysisProblem(rate float64) *model.Problem {
+	return &model.Problem{
+		Nodes:    []model.Node{{ID: "n", Capacity: 1000}},
+		VNFs:     []model.VNF{{ID: "f", Instances: 1, Demand: 1, ServiceRate: 10 * rate}},
+		Requests: []model.Request{{ID: "r", Chain: []model.VNFID{"f"}, Rate: rate, DeliveryProb: 1}},
+	}
+}
+
+func TestAnalyzeTraceAcceptsPoisson(t *testing.T) {
+	p := analysisProblem(40)
+	tr, err := GenerateTrace(p, 100, InterArrivalExponential, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sts := AnalyzeTrace(tr)
+	if len(sts) != 1 {
+		t.Fatalf("stats = %v", sts)
+	}
+	st := sts[0]
+	if st.Request != "r" || st.Count < 3000 {
+		t.Errorf("unexpected stats %+v", st)
+	}
+	if math.Abs(st.Rate-40)/40 > 0.1 {
+		t.Errorf("rate = %v, want ≈40", st.Rate)
+	}
+	if math.Abs(st.CVGap-1) > 0.1 {
+		t.Errorf("CV = %v, want ≈1 for Poisson", st.CVGap)
+	}
+	if !st.PoissonLike {
+		t.Errorf("exponential gaps rejected: KS = %v", st.KSStatistic)
+	}
+}
+
+func TestAnalyzeTraceFlagsBurstiness(t *testing.T) {
+	p := analysisProblem(40)
+	tr, err := GenerateTrace(p, 100, InterArrivalLogNormal, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := AnalyzeTrace(tr)[0]
+	// σ=1 lognormal gaps: CV = sqrt(e−1) ≈ 1.31 and decidedly not
+	// exponential.
+	if st.CVGap < 1.1 {
+		t.Errorf("lognormal CV = %v, want > 1.1", st.CVGap)
+	}
+	if st.PoissonLike {
+		t.Errorf("lognormal gaps accepted as Poisson: KS = %v", st.KSStatistic)
+	}
+}
+
+func TestAnalyzeTraceDeterministicArrivalsRejected(t *testing.T) {
+	// Perfectly periodic arrivals: CV ≈ 0, KS far from exponential.
+	tr := &Trace{Horizon: 10}
+	for i := 0; i < 100; i++ {
+		tr.Arrivals = append(tr.Arrivals, Arrival{Time: float64(i) * 0.1, Request: "clock"})
+	}
+	st := AnalyzeTrace(tr)[0]
+	if st.CVGap > 0.01 {
+		t.Errorf("periodic CV = %v, want ≈0", st.CVGap)
+	}
+	if st.PoissonLike {
+		t.Error("periodic arrivals accepted as Poisson")
+	}
+	if math.Abs(st.Rate-10) > 0.5 {
+		t.Errorf("rate = %v, want ≈10", st.Rate)
+	}
+}
+
+func TestAnalyzeTraceTinySamples(t *testing.T) {
+	tr := &Trace{Horizon: 1, Arrivals: []Arrival{
+		{Time: 0.1, Request: "a"},
+		{Time: 0.5, Request: "a"},
+		{Time: 0.3, Request: "b"},
+	}}
+	sts := AnalyzeTrace(tr)
+	if len(sts) != 2 {
+		t.Fatalf("stats = %v", sts)
+	}
+	// Sorted by id; fewer than 3 arrivals → no gap statistics.
+	if sts[0].Request != "a" || sts[1].Request != "b" {
+		t.Errorf("order: %v", sts)
+	}
+	if sts[0].MeanGap != 0 || sts[0].PoissonLike {
+		t.Errorf("tiny sample produced gap stats: %+v", sts[0])
+	}
+	if sts[0].Count != 2 || sts[1].Count != 1 {
+		t.Errorf("counts wrong: %+v", sts)
+	}
+}
+
+func TestKSExponentialExactFit(t *testing.T) {
+	// Quantile-spaced samples of Exp(1) have minimal KS distance.
+	var xs []float64
+	const n = 1000
+	for i := 1; i <= n; i++ {
+		q := (float64(i) - 0.5) / n
+		xs = append(xs, -math.Log(1-q))
+	}
+	if d := ksExponential(xs, 1); d > 0.01 {
+		t.Errorf("KS of exact quantiles = %v, want ≈0", d)
+	}
+	// Wrong rate → large distance.
+	if d := ksExponential(xs, 5); d < 0.3 {
+		t.Errorf("KS under wrong rate = %v, want large", d)
+	}
+}

@@ -1,0 +1,262 @@
+package workload
+
+import (
+	"fmt"
+
+	"nfvchain/internal/model"
+	"nfvchain/internal/rng"
+)
+
+// Config parameterizes problem generation. Field ranges default to the
+// paper's Section V-A setup; see DefaultConfig.
+type Config struct {
+	Seed uint64
+
+	// Topology-independent sizes.
+	NumVNFs     int // 6..30 in the paper
+	NumRequests int // 30..1000 in the paper
+	NumNodes    int // 4..50 in the paper
+
+	// Chains.
+	MinChainLength int // ≥1
+	MaxChainLength int // ≤6 in the paper
+	// ChainMode selects how chains are drawn; zero value means
+	// ChainModeRandom.
+	ChainMode ChainMode
+
+	// Request arrival rates λ_r (packets/s), uniform in [RateMin, RateMax].
+	RateMin, RateMax float64
+
+	// DeliveryProb is the probability P of correct delivery shared by all
+	// requests (the paper scales it in [0.98, 1]).
+	DeliveryProb float64
+
+	// RequestsPerInstance controls M_f sizing: each instance is expected to
+	// serve about this many requests (the paper's range is 1..200).
+	RequestsPerInstance int
+
+	// ServiceHeadroom scales every µ_f so that a perfectly balanced
+	// assignment has utilization 1/ServiceHeadroom. Must be > 1 for stable
+	// queues; the paper "scales µ_f with the number of requests" the same way.
+	ServiceHeadroom float64
+
+	// Node capacities A_v, uniform integer units in [CapacityMin, CapacityMax]
+	// (paper range 1..5000; one unit = 64-byte packets at 10 kpps).
+	CapacityMin, CapacityMax float64
+
+	// UniformCapacity forces every node to CapacityMax, the homogeneous
+	// setting used in the NP-hardness reduction.
+	UniformCapacity bool
+}
+
+// ChainMode selects the chain-drawing strategy of Generate.
+type ChainMode int
+
+// Chain modes. Enums start at one; the Config zero value maps to
+// ChainModeRandom for backward compatibility.
+const (
+	// ChainModeRandom draws uniform random chains of distinct VNFs — the
+	// paper's setup ("each request traverses a VNF chain consisted of at
+	// most 6 VNFs").
+	ChainModeRandom ChainMode = iota + 1
+	// ChainModeTemplates draws chains from the named SFC templates with
+	// Zipf-distributed popularity (rank-1 template most common), the way
+	// production service chains concentrate on a few canonical sequences.
+	// Requires NumVNFs ≥ 6 so every template's VNFs exist.
+	ChainModeTemplates
+)
+
+// DefaultConfig returns the paper's baseline setup: 15 VNFs, 200 requests,
+// 10 nodes, chains of up to 6 VNFs, λ ∈ [1,100] pps, P = 0.98.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                1,
+		NumVNFs:             15,
+		NumRequests:         200,
+		NumNodes:            10,
+		MinChainLength:      1,
+		MaxChainLength:      model.MaxChainLength,
+		RateMin:             1,
+		RateMax:             100,
+		DeliveryProb:        0.98,
+		RequestsPerInstance: 20,
+		ServiceHeadroom:     1.25,
+		CapacityMin:         1000,
+		CapacityMax:         5000,
+	}
+}
+
+// Validate reports the first out-of-range field.
+func (c Config) Validate() error {
+	switch {
+	case c.NumVNFs < 1:
+		return fmt.Errorf("workload: NumVNFs %d < 1", c.NumVNFs)
+	case c.NumRequests < 0:
+		return fmt.Errorf("workload: NumRequests %d < 0", c.NumRequests)
+	case c.NumNodes < 1:
+		return fmt.Errorf("workload: NumNodes %d < 1", c.NumNodes)
+	case c.MinChainLength < 1:
+		return fmt.Errorf("workload: MinChainLength %d < 1", c.MinChainLength)
+	case c.MaxChainLength < c.MinChainLength:
+		return fmt.Errorf("workload: MaxChainLength %d < MinChainLength %d", c.MaxChainLength, c.MinChainLength)
+	case c.MaxChainLength > c.NumVNFs:
+		return fmt.Errorf("workload: MaxChainLength %d exceeds NumVNFs %d", c.MaxChainLength, c.NumVNFs)
+	case c.RateMin <= 0 || c.RateMax < c.RateMin:
+		return fmt.Errorf("workload: rate range [%v,%v] invalid", c.RateMin, c.RateMax)
+	case c.DeliveryProb <= 0 || c.DeliveryProb > 1:
+		return fmt.Errorf("workload: DeliveryProb %v outside (0,1]", c.DeliveryProb)
+	case c.RequestsPerInstance < 1:
+		return fmt.Errorf("workload: RequestsPerInstance %d < 1", c.RequestsPerInstance)
+	case c.ServiceHeadroom <= 1:
+		return fmt.Errorf("workload: ServiceHeadroom %v must exceed 1 for stability", c.ServiceHeadroom)
+	case c.CapacityMin <= 0 || c.CapacityMax < c.CapacityMin:
+		return fmt.Errorf("workload: capacity range [%v,%v] invalid", c.CapacityMin, c.CapacityMax)
+	}
+	switch c.ChainMode {
+	case 0, ChainModeRandom: // zero value defaults to random
+	case ChainModeTemplates:
+		if c.NumVNFs < 6 {
+			return fmt.Errorf("workload: template chains need the 6 core VNFs, have NumVNFs=%d", c.NumVNFs)
+		}
+	default:
+		return fmt.Errorf("workload: unknown chain mode %d", c.ChainMode)
+	}
+	return nil
+}
+
+// Generate synthesizes a complete problem instance from the config. The
+// same config (including Seed) always yields the same problem.
+//
+// Sizing follows the paper's conventions: the first NumVNFs catalog entries
+// form the VNF population; each request draws a uniform chain of distinct
+// VNFs and a uniform rate; each VNF deploys M_f = ceil(|R_f| /
+// RequestsPerInstance) instances (at least one), and its µ_f is scaled so a
+// balanced assignment runs at utilization 1/ServiceHeadroom.
+func Generate(cfg Config) (*model.Problem, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.NumVNFs > CatalogSize {
+		return nil, fmt.Errorf("workload: NumVNFs %d exceeds catalog size %d", cfg.NumVNFs, CatalogSize)
+	}
+
+	nodeStream := rng.Derive(cfg.Seed, "nodes")
+	chainStream := rng.Derive(cfg.Seed, "chains")
+	rateStream := rng.Derive(cfg.Seed, "rates")
+
+	p := &model.Problem{}
+
+	// Nodes.
+	for i := 0; i < cfg.NumNodes; i++ {
+		capacity := cfg.CapacityMax
+		if !cfg.UniformCapacity {
+			capacity = float64(int(nodeStream.Uniform(cfg.CapacityMin, cfg.CapacityMax)) + 1)
+			if capacity > cfg.CapacityMax {
+				capacity = cfg.CapacityMax
+			}
+		}
+		p.Nodes = append(p.Nodes, model.Node{
+			ID:       model.NodeID(fmt.Sprintf("node%02d", i)),
+			Name:     fmt.Sprintf("node%02d", i),
+			Capacity: capacity,
+		})
+	}
+
+	// VNF skeletons from the catalog (instances/µ sized after requests).
+	entries := Catalog()[:cfg.NumVNFs]
+	ids := make([]model.VNFID, cfg.NumVNFs)
+	for i, e := range entries {
+		ids[i] = model.VNFID(e.Name)
+	}
+
+	// Zipf popularity weights for template mode: rank i gets 1/(i+1).
+	templates := ChainTemplates()
+	zipf := make([]float64, len(templates))
+	for i := range zipf {
+		zipf[i] = 1 / float64(i+1)
+	}
+
+	// Requests with random or template-drawn chains.
+	usersOf := make(map[model.VNFID][]float64) // rates of requests using each VNF
+	for i := 0; i < cfg.NumRequests; i++ {
+		var chain []model.VNFID
+		if cfg.ChainMode == ChainModeTemplates {
+			tpl := templates[chainStream.WeightedIndex(zipf)]
+			chain = append([]model.VNFID(nil), tpl.VNFs...)
+		} else {
+			length := chainStream.UniformInt(cfg.MinChainLength, cfg.MaxChainLength)
+			perm := chainStream.Perm(cfg.NumVNFs)
+			chain = make([]model.VNFID, length)
+			for j := 0; j < length; j++ {
+				chain[j] = ids[perm[j]]
+			}
+		}
+		rate := rateStream.Uniform(cfg.RateMin, cfg.RateMax)
+		req := model.Request{
+			ID:           model.RequestID(fmt.Sprintf("req%04d", i)),
+			Chain:        chain,
+			Rate:         rate,
+			DeliveryProb: cfg.DeliveryProb,
+		}
+		p.Requests = append(p.Requests, req)
+		for _, f := range chain {
+			usersOf[f] = append(usersOf[f], rate)
+		}
+	}
+
+	// Size each VNF from its demand population.
+	for i, e := range entries {
+		rates := usersOf[ids[i]]
+		instances := 1
+		if len(rates) > 0 {
+			instances = (len(rates) + cfg.RequestsPerInstance - 1) / cfg.RequestsPerInstance
+		}
+		// Σ effective rates spread over M_f instances, padded by headroom.
+		var sum float64
+		for _, r := range rates {
+			sum += r / cfg.DeliveryProb
+		}
+		mu := e.ServiceRate
+		if sum > 0 {
+			needed := sum / float64(instances) * cfg.ServiceHeadroom
+			if needed > mu {
+				mu = needed
+			}
+		}
+		p.VNFs = append(p.VNFs, model.VNF{
+			ID:          ids[i],
+			Name:        e.Name,
+			Category:    e.Category,
+			Instances:   instances,
+			Demand:      e.Demand,
+			ServiceRate: mu,
+		})
+	}
+
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: generated invalid problem: %w", err)
+	}
+	return p, nil
+}
+
+// AddMemoryDimension annotates an existing problem with one additional
+// resource dimension — memory, in GB — realizing the paper's "other
+// resources are modeled as additional constraints". Node memory is drawn
+// from server tiers (64–512 GB); per-instance VNF memory is proportional to
+// its CPU demand (stateful functions like IDS/DPI are memory-heavy) with a
+// small floor. The problem is modified in place and revalidated.
+func AddMemoryDimension(p *model.Problem, seed uint64) error {
+	s := rng.Derive(seed, "memory")
+	tiers := []float64{64, 128, 256, 512}
+	for i := range p.Nodes {
+		p.Nodes[i].Extras = []float64{tiers[s.IntN(len(tiers))]}
+	}
+	for i := range p.VNFs {
+		mem := 0.5 + p.VNFs[i].Demand*0.05 // GB per instance
+		p.VNFs[i].Extras = []float64{mem}
+	}
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("workload: memory dimension broke problem: %w", err)
+	}
+	return nil
+}

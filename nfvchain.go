@@ -1,0 +1,293 @@
+package nfvchain
+
+import (
+	"io"
+
+	"nfvchain/internal/core"
+	"nfvchain/internal/dynamic"
+	"nfvchain/internal/experiment"
+	"nfvchain/internal/model"
+	"nfvchain/internal/placement"
+	"nfvchain/internal/rng"
+	"nfvchain/internal/routing"
+	"nfvchain/internal/scheduling"
+	"nfvchain/internal/simulate"
+	"nfvchain/internal/topology"
+	"nfvchain/internal/workload"
+)
+
+// Domain types re-exported from the internal model.
+type (
+	// VNFID identifies a virtual network function.
+	VNFID = model.VNFID
+	// NodeID identifies a computing node.
+	NodeID = model.NodeID
+	// RequestID identifies a request.
+	RequestID = model.RequestID
+	// VNF is a virtual network function with its deployment sizing.
+	VNF = model.VNF
+	// Node is a computing node (commodity server).
+	Node = model.Node
+	// Request is a flow traversing an ordered VNF chain.
+	Request = model.Request
+	// Problem bundles a complete placement-and-scheduling instance.
+	Problem = model.Problem
+	// Placement maps each VNF to its hosting node.
+	Placement = model.Placement
+	// Schedule maps each (request, VNF) pair to a service instance.
+	Schedule = model.Schedule
+)
+
+// Pipeline types re-exported from the core optimizer.
+type (
+	// Options configures the two-phase pipeline; the zero value selects the
+	// paper's proposed algorithms (BFDSU + RCKK with admission control).
+	Options = core.Options
+	// Solution is the output of Optimize.
+	Solution = core.Solution
+	// Evaluation carries the analytic objective values of a solution.
+	Evaluation = core.Evaluation
+	// SimulationConfig carries discrete-event simulation knobs.
+	SimulationConfig = core.SimulationConfig
+	// SimulationResults aggregates one simulation run's measurements.
+	SimulationResults = simulate.Results
+	// ServiceDist selects the simulator's service-time distribution.
+	ServiceDist = simulate.ServiceDist
+)
+
+// Service-time distributions for SimulationConfig.ServiceDist.
+const (
+	// ServiceExponential is the paper's M/M/1 assumption (CV = 1).
+	ServiceExponential = simulate.ServiceExponential
+	// ServiceDeterministic models fixed per-packet work (CV = 0).
+	ServiceDeterministic = simulate.ServiceDeterministic
+	// ServiceLogNormal models heavy-tailed processing (CV ≈ 1.31).
+	ServiceLogNormal = simulate.ServiceLogNormal
+)
+
+// Algorithm interfaces re-exported for callers supplying their own
+// strategies via Options.
+type (
+	// PlacementAlgorithm is a VNF chain placement strategy.
+	PlacementAlgorithm = placement.Algorithm
+	// SchedulingAlgorithm partitions requests across service instances.
+	SchedulingAlgorithm = scheduling.Partitioner
+)
+
+// Workload generation, re-exported.
+type (
+	// WorkloadConfig parameterizes synthetic problem generation.
+	WorkloadConfig = workload.Config
+	// Trace is a packet-level arrival trace for trace-driven simulation.
+	Trace = workload.Trace
+)
+
+// Experiment harness, re-exported.
+type (
+	// ExperimentConfig tunes experiment averaging depth.
+	ExperimentConfig = experiment.Config
+	// ExperimentTable is the regenerated data behind one paper figure.
+	ExperimentTable = experiment.Table
+)
+
+// Optimize runs the two-phase pipeline (placement, then scheduling with
+// admission control) on the problem.
+func Optimize(p *Problem, opts Options) (*Solution, error) {
+	return core.Optimize(p, opts)
+}
+
+// Evaluate computes the analytic objectives of a solution: average node
+// utilization (Eq. 13), nodes in service (Eq. 14), per-instance response
+// times (Eq. 15) and total request latency including link hops (Eq. 16).
+func Evaluate(sol *Solution) (*Evaluation, error) {
+	return core.Evaluate(sol)
+}
+
+// Simulate runs the packet-level discrete-event simulator on a solution.
+func Simulate(sol *Solution, cfg SimulationConfig) (*SimulationResults, error) {
+	return core.Simulate(sol, cfg)
+}
+
+// GenerateWorkload synthesizes a problem instance from the config;
+// identical configs (including Seed) yield identical problems.
+func GenerateWorkload(cfg WorkloadConfig) (*Problem, error) {
+	return workload.Generate(cfg)
+}
+
+// DefaultWorkloadConfig returns the paper's baseline setup: 15 VNFs, 200
+// requests, 10 nodes, chains of up to 6 VNFs, λ ∈ [1,100] pps, P = 0.98.
+func DefaultWorkloadConfig() WorkloadConfig {
+	return workload.DefaultConfig()
+}
+
+// GenerateTrace samples a packet-arrival trace for every request in the
+// problem over the horizon (seconds), for trace-driven simulation.
+func GenerateTrace(p *Problem, horizon float64, seed uint64) (*Trace, error) {
+	return workload.GenerateTrace(p, horizon, workload.InterArrivalExponential, seed)
+}
+
+// Placement algorithm constructors.
+
+// NewBFDSU returns the paper's priority-driven weighted placement algorithm.
+func NewBFDSU(seed uint64) PlacementAlgorithm { return &placement.BFDSU{Seed: seed} }
+
+// NewFFD returns the First Fit Decreasing baseline.
+func NewFFD() PlacementAlgorithm { return placement.FFD{} }
+
+// NewBFD returns deterministic Best Fit Decreasing.
+func NewBFD() PlacementAlgorithm { return placement.BFD{} }
+
+// NewWFD returns Worst Fit Decreasing (the spreading baseline).
+func NewWFD() PlacementAlgorithm { return placement.WFD{} }
+
+// NewNAH returns the chain-oriented Node Assignment Heuristic of Xia et al.
+func NewNAH() PlacementAlgorithm { return placement.NAH{} }
+
+// NewExactPlacer returns the branch-and-bound optimal placer for small
+// instances.
+func NewExactPlacer() PlacementAlgorithm { return &placement.Exact{} }
+
+// Scheduling algorithm constructors.
+
+// NewRCKK returns the paper's Reverse Complete Karmarkar-Karp scheduler.
+func NewRCKK() SchedulingAlgorithm { return scheduling.RCKK{} }
+
+// NewCGA returns the greedy (LPT) baseline scheduler.
+func NewCGA() SchedulingAlgorithm { return scheduling.CGA{} }
+
+// NewExactScheduler returns the branch-and-bound optimal partitioner for
+// small instances.
+func NewExactScheduler() SchedulingAlgorithm { return &scheduling.Exact{} }
+
+// Topology substrate, re-exported.
+
+// Topology is a datacenter network graph of computing nodes and switches.
+type Topology = topology.Graph
+
+// NewFatTree builds a k-ary fat-tree datacenter topology with k³/4
+// computing nodes; k must be even.
+func NewFatTree(k int) (*Topology, error) { return topology.FatTree(k) }
+
+// NewSNDlibTopology returns one of the embedded SNDlib-style reference
+// networks; see SNDlibTopologyNames.
+func NewSNDlibTopology(name string) (*Topology, error) { return topology.SNDlib(name) }
+
+// SNDlibTopologyNames lists the embedded reference networks.
+func SNDlibTopologyNames() []string { return topology.SNDlibNames() }
+
+// NewRandomTopology returns a seeded random connected topology of n
+// computing nodes and about m links.
+func NewRandomTopology(n, m int, seed uint64) (*Topology, error) {
+	return topology.RandomConnected(n, m, rng.New(seed))
+}
+
+// NewCKK returns the Complete Karmarkar-Karp scheduler (bounded complete
+// search; the first descent is RCKK).
+func NewCKK() SchedulingAlgorithm { return scheduling.CKK{} }
+
+// NewKKForward returns the forward-combining KK ablation variant.
+func NewKKForward() SchedulingAlgorithm { return scheduling.KKForward{} }
+
+// NewRoundRobin returns the cyclic-assignment baseline scheduler.
+func NewRoundRobin() SchedulingAlgorithm { return scheduling.RoundRobin{} }
+
+// Routing and locality.
+
+// ChainRouter resolves placed chains to physical paths over a topology.
+type ChainRouter = routing.Router
+
+// ChainPath is one request's physical route under a placement.
+type ChainPath = routing.Path
+
+// NewChainRouter builds a router over the topology.
+func NewChainRouter(g *Topology) (*ChainRouter, error) { return routing.NewRouter(g) }
+
+// NewTopologyAwarePlacer returns the locality-extended BFDSU (TA-BFDSU):
+// snug fits weighted toward nodes close to each VNF's chain peers.
+func NewTopologyAwarePlacer(g *Topology, seed uint64) PlacementAlgorithm {
+	return &routing.TopologyAware{Topo: g, Seed: seed}
+}
+
+// Dynamic (online) operation.
+
+// DynamicConfig parameterizes the online controller.
+type DynamicConfig = dynamic.Config
+
+// DynamicController manages a live deployment: online admission, replica
+// scale-out with setup costs, and idle scale-in.
+type DynamicController = dynamic.Controller
+
+// AdmitOutcome describes one online admission.
+type AdmitOutcome = dynamic.AdmitOutcome
+
+// Setup costs cited by the paper (seconds): a middlebox VM boot vs a
+// ClickOS-style lightweight instantiation.
+const (
+	SetupCostVM      = dynamic.SetupCostVM
+	SetupCostClickOS = dynamic.SetupCostClickOS
+)
+
+// NewDynamicController places the base VNFs and returns an online
+// controller.
+func NewDynamicController(cfg DynamicConfig) (*DynamicController, error) {
+	return dynamic.New(cfg)
+}
+
+// AddMemoryDimension annotates a problem with a memory resource dimension,
+// exercising the multi-resource "additional constraints" of the model.
+func AddMemoryDimension(p *Problem, seed uint64) error {
+	return workload.AddMemoryDimension(p, seed)
+}
+
+// Polish passes and bounds.
+
+// ImprovePlacement runs a deterministic local search (node evacuation +
+// relocation) on a feasible placement; the result never uses more nodes and
+// respects every resource dimension.
+func ImprovePlacement(p *Problem, pl *Placement) (*Placement, error) {
+	return placement.Improve(p, pl, 0)
+}
+
+// ImproveSchedule runs a deterministic move/swap local search on a complete
+// schedule; per-VNF makespans never grow.
+func ImproveSchedule(p *Problem, s *Schedule) (*Schedule, error) {
+	return scheduling.ImproveSchedule(p, s)
+}
+
+// PlacementLowerBound returns a provable lower bound on the number of nodes
+// in service for any feasible placement (capacity covering + big-item
+// pigeonhole, all resource dimensions).
+func PlacementLowerBound(p *Problem) int { return placement.LowerBound(p) }
+
+// TraceStats summarizes one request's arrival process in a recorded trace.
+type TraceStats = workload.TraceStats
+
+// AnalyzeTrace computes per-request arrival statistics — empirical rate,
+// inter-arrival burstiness and a Kolmogorov–Smirnov Poisson check.
+func AnalyzeTrace(t *Trace) []TraceStats { return workload.AnalyzeTrace(t) }
+
+// ReadProblemJSON parses and validates a problem written with
+// Problem.WriteJSON (or cmd/tracegen).
+func ReadProblemJSON(r io.Reader) (*Problem, error) { return model.ReadJSON(r) }
+
+// ReadSolutionJSON parses and validates a solution written with
+// Solution.WriteJSON (or nfvsim -out).
+func ReadSolutionJSON(r io.Reader) (*Solution, error) { return core.ReadSolutionJSON(r) }
+
+// Experiments.
+
+// RunExperiment regenerates one of the paper's evaluation figures
+// ("fig5" … "fig16", "tail"); see ExperimentIDs.
+func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentTable, error) {
+	return experiment.Run(id, cfg)
+}
+
+// ExperimentIDs lists the available experiments.
+func ExperimentIDs() []string { return experiment.IDs() }
+
+// DefaultExperimentConfig mirrors the paper's averaging protocol (1000
+// scheduling trials per point).
+func DefaultExperimentConfig() ExperimentConfig { return experiment.DefaultConfig() }
+
+// FastExperimentConfig trades averaging depth for speed.
+func FastExperimentConfig() ExperimentConfig { return experiment.FastConfig() }
