@@ -1,0 +1,33 @@
+# Developer entry points. `make check` is the PR gate: it must pass before
+# every commit (the race detector covers the parallel experiment harness).
+
+GO ?= go
+
+.PHONY: check build vet test race bench bench-json clean
+
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Quick micro-benchmarks of the two hot paths (DES event loop, RCKK merge).
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkSimulator|BenchmarkScheduleRCKK' -benchmem .
+
+# Regenerate the committed performance trajectory (ns/op, allocs/op per
+# scenario). Compare against the previous results/BENCH.json before merging
+# performance-sensitive changes.
+bench-json:
+	$(GO) run ./cmd/nfvbench -out results/BENCH.json
+
+clean:
+	$(GO) clean ./...

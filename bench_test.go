@@ -149,7 +149,7 @@ func schedulingItems(n int, seed uint64) []scheduling.Item {
 }
 
 func benchPartitioner(b *testing.B, alg scheduling.Partitioner) {
-	for _, n := range []int{50, 250, 1000} {
+	for _, n := range []int{50, 250, 1000, 2000} {
 		items := schedulingItems(n, 7)
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			b.ReportAllocs()
@@ -237,6 +237,82 @@ func BenchmarkSimulatorSecond(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := simulate.Run(simulate.Config{
 			Problem: prob, Schedule: sched, Horizon: 1, Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// largeHorizonFixture is a 5-request, 4-VNF system for the long-horizon DES
+// benchmarks: 1500 packet arrivals per simulated second across the fleet,
+// sized so every instance stays stable (ρ ≈ 0.75 at the hottest one) —
+// an unstable fixture would benchmark unbounded queue growth, not the
+// event-loop hot path.
+func largeHorizonFixture() (*model.Problem, *model.Schedule) {
+	prob := &model.Problem{
+		Nodes: []model.Node{{ID: "n", Capacity: 10000}},
+		VNFs: []model.VNF{
+			{ID: "f1", Instances: 2, Demand: 1, ServiceRate: 1200},
+			{ID: "f2", Instances: 2, Demand: 1, ServiceRate: 1200},
+			{ID: "f3", Instances: 1, Demand: 1, ServiceRate: 2000},
+			{ID: "f4", Instances: 1, Demand: 1, ServiceRate: 2000},
+		},
+	}
+	for i := 0; i < 5; i++ {
+		prob.Requests = append(prob.Requests, model.Request{
+			ID:    model.RequestID(fmt.Sprintf("r%d", i)),
+			Chain: []model.VNFID{"f1", "f2", "f3", "f4"}, Rate: 300, DeliveryProb: 0.98,
+		})
+	}
+	sched := model.NewSchedule()
+	for i, r := range prob.Requests {
+		for _, f := range prob.VNFs {
+			sched.Assign(r.ID, f.ID, i%f.Instances)
+		}
+	}
+	return prob, sched
+}
+
+// BenchmarkSimulatorLargeHorizon exercises the DES at scale: 30 simulated
+// seconds × 2000 pps ≈ 60k packets (240k stage visits) per iteration. This
+// is the trajectory benchmark for the event/packet pooling and ring-buffer
+// work — allocs/op here is dominated by the per-event hot path.
+func BenchmarkSimulatorLargeHorizon(b *testing.B) {
+	prob, sched := largeHorizonFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := simulate.Run(simulate.Config{
+			Problem: prob, Schedule: sched, Horizon: 30, Warmup: 2, Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorDropRetransmit measures the NACK loss-feedback path: a
+// stable M/M/1/4 queue (ρ = 0.8) whose blocking losses are re-injected from
+// the source. The system must stay stable — an overloaded queue with
+// retransmission snowballs into an event storm, which is a workload property
+// rather than a simulator hot path.
+func BenchmarkSimulatorDropRetransmit(b *testing.B) {
+	prob := &model.Problem{
+		Nodes: []model.Node{{ID: "n", Capacity: 1000}},
+		VNFs: []model.VNF{
+			{ID: "f", Instances: 1, Demand: 1, ServiceRate: 100},
+		},
+		Requests: []model.Request{
+			{ID: "r", Chain: []model.VNFID{"f"}, Rate: 80, DeliveryProb: 0.98},
+		},
+	}
+	sched := model.NewSchedule()
+	sched.Assign("r", "f", 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := simulate.Run(simulate.Config{
+			Problem: prob, Schedule: sched, Horizon: 30, Warmup: 2, Seed: uint64(i),
+			BufferSize: 3, DropPolicy: simulate.DropRetransmit, RetransmitDelay: 0.005,
 		}); err != nil {
 			b.Fatal(err)
 		}

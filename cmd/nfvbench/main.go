@@ -1,0 +1,258 @@
+// Command nfvbench runs the repository's performance-trajectory benchmarks
+// and writes the results as machine-readable JSON, so successive PRs can
+// compare ns/op and allocs/op on the same scenarios.
+//
+// Usage:
+//
+//	nfvbench                      # run all scenarios, write BENCH.json
+//	nfvbench -out results/BENCH.json
+//	nfvbench -run Simulator       # only scenarios whose name contains the substring
+//
+// The scenario set mirrors the hot paths of the pipeline: the discrete-event
+// simulator at small and large horizons (with and without drop-retransmit
+// loss feedback) and the KK-family partitioners at growing request counts.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"nfvchain/internal/model"
+	"nfvchain/internal/rng"
+	"nfvchain/internal/scheduling"
+	"nfvchain/internal/simulate"
+)
+
+// benchResult is one scenario's measurement in BENCH.json.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchFile is the top-level BENCH.json document.
+type benchFile struct {
+	GeneratedBy string        `json:"generated_by"`
+	Date        string        `json:"date"`
+	GoVersion   string        `json:"go_version"`
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
+	Benchmarks  []benchResult `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "nfvbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("nfvbench", flag.ContinueOnError)
+	var (
+		out       = fs.String("out", "BENCH.json", "output path for the JSON report")
+		runFilter = fs.String("run", "", "only run scenarios whose name contains this substring")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	doc := benchFile{
+		GeneratedBy: "nfvbench",
+		Date:        time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+	}
+	for _, sc := range scenarios() {
+		if *runFilter != "" && !strings.Contains(sc.name, *runFilter) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %-40s", sc.name)
+		r := benchmarkFor(sc.fn)
+		res := benchResult{
+			Name:        sc.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		fmt.Fprintf(os.Stderr, " %12.0f ns/op %8d allocs/op\n", res.NsPerOp, res.AllocsPerOp)
+		doc.Benchmarks = append(doc.Benchmarks, res)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return fmt.Errorf("no scenario matches -run %q", *runFilter)
+	}
+
+	if dir := filepath.Dir(*out); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("create output dir: %w", err)
+		}
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", *out)
+	return nil
+}
+
+// benchmarkFor runs fn under the testing benchmark driver (the standard ~1s
+// budget) with allocation tracking.
+func benchmarkFor(fn func(b *testing.B)) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+}
+
+type scenario struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// scenarios returns the fixed trajectory suite. Names are stable across PRs
+// — comparisons depend on them.
+func scenarios() []scenario {
+	out := []scenario{
+		{"Simulator/second", simulatorSecond},
+		{"Simulator/large-horizon", simulatorLargeHorizon},
+		{"Simulator/drop-retransmit", simulatorDropRetransmit},
+	}
+	for _, n := range []int{250, 1000, 2000} {
+		n := n
+		out = append(out, scenario{
+			fmt.Sprintf("RCKK/n=%d", n),
+			func(b *testing.B) { partitionBench(b, scheduling.RCKK{}, n, 5) },
+		})
+	}
+	out = append(out,
+		scenario{"KKForward/n=250", func(b *testing.B) { partitionBench(b, scheduling.KKForward{}, 250, 5) }},
+		scenario{"CKK/n=40", func(b *testing.B) { partitionBench(b, scheduling.CKK{MaxNodes: 20_000}, 40, 4) }},
+	)
+	return out
+}
+
+// --- scenario bodies (mirroring bench_test.go fixtures) ---------------------
+
+func threeStageFixture() (*model.Problem, *model.Schedule) {
+	prob := &model.Problem{
+		Nodes: []model.Node{{ID: "n", Capacity: 1000}},
+		VNFs: []model.VNF{
+			{ID: "f1", Instances: 1, Demand: 1, ServiceRate: 500},
+			{ID: "f2", Instances: 1, Demand: 1, ServiceRate: 400},
+			{ID: "f3", Instances: 1, Demand: 1, ServiceRate: 600},
+		},
+		Requests: []model.Request{
+			{ID: "r", Chain: []model.VNFID{"f1", "f2", "f3"}, Rate: 200, DeliveryProb: 0.98},
+		},
+	}
+	sched := model.NewSchedule()
+	for _, f := range prob.VNFs {
+		sched.Assign("r", f.ID, 0)
+	}
+	return prob, sched
+}
+
+// fleetFixture mirrors bench_test.go's largeHorizonFixture: 1500 pps over a
+// 4-stage chain with every instance stable (ρ ≈ 0.75 at the hottest one).
+func fleetFixture() (*model.Problem, *model.Schedule) {
+	prob := &model.Problem{
+		Nodes: []model.Node{{ID: "n", Capacity: 10000}},
+		VNFs: []model.VNF{
+			{ID: "f1", Instances: 2, Demand: 1, ServiceRate: 1200},
+			{ID: "f2", Instances: 2, Demand: 1, ServiceRate: 1200},
+			{ID: "f3", Instances: 1, Demand: 1, ServiceRate: 2000},
+			{ID: "f4", Instances: 1, Demand: 1, ServiceRate: 2000},
+		},
+	}
+	for i := 0; i < 5; i++ {
+		prob.Requests = append(prob.Requests, model.Request{
+			ID:    model.RequestID(fmt.Sprintf("r%d", i)),
+			Chain: []model.VNFID{"f1", "f2", "f3", "f4"}, Rate: 300, DeliveryProb: 0.98,
+		})
+	}
+	sched := model.NewSchedule()
+	for i, r := range prob.Requests {
+		for _, f := range prob.VNFs {
+			sched.Assign(r.ID, f.ID, i%f.Instances)
+		}
+	}
+	return prob, sched
+}
+
+func simulatorSecond(b *testing.B) {
+	prob, sched := threeStageFixture()
+	for i := 0; i < b.N; i++ {
+		if _, err := simulate.Run(simulate.Config{
+			Problem: prob, Schedule: sched, Horizon: 1, Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func simulatorLargeHorizon(b *testing.B) {
+	prob, sched := fleetFixture()
+	for i := 0; i < b.N; i++ {
+		if _, err := simulate.Run(simulate.Config{
+			Problem: prob, Schedule: sched, Horizon: 30, Warmup: 2, Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// simulatorDropRetransmit: a stable M/M/1/4 queue (ρ = 0.8) whose blocking
+// losses are re-injected from the source (NACK loss feedback).
+func simulatorDropRetransmit(b *testing.B) {
+	prob := &model.Problem{
+		Nodes: []model.Node{{ID: "n", Capacity: 1000}},
+		VNFs: []model.VNF{
+			{ID: "f", Instances: 1, Demand: 1, ServiceRate: 100},
+		},
+		Requests: []model.Request{
+			{ID: "r", Chain: []model.VNFID{"f"}, Rate: 80, DeliveryProb: 0.98},
+		},
+	}
+	sched := model.NewSchedule()
+	sched.Assign("r", "f", 0)
+	for i := 0; i < b.N; i++ {
+		if _, err := simulate.Run(simulate.Config{
+			Problem: prob, Schedule: sched, Horizon: 30, Warmup: 2, Seed: uint64(i),
+			BufferSize: 3, DropPolicy: simulate.DropRetransmit, RetransmitDelay: 0.005,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func partitionBench(b *testing.B, alg scheduling.Partitioner, n, m int) {
+	s := rng.New(7)
+	items := make([]scheduling.Item, n)
+	for i := range items {
+		items[i] = scheduling.Item{
+			ID:     model.RequestID(fmt.Sprintf("r%04d", i)),
+			Weight: s.Uniform(1, 100),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := alg.Partition(items, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -276,8 +276,13 @@ func solveAndReport(p *model.Problem, seed uint64, simulate bool, solOut string,
 	if err != nil {
 		return err
 	}
-	fmt.Printf("simulated: %d packets delivered, %d retransmitted, mean latency %.6fs, p99 %.6fs\n",
-		res.Delivered, res.Retransmissions, res.Latency.Mean(),
-		stats.Percentile(res.LatencySamples, 99))
+	// No packet may complete inside [warmup, horizon] (short horizon, long
+	// warmup, or total buffer loss) — report "n/a" instead of panicking.
+	p99 := "n/a"
+	if v, ok := stats.PercentileOK(res.LatencySamples, 99); ok {
+		p99 = fmt.Sprintf("%.6fs", v)
+	}
+	fmt.Printf("simulated: %d packets delivered, %d retransmitted, mean latency %.6fs, p99 %s\n",
+		res.Delivered, res.Retransmissions, res.Latency.Mean(), p99)
 	return nil
 }

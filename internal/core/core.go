@@ -97,7 +97,12 @@ type SimulationConfig struct {
 	Horizon    float64
 	Warmup     float64
 	BufferSize int
-	Trace      *workload.Trace
+	// DropPolicy selects the fate of packets meeting a full buffer (zero
+	// value = DropDiscard, the historical silent-loss semantics);
+	// DropRetransmit re-injects them from the source after RetransmitDelay.
+	DropPolicy      simulate.DropPolicy
+	RetransmitDelay float64
+	Trace           *workload.Trace
 	// ServiceDist selects the service-time distribution (zero value =
 	// exponential, the paper's assumption).
 	ServiceDist simulate.ServiceDist
@@ -112,11 +117,13 @@ func Simulate(sol *Solution, cfg SimulationConfig) (*simulate.Results, error) {
 		Schedule:    sol.Schedule,
 		Placement:   sol.Placement,
 		LinkDelay:   sol.LinkDelay,
-		Horizon:     cfg.Horizon,
-		Warmup:      cfg.Warmup,
-		BufferSize:  cfg.BufferSize,
-		Trace:       cfg.Trace,
-		ServiceDist: cfg.ServiceDist,
-		Seed:        cfg.Seed,
+		Horizon:         cfg.Horizon,
+		Warmup:          cfg.Warmup,
+		BufferSize:      cfg.BufferSize,
+		DropPolicy:      cfg.DropPolicy,
+		RetransmitDelay: cfg.RetransmitDelay,
+		Trace:           cfg.Trace,
+		ServiceDist:     cfg.ServiceDist,
+		Seed:            cfg.Seed,
 	})
 }

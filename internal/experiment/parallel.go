@@ -12,7 +12,9 @@ import (
 // trials.
 func forEachTrial[T any](trials int, fn func(trial int) (T, error)) ([]T, error) {
 	results := make([]T, trials)
-	workers := runtime.NumCPU()
+	// GOMAXPROCS (not NumCPU) respects container CPU quotas and explicit
+	// user overrides; NumCPU would oversubscribe a quota-limited cgroup.
+	workers := runtime.GOMAXPROCS(0)
 	if workers > trials {
 		workers = trials
 	}

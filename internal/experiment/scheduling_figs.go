@@ -324,11 +324,14 @@ func FigTail(cfg Config) (*Table, error) {
 				samples[name] = append(samples[name], w)
 			}
 		}
-		if len(samples["RCKK"]) == 0 || len(samples["CGA"]) == 0 {
+		// Every trial may be skipped as unstable, leaving no samples for
+		// this n — PercentileOK makes the empty case explicit instead of
+		// relying on the callee to panic.
+		rp99, rok := stats.PercentileOK(samples["RCKK"], 99)
+		cp99, cok := stats.PercentileOK(samples["CGA"], 99)
+		if !rok || !cok {
 			continue
 		}
-		rp99 := stats.Percentile(samples["RCKK"], 99)
-		cp99 := stats.Percentile(samples["CGA"], 99)
 		t.AddPoint("RCKK", float64(n), rp99)
 		t.AddPoint("CGA", float64(n), cp99)
 		t.AddPoint("enhancement", float64(n), stats.EnhancementRatio(cp99, rp99))

@@ -59,17 +59,13 @@ func (c CKK) Partition(items []Item, m int) ([]int, error) {
 	bestSpan := Makespan(Loads(items, incumbent, m))
 
 	// Initial partition list, one per item, descending.
-	list := make([]*partition, 0, n)
-	for _, idx := range sortedIndexesByWeightDesc(items) {
-		p := &partition{sums: make([]float64, m), sets: make([][]int, m)}
-		p.sums[0] = items[idx].Weight
-		p.sets[0] = []int{idx}
-		list = append(list, p)
-	}
+	ar := &mergeArena{nodes: make([]mergeNode, 0, n)}
+	list := newPartitionList(items, sortedIndexesByWeightDesc(items), m)
 
 	s := &ckkSearch{
 		items:       items,
 		m:           m,
+		arena:       ar,
 		best:        incumbent,
 		bestSpan:    bestSpan,
 		budget:      maxNodes,
@@ -83,6 +79,7 @@ func (c CKK) Partition(items []Item, m int) ([]int, error) {
 type ckkSearch struct {
 	items       []Item
 	m           int
+	arena       *mergeArena
 	best        []int
 	bestSpan    float64
 	budget      int
@@ -99,11 +96,7 @@ func (s *ckkSearch) search(list []*partition) {
 	if len(list) == 1 {
 		final := list[0]
 		assign := make([]int, len(s.items))
-		for pos, set := range final.sets {
-			for _, idx := range set {
-				assign[idx] = pos
-			}
-		}
+		final.assignments(s.arena, assign)
 		span := Makespan(Loads(s.items, assign, s.m))
 		if span < s.bestSpan {
 			s.bestSpan = span
@@ -127,26 +120,32 @@ func (s *ckkSearch) search(list []*partition) {
 	}
 
 	for _, perm := range pairings(s.m, s.maxPairings) {
-		c := combineWith(a, b, perm)
+		// Arena nodes created inside a branch are dead once it returns (the
+		// incumbent is materialized into a plain []int immediately), so the
+		// arena rolls back to keep peak memory proportional to search depth
+		// rather than total nodes visited.
+		mark := s.arena.mark()
+		c := combineWith(a, b, perm, s.arena)
 		next := insertSorted(append([]*partition(nil), rest...), c)
 		s.search(next)
+		s.arena.release(mark)
 		if s.budget <= 0 {
 			return
 		}
 	}
 }
 
-// combineWith merges b into a pairing position i of a with position perm[i]
-// of b, then sorts and normalizes.
-func combineWith(a, b *partition, perm []int) *partition {
+// combineWith merges a and b into a fresh partition, pairing position i of a
+// with position perm[i] of b, then sorts and normalizes. Unlike the in-place
+// combineReverse it must keep a and b intact: the search revisits them under
+// other pairings.
+func combineWith(a, b *partition, perm []int, ar *mergeArena) *partition {
 	m := len(a.sums)
-	c := &partition{sums: make([]float64, m), sets: make([][]int, m)}
+	c := &partition{sums: make([]float64, m), sets: make([]setRef, m)}
 	for i := 0; i < m; i++ {
 		j := perm[i]
 		c.sums[i] = a.sums[i] + b.sums[j]
-		set := append([]int(nil), a.sets[i]...)
-		set = append(set, b.sets[j]...)
-		c.sets[i] = set
+		c.sets[i] = ar.merge(a.sets[i], b.sets[j])
 	}
 	sortPartition(c)
 	normalize(c)

@@ -18,10 +18,99 @@ type RCKK struct{}
 // Name implements Partitioner.
 func (RCKK) Name() string { return "RCKK" }
 
-// partition is one m-tuple with the item indexes backing each position.
+// setRef references one item set held in a mergeArena: 0 is the empty set,
+// a negative value −(i+1) is the singleton {items[i]}, and a positive value
+// k is the union recorded in nodes[k−1]. References are immutable once
+// created, so search algorithms (CKK) can share subtrees across branches.
+type setRef int32
+
+// leafRef returns the singleton set reference for item index idx.
+func leafRef(idx int) setRef { return setRef(-(idx + 1)) }
+
+// mergeNode joins two non-empty sets.
+type mergeNode struct {
+	left, right setRef
+}
+
+// mergeArena holds the merge trees of one Partition call. Unioning two sets
+// appends at most one node — O(1) instead of the O(|set|) copying a
+// materialized [][]int representation needs per combine.
+type mergeArena struct {
+	nodes []mergeNode
+}
+
+// merge returns the union of sets a and b.
+func (ar *mergeArena) merge(a, b setRef) setRef {
+	if a == 0 {
+		return b
+	}
+	if b == 0 {
+		return a
+	}
+	ar.nodes = append(ar.nodes, mergeNode{left: a, right: b})
+	return setRef(len(ar.nodes))
+}
+
+// mark returns a truncation point for rollback; see release.
+func (ar *mergeArena) mark() int { return len(ar.nodes) }
+
+// release discards every node created after mark. Only valid when no live
+// partition still references those nodes (CKK truncates after finishing a
+// search branch).
+func (ar *mergeArena) release(mark int) { ar.nodes = ar.nodes[:mark] }
+
+// assignTo walks the set tree under ref and records pos as the assignment of
+// every member item. stack is scratch space, returned for reuse.
+func (ar *mergeArena) assignTo(ref setRef, pos int, assign []int, stack []setRef) []setRef {
+	if ref == 0 {
+		return stack
+	}
+	stack = append(stack[:0], ref)
+	for len(stack) > 0 {
+		r := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if r < 0 {
+			assign[-(r + 1)] = pos
+			continue
+		}
+		nd := ar.nodes[r-1]
+		stack = append(stack, nd.left, nd.right)
+	}
+	return stack
+}
+
+// partition is one m-tuple with the set of backing items per position.
 type partition struct {
 	sums []float64
-	sets [][]int // parallel to sums; values index the caller's item slice
+	sets []setRef // parallel to sums; arena references, never materialized
+}
+
+// assignments fills assign from the partition's m set trees.
+func (p *partition) assignments(ar *mergeArena, assign []int) {
+	var stack []setRef
+	for pos, ref := range p.sets {
+		stack = ar.assignTo(ref, pos, assign, stack)
+	}
+}
+
+// newPartitionList builds the initial one-item-per-partition list in the
+// given item order, backed by two flat blocks so the whole list costs four
+// allocations regardless of n.
+func newPartitionList(items []Item, order []int, m int) []*partition {
+	n := len(order)
+	sums := make([]float64, n*m)
+	sets := make([]setRef, n*m)
+	parts := make([]partition, n)
+	list := make([]*partition, n)
+	for i, idx := range order {
+		p := &parts[i]
+		p.sums = sums[i*m : (i+1)*m : (i+1)*m]
+		p.sets = sets[i*m : (i+1)*m : (i+1)*m]
+		p.sums[0] = items[idx].Weight
+		p.sets[0] = leafRef(idx)
+		list[i] = p
+	}
+	return list
 }
 
 // Partition implements Partitioner.
@@ -40,73 +129,49 @@ func (RCKK) Partition(items []Item, m int) ([]int, error) {
 
 	// One partition per item: (λ_r, 0, …, 0). Build in descending weight
 	// order so the list starts sorted by leading value.
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		wa, wb := items[order[a]].Weight, items[order[b]].Weight
-		if wa != wb {
-			return wa > wb
-		}
-		return items[order[a]].ID < items[order[b]].ID
-	})
-	list := make([]*partition, 0, n)
-	for _, idx := range order {
-		p := &partition{sums: make([]float64, m), sets: make([][]int, m)}
-		p.sums[0] = items[idx].Weight
-		p.sets[0] = []int{idx}
-		list = append(list, p)
-	}
+	ar := &mergeArena{nodes: make([]mergeNode, 0, n)}
+	list := newPartitionList(items, sortedIndexesByWeightDesc(items), m)
 
 	for len(list) > 1 {
 		a, b := list[0], list[1]
 		list = list[2:]
-		c := combineReverse(a, b, m)
-		list = insertSorted(list, c)
+		combineReverse(a, b, ar)
+		list = insertSorted(list, a)
 	}
 
-	final := list[0]
-	for pos, set := range final.sets {
-		for _, idx := range set {
-			assign[idx] = pos
-		}
-	}
+	list[0].assignments(ar, assign)
 	return assign, nil
 }
 
-// combineReverse merges b into a with reverse pairing: position i of a with
-// position m−1−i of b, then re-sorts positions descending and normalizes by
-// the smallest position (Algorithm 2 steps 3–5).
-func combineReverse(a, b *partition, m int) *partition {
-	c := &partition{sums: make([]float64, m), sets: make([][]int, m)}
+// combineReverse merges b into a (in place, consuming b) with reverse
+// pairing: position i of a with position m−1−i of b, then re-sorts positions
+// descending and normalizes by the smallest position (Algorithm 2 steps 3–5).
+func combineReverse(a, b *partition, ar *mergeArena) {
+	m := len(a.sums)
 	for i := 0; i < m; i++ {
 		j := m - 1 - i
-		c.sums[i] = a.sums[i] + b.sums[j]
-		set := append([]int(nil), a.sets[i]...)
-		set = append(set, b.sets[j]...)
-		c.sets[i] = set
+		a.sums[i] += b.sums[j]
+		a.sets[i] = ar.merge(a.sets[i], b.sets[j])
 	}
-	sortPartition(c)
-	normalize(c)
-	return c
+	sortPartition(a)
+	normalize(a)
 }
 
 // sortPartition orders the tuple's positions by descending sum, carrying the
-// backing sets along.
+// backing sets along. The stable in-place insertion sort allocates nothing
+// and produces the same permutation sort.SliceStable would (m is small: the
+// instance count of one VNF).
 func sortPartition(p *partition) {
-	idx := make([]int, len(p.sums))
-	for i := range idx {
-		idx[i] = i
+	sums, sets := p.sums, p.sets
+	for i := 1; i < len(sums); i++ {
+		s, set := sums[i], sets[i]
+		j := i
+		for j > 0 && sums[j-1] < s {
+			sums[j], sets[j] = sums[j-1], sets[j-1]
+			j--
+		}
+		sums[j], sets[j] = s, set
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return p.sums[idx[a]] > p.sums[idx[b]] })
-	sums := make([]float64, len(p.sums))
-	sets := make([][]int, len(p.sets))
-	for to, from := range idx {
-		sums[to] = p.sums[from]
-		sets[to] = p.sets[from]
-	}
-	p.sums, p.sets = sums, sets
 }
 
 // normalize subtracts the smallest (last) position from every position.

@@ -68,32 +68,20 @@ func (KKForward) Partition(items []Item, m int) ([]int, error) {
 	if n == 0 || m == 1 {
 		return assign, nil
 	}
-	list := make([]*partition, 0, n)
-	for _, idx := range sortedIndexesByWeightDesc(items) {
-		p := &partition{sums: make([]float64, m), sets: make([][]int, m)}
-		p.sums[0] = items[idx].Weight
-		p.sets[0] = []int{idx}
-		list = append(list, p)
-	}
+	ar := &mergeArena{nodes: make([]mergeNode, 0, n)}
+	list := newPartitionList(items, sortedIndexesByWeightDesc(items), m)
 	for len(list) > 1 {
 		a, b := list[0], list[1]
 		list = list[2:]
-		c := &partition{sums: make([]float64, m), sets: make([][]int, m)}
 		for i := 0; i < m; i++ {
-			c.sums[i] = a.sums[i] + b.sums[i]
-			set := append([]int(nil), a.sets[i]...)
-			set = append(set, b.sets[i]...)
-			c.sets[i] = set
+			a.sums[i] += b.sums[i]
+			a.sets[i] = ar.merge(a.sets[i], b.sets[i])
 		}
-		sortPartition(c)
-		normalize(c)
-		list = insertSorted(list, c)
+		sortPartition(a)
+		normalize(a)
+		list = insertSorted(list, a)
 	}
-	for pos, set := range list[0].sets {
-		for _, idx := range set {
-			assign[idx] = pos
-		}
-	}
+	list[0].assignments(ar, assign)
 	return assign, nil
 }
 
@@ -120,34 +108,22 @@ func (r KKRandom) Partition(items []Item, m int) ([]int, error) {
 		return assign, nil
 	}
 	stream := rng.Derive(r.Seed, "kk-random")
-	list := make([]*partition, 0, n)
-	for _, idx := range sortedIndexesByWeightDesc(items) {
-		p := &partition{sums: make([]float64, m), sets: make([][]int, m)}
-		p.sums[0] = items[idx].Weight
-		p.sets[0] = []int{idx}
-		list = append(list, p)
-	}
+	ar := &mergeArena{nodes: make([]mergeNode, 0, n)}
+	list := newPartitionList(items, sortedIndexesByWeightDesc(items), m)
 	for len(list) > 1 {
 		a, b := list[0], list[1]
 		list = list[2:]
 		perm := stream.Perm(m)
-		c := &partition{sums: make([]float64, m), sets: make([][]int, m)}
 		for i := 0; i < m; i++ {
 			j := perm[i]
-			c.sums[i] = a.sums[i] + b.sums[j]
-			set := append([]int(nil), a.sets[i]...)
-			set = append(set, b.sets[j]...)
-			c.sets[i] = set
+			a.sums[i] += b.sums[j]
+			a.sets[i] = ar.merge(a.sets[i], b.sets[j])
 		}
-		sortPartition(c)
-		normalize(c)
-		list = insertSorted(list, c)
+		sortPartition(a)
+		normalize(a)
+		list = insertSorted(list, a)
 	}
-	for pos, set := range list[0].sets {
-		for _, idx := range set {
-			assign[idx] = pos
-		}
-	}
+	list[0].assignments(ar, assign)
 	return assign, nil
 }
 

@@ -3,9 +3,15 @@
 // queueing model: Poisson (or trace-fed) packet arrivals per request, FCFS
 // exponential service at every service instance, inter-node link latency
 // from the placement, NACK-style loss feedback with source retransmission,
-// and optional finite buffers with drop counting. Comparing its empirical
+// and optional finite buffers with per-instance drop accounting (discard or
+// NACK-style drop retransmission, see DropPolicy). Comparing its empirical
 // latencies against Eq. 12 validates the open-Jackson-network model end to
 // end.
+//
+// The event loop is allocation-lean: events and packets are recycled
+// through free lists on the simulation, each instance's waiting room is a
+// ring buffer, and the latency-sample slice is pre-sized from the offered
+// load, so steady-state simulation performs no per-packet allocation.
 package simulate
 
 import "container/heap"
@@ -58,7 +64,11 @@ type agenda struct {
 }
 
 func newAgenda() *agenda {
-	a := &agenda{}
+	// Pre-size the backing array: the outstanding-event population is one
+	// source event per request plus one service event per busy instance
+	// plus in-flight hops, which fits comfortably here for typical runs;
+	// larger runs amortize growth as usual.
+	a := &agenda{h: make(eventHeap, 0, 256)}
 	heap.Init(&a.h)
 	return a
 }

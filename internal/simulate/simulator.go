@@ -37,6 +37,19 @@ type Config struct {
 	// in service); 0 means unbounded. Full buffers drop arriving packets.
 	BufferSize int
 
+	// DropPolicy selects what happens to a packet that meets a full buffer.
+	// The zero value (DropDiscard) keeps the historical semantics: the drop
+	// is counted and the packet vanishes. DropRetransmit models the paper's
+	// NACK loss feedback (Fig. 3) for mid-chain losses too: the source
+	// learns of the drop and re-injects the packet after RetransmitDelay.
+	DropPolicy DropPolicy
+
+	// RetransmitDelay is the NACK round-trip before a dropped packet is
+	// re-injected at its source. Required (positive) with DropRetransmit —
+	// an instantaneous retry against a still-full buffer would livelock the
+	// event loop. Ignored under DropDiscard.
+	RetransmitDelay float64
+
 	// Trace optionally replays recorded external arrivals instead of
 	// generating Poisson arrivals online.
 	Trace *workload.Trace
@@ -50,6 +63,22 @@ type Config struct {
 
 	Seed uint64
 }
+
+// DropPolicy selects the fate of packets arriving at a full buffer.
+type DropPolicy int
+
+// Supported drop policies.
+const (
+	// DropDiscard counts the drop and discards the packet silently — the
+	// source never learns of the loss. This is the historical default,
+	// kept as the zero value for reproducibility of existing experiments.
+	DropDiscard DropPolicy = iota
+	// DropRetransmit counts the drop and re-injects the packet from its
+	// source after Config.RetransmitDelay, mirroring the delivery-check
+	// NACK path: no packet is ever silently lost (loss-feedback model of
+	// the paper's Eq. 7 / Fig. 3).
+	DropRetransmit
+)
 
 // ServiceDist selects the service-time distribution of every instance.
 type ServiceDist int
@@ -110,8 +139,21 @@ type Results struct {
 	// Retransmissions counts failed delivery checks (each triggers a new
 	// pass from the source).
 	Retransmissions int
-	// Dropped counts packets lost to full buffers.
+	// Dropped counts buffer-full drop events. Under DropDiscard each event
+	// permanently loses one packet; under DropRetransmit the packet is
+	// re-injected at its source and only the extra pass is lost.
 	Dropped int
+	// DroppedByInstance breaks Dropped down by the instance whose full
+	// buffer caused it, locating the bottleneck stage.
+	DroppedByInstance map[InstanceKey]int
+	// DropRetransmits counts drop-triggered source re-injections (only
+	// non-zero under DropRetransmit; disjoint from Retransmissions, which
+	// counts delivery-check NACKs).
+	DropRetransmits int
+	// InFlight counts packets admitted before the horizon that had neither
+	// completed delivery nor been permanently dropped when the run ended,
+	// so Generated = Delivered + InFlight + discarded drops always holds.
+	InFlight int
 
 	// Utilization is the measured busy fraction of each instance over
 	// [Warmup, Horizon].
@@ -140,9 +182,14 @@ type packet struct {
 
 // instance is the runtime state of one service instance.
 type instance struct {
-	key   InstanceKey
-	mu    float64
-	queue []*packet
+	key InstanceKey
+	mu  float64
+	// Waiting room: a power-of-two ring buffer (q, qhead, qlen) instead of
+	// a slice dequeued by copy-shifting, making both enqueue and dequeue
+	// O(1) without per-packet allocation.
+	q     []*packet
+	qhead int
+	qlen  int
 	// busy is non-nil while serving.
 	busy         *packet
 	serviceStart float64
@@ -163,6 +210,30 @@ func (inst *instance) notePopulation(now, warmup, horizon float64, delta int) {
 	inst.population += delta
 }
 
+// enqueue appends p to the instance's ring buffer, doubling it when full
+// (capacities stay powers of two so the index masks below are valid).
+func (inst *instance) enqueue(p *packet) {
+	if inst.qlen == len(inst.q) {
+		grown := make([]*packet, max(2*len(inst.q), 8))
+		for i := 0; i < inst.qlen; i++ {
+			grown[i] = inst.q[(inst.qhead+i)&(len(inst.q)-1)]
+		}
+		inst.q = grown
+		inst.qhead = 0
+	}
+	inst.q[(inst.qhead+inst.qlen)&(len(inst.q)-1)] = p
+	inst.qlen++
+}
+
+// dequeue pops the head of the ring buffer; the caller checks qlen > 0.
+func (inst *instance) dequeue() *packet {
+	p := inst.q[inst.qhead]
+	inst.q[inst.qhead] = nil
+	inst.qhead = (inst.qhead + 1) & (len(inst.q) - 1)
+	inst.qlen--
+	return p
+}
+
 // simulation is the run state.
 type simulation struct {
 	cfg     Config
@@ -180,6 +251,51 @@ type simulation struct {
 
 	arrivalStreams  []*rng.Stream
 	deliveryStreams []*rng.Stream
+
+	// live counts admitted packets not yet delivered or permanently
+	// dropped; finalize publishes it as Results.InFlight.
+	live int
+
+	// Free lists recycle event and packet objects across the run. The
+	// simulation is single-goroutine, so plain slices beat sync.Pool: no
+	// synchronization, and recycling order is deterministic.
+	eventFree  []*event
+	packetFree []*packet
+}
+
+// newEvent returns a recycled (or fresh) event populated from e.
+func (s *simulation) newEvent(e event) *event {
+	if n := len(s.eventFree); n > 0 {
+		out := s.eventFree[n-1]
+		s.eventFree = s.eventFree[:n-1]
+		*out = e
+		return out
+	}
+	out := new(event)
+	*out = e
+	return out
+}
+
+// freeEvent recycles e once the loop has dispatched it.
+func (s *simulation) freeEvent(e *event) {
+	e.pkt, e.inst = nil, nil
+	s.eventFree = append(s.eventFree, e)
+}
+
+// newPacket returns a recycled (or fresh) packet for request i born at t.
+func (s *simulation) newPacket(i int, t float64) *packet {
+	if n := len(s.packetFree); n > 0 {
+		p := s.packetFree[n-1]
+		s.packetFree = s.packetFree[:n-1]
+		*p = packet{reqIndex: i, birth: t}
+		return p
+	}
+	return &packet{reqIndex: i, birth: t}
+}
+
+// freePacket recycles p after delivery or a discarding drop.
+func (s *simulation) freePacket(p *packet) {
+	s.packetFree = append(s.packetFree, p)
 }
 
 // Run executes the simulation and returns its measurements.
@@ -198,6 +314,15 @@ func Run(cfg Config) (*Results, error) {
 	}
 	if cfg.BufferSize < 0 {
 		return nil, fmt.Errorf("simulate: negative buffer size %d", cfg.BufferSize)
+	}
+	switch cfg.DropPolicy {
+	case DropDiscard:
+	case DropRetransmit:
+		if cfg.RetransmitDelay <= 0 {
+			return nil, fmt.Errorf("simulate: DropRetransmit requires a positive RetransmitDelay, got %v", cfg.RetransmitDelay)
+		}
+	default:
+		return nil, fmt.Errorf("simulate: unknown drop policy %d", cfg.DropPolicy)
 	}
 	switch cfg.ServiceDist {
 	case ServiceExponential, ServiceDeterministic, ServiceLogNormal:
@@ -219,18 +344,20 @@ func Run(cfg Config) (*Results, error) {
 		cfg:    cfg,
 		agenda: newAgenda(),
 		results: &Results{
-			Horizon:     cfg.Horizon,
-			Warmup:      cfg.Warmup,
-			Utilization: make(map[InstanceKey]float64),
-			MeanJobs:    make(map[InstanceKey]float64),
-			PerRequest:  make(map[model.RequestID]*stats.Summary),
-			PerInstance: make(map[InstanceKey]*stats.Summary),
+			Horizon:           cfg.Horizon,
+			Warmup:            cfg.Warmup,
+			Utilization:       make(map[InstanceKey]float64),
+			MeanJobs:          make(map[InstanceKey]float64),
+			DroppedByInstance: make(map[InstanceKey]int),
+			PerRequest:        make(map[model.RequestID]*stats.Summary),
+			PerInstance:       make(map[InstanceKey]*stats.Summary),
 		},
 		instances: make(map[InstanceKey]*instance),
 	}
 	if err := s.build(); err != nil {
 		return nil, err
 	}
+	s.presizeSamples()
 	s.seedArrivals()
 	s.loop()
 	s.finalize()
@@ -288,6 +415,30 @@ func (s *simulation) build() error {
 	return nil
 }
 
+// presizeSamples reserves LatencySamples capacity for the expected number of
+// post-warmup deliveries, so the hot loop appends without reallocating. The
+// estimate is the aggregate Poisson rate over the measurement window (or the
+// trace length), capped to bound the up-front reservation on huge horizons.
+func (s *simulation) presizeSamples() {
+	const presizeCap = 1 << 21 // 2 Mi samples = 16 MiB, then append growth takes over
+	expected := 0
+	if s.cfg.Trace != nil {
+		expected = len(s.cfg.Trace.Arrivals)
+	} else {
+		var totalRate float64
+		for _, r := range s.requests {
+			totalRate += r.Rate
+		}
+		expected = int(totalRate * (s.cfg.Horizon - s.cfg.Warmup))
+	}
+	if expected > presizeCap {
+		expected = presizeCap
+	}
+	if expected > 0 {
+		s.results.LatencySamples = make([]float64, 0, expected)
+	}
+}
+
 // seedArrivals schedules the first external arrival of every request, or
 // pushes the whole trace.
 func (s *simulation) seedArrivals() {
@@ -302,12 +453,13 @@ func (s *simulation) seedArrivals() {
 				continue
 			}
 			s.results.Generated++
-			s.agenda.push(&event{
+			s.live++
+			s.agenda.push(s.newEvent(event{
 				time: a.Time,
 				kind: evArrival,
-				pkt:  &packet{reqIndex: i, birth: a.Time},
+				pkt:  s.newPacket(i, a.Time),
 				inst: s.route[i][0],
-			})
+			}))
 		}
 		return
 	}
@@ -322,7 +474,7 @@ func (s *simulation) scheduleNextSource(i int, t float64) {
 	if next >= s.cfg.Horizon {
 		return
 	}
-	s.agenda.push(&event{time: next, kind: evSource, reqIndex: i})
+	s.agenda.push(s.newEvent(event{time: next, kind: evSource, reqIndex: i}))
 }
 
 // loop drains the agenda until the horizon.
@@ -337,18 +489,20 @@ func (s *simulation) loop() {
 		case evSource:
 			i := e.reqIndex
 			s.results.Generated++
-			s.agenda.push(&event{
+			s.live++
+			s.agenda.push(s.newEvent(event{
 				time: s.now,
 				kind: evArrival,
-				pkt:  &packet{reqIndex: i, birth: s.now},
+				pkt:  s.newPacket(i, s.now),
 				inst: s.route[i][0],
-			})
+			}))
 			s.scheduleNextSource(i, s.now)
 		case evArrival:
 			s.arrive(e.pkt, e.inst)
 		case evService:
 			s.complete(e.inst)
 		}
+		s.freeEvent(e)
 	}
 }
 
@@ -360,12 +514,34 @@ func (s *simulation) arrive(p *packet, inst *instance) {
 		s.startService(inst, p)
 		return
 	}
-	if s.cfg.BufferSize > 0 && len(inst.queue) >= s.cfg.BufferSize {
-		s.results.Dropped++
+	if s.cfg.BufferSize > 0 && inst.qlen >= s.cfg.BufferSize {
+		s.drop(p, inst)
 		return
 	}
 	inst.notePopulation(s.now, s.cfg.Warmup, s.cfg.Horizon, +1)
-	inst.queue = append(inst.queue, p)
+	inst.enqueue(p)
+}
+
+// drop handles a buffer-full arrival according to the configured policy.
+func (s *simulation) drop(p *packet, inst *instance) {
+	s.results.Dropped++
+	s.results.DroppedByInstance[inst.key]++
+	if s.cfg.DropPolicy == DropRetransmit {
+		// NACK loss feedback: the source re-injects the packet after the
+		// feedback round-trip, keeping its original birth time so the
+		// measured latency includes every retry pass.
+		s.results.DropRetransmits++
+		p.stage = 0
+		s.agenda.push(s.newEvent(event{
+			time: s.now + s.cfg.RetransmitDelay,
+			kind: evArrival,
+			pkt:  p,
+			inst: s.route[p.reqIndex][0],
+		}))
+		return
+	}
+	s.live--
+	s.freePacket(p)
 }
 
 // startService begins serving p at inst and schedules its completion.
@@ -373,7 +549,7 @@ func (s *simulation) startService(inst *instance, p *packet) {
 	inst.busy = p
 	inst.serviceStart = s.now
 	d := s.cfg.ServiceDist.sample(inst.stream, inst.mu)
-	s.agenda.push(&event{time: s.now + d, kind: evService, inst: inst})
+	s.agenda.push(s.newEvent(event{time: s.now + d, kind: evService, inst: inst}))
 }
 
 // complete finishes the in-service packet of inst and advances it.
@@ -390,11 +566,8 @@ func (s *simulation) complete(inst *instance) {
 		sum.Add(s.now - p.visitStart)
 	}
 	inst.busy = nil
-	if len(inst.queue) > 0 {
-		next := inst.queue[0]
-		copy(inst.queue, inst.queue[1:])
-		inst.queue = inst.queue[:len(inst.queue)-1]
-		s.startService(inst, next)
+	if inst.qlen > 0 {
+		s.startService(inst, inst.dequeue())
 	}
 	s.advance(p)
 }
@@ -405,33 +578,36 @@ func (s *simulation) advance(p *packet) {
 	r := s.requests[p.reqIndex]
 	if p.stage+1 < len(r.Chain) {
 		p.stage++
-		s.agenda.push(&event{
+		s.agenda.push(s.newEvent(event{
 			time: s.now + s.hop[p.reqIndex][p.stage],
 			kind: evArrival,
 			pkt:  p,
 			inst: s.route[p.reqIndex][p.stage],
-		})
+		}))
 		return
 	}
 	// End of chain: delivery check.
 	if s.deliveryStreams[p.reqIndex].Bernoulli(r.DeliveryProb) {
 		s.results.Delivered++
+		s.live--
 		if p.birth >= s.cfg.Warmup {
 			lat := s.now - p.birth
 			s.results.Latency.Add(lat)
 			s.results.LatencySamples = append(s.results.LatencySamples, lat)
 			s.results.PerRequest[r.ID].Add(lat)
 		}
+		s.freePacket(p)
 		return
 	}
 	// NACK: retransmit from the source immediately (paper Fig. 3).
 	s.results.Retransmissions++
 	p.stage = 0
-	s.agenda.push(&event{time: s.now, kind: evArrival, pkt: p, inst: s.route[p.reqIndex][0]})
+	s.agenda.push(s.newEvent(event{time: s.now, kind: evArrival, pkt: p, inst: s.route[p.reqIndex][0]}))
 }
 
 // finalize folds in-flight busy time and normalizes utilizations.
 func (s *simulation) finalize() {
+	s.results.InFlight = s.live
 	span := s.cfg.Horizon - s.cfg.Warmup
 	for key, inst := range s.instances {
 		busy := inst.busyTime

@@ -141,6 +141,31 @@ func Percentiles(samples []float64, ps ...float64) []float64 {
 	return out
 }
 
+// PercentileOK is the non-panicking Percentile: it reports ok = false (and
+// value 0) for an empty sample set or a p outside [0,100], so callers on
+// paths where no sample may exist — short horizons, long warmups, total
+// buffer loss — can degrade gracefully instead of crashing.
+func PercentileOK(samples []float64, p float64) (float64, bool) {
+	if len(samples) == 0 || p < 0 || p > 100 {
+		return 0, false
+	}
+	return Percentile(samples, p), true
+}
+
+// PercentilesOK is the non-panicking Percentiles: ok = false on an empty
+// sample set or any out-of-range p.
+func PercentilesOK(samples []float64, ps ...float64) ([]float64, bool) {
+	if len(samples) == 0 {
+		return nil, false
+	}
+	for _, p := range ps {
+		if p < 0 || p > 100 {
+			return nil, false
+		}
+	}
+	return Percentiles(samples, ps...), true
+}
+
 func percentileSorted(sorted []float64, p float64) float64 {
 	if len(sorted) == 1 {
 		return sorted[0]

@@ -151,6 +151,40 @@ func TestPercentilesBatch(t *testing.T) {
 	}
 }
 
+func TestPercentileOK(t *testing.T) {
+	if v, ok := PercentileOK([]float64{15, 20, 35, 40, 50}, 50); !ok || !close(v, 35, 1e-12) {
+		t.Errorf("PercentileOK = (%v, %v), want (35, true)", v, ok)
+	}
+	for name, call := range map[string]func() (float64, bool){
+		"empty":    func() (float64, bool) { return PercentileOK(nil, 50) },
+		"negative": func() (float64, bool) { return PercentileOK([]float64{1}, -1) },
+		"over 100": func() (float64, bool) { return PercentileOK([]float64{1}, 101) },
+	} {
+		if v, ok := call(); ok || v != 0 {
+			t.Errorf("%s: PercentileOK = (%v, %v), want (0, false)", name, v, ok)
+		}
+	}
+}
+
+func TestPercentilesOK(t *testing.T) {
+	got, ok := PercentilesOK([]float64{3, 1, 2}, 0, 50, 100)
+	if !ok {
+		t.Fatal("PercentilesOK not ok on valid input")
+	}
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if !close(got[i], want[i], 1e-12) {
+			t.Errorf("PercentilesOK[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if _, ok := PercentilesOK(nil, 50); ok {
+		t.Error("PercentilesOK ok on empty samples")
+	}
+	if _, ok := PercentilesOK([]float64{1}, 50, 200); ok {
+		t.Error("PercentilesOK ok on out-of-range p")
+	}
+}
+
 func TestPercentilePanics(t *testing.T) {
 	for name, f := range map[string]func(){
 		"empty":       func() { Percentile(nil, 50) },

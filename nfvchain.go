@@ -53,6 +53,8 @@ type (
 	SimulationResults = simulate.Results
 	// ServiceDist selects the simulator's service-time distribution.
 	ServiceDist = simulate.ServiceDist
+	// DropPolicy selects the simulator's full-buffer behavior.
+	DropPolicy = simulate.DropPolicy
 )
 
 // Service-time distributions for SimulationConfig.ServiceDist.
@@ -63,6 +65,15 @@ const (
 	ServiceDeterministic = simulate.ServiceDeterministic
 	// ServiceLogNormal models heavy-tailed processing (CV ≈ 1.31).
 	ServiceLogNormal = simulate.ServiceLogNormal
+)
+
+// Drop policies for SimulationConfig.DropPolicy.
+const (
+	// DropDiscard silently discards packets meeting a full buffer (default).
+	DropDiscard = simulate.DropDiscard
+	// DropRetransmit re-injects dropped packets from the source after
+	// SimulationConfig.RetransmitDelay (NACK loss feedback).
+	DropRetransmit = simulate.DropRetransmit
 )
 
 // Algorithm interfaces re-exported for callers supplying their own
