@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-json clean
+.PHONY: check build vet test race bench bench-json profile clean
 
 check: build vet race
 
@@ -28,6 +28,14 @@ bench:
 # performance-sensitive changes.
 bench-json:
 	$(GO) run ./cmd/nfvbench -out results/BENCH.json
+
+# Profile the hottest scenario and print the top CPU consumers. Leaves
+# cpu.prof/mem.prof behind for `go tool pprof -http` flame graphs; see the
+# profiling workflow in EXPERIMENTS.md.
+profile:
+	$(GO) run ./cmd/nfvbench -run Simulator/large-horizon -out /dev/null \
+		-cpuprofile cpu.prof -memprofile mem.prof
+	$(GO) tool pprof -top -nodecount 15 cpu.prof
 
 clean:
 	$(GO) clean ./...

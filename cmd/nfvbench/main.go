@@ -18,13 +18,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"testing"
 	"time"
 
 	"nfvchain/internal/model"
+	"nfvchain/internal/profiling"
 	"nfvchain/internal/rng"
 	"nfvchain/internal/scheduling"
 	"nfvchain/internal/simulate"
@@ -39,14 +42,45 @@ type benchResult struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
-// benchFile is the top-level BENCH.json document.
+// benchEnv pins the machine state a measurement was taken under, so a
+// trajectory diff can tell an optimization from a toolchain or host change.
+type benchEnv struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GitCommit  string `json:"git_commit"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+}
+
+// benchFile is the top-level BENCH.json document. The legacy top-level
+// go_version/goos/goarch fields stay for older tooling; Environment is the
+// richer header new consumers should read.
 type benchFile struct {
 	GeneratedBy string        `json:"generated_by"`
 	Date        string        `json:"date"`
 	GoVersion   string        `json:"go_version"`
 	GOOS        string        `json:"goos"`
 	GOARCH      string        `json:"goarch"`
+	Environment benchEnv      `json:"environment"`
 	Benchmarks  []benchResult `json:"benchmarks"`
+}
+
+// gitCommit resolves the short commit hash of the working tree: git first,
+// then the binary's embedded VCS stamp, then "unknown" (e.g. a bare tarball).
+func gitCommit() string {
+	if out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+		if s := strings.TrimSpace(string(out)); s != "" {
+			return s
+		}
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 7 {
+				return s.Value[:7]
+			}
+		}
+	}
+	return "unknown"
 }
 
 func main() {
@@ -61,10 +95,21 @@ func run(args []string) error {
 	var (
 		out       = fs.String("out", "BENCH.json", "output path for the JSON report")
 		runFilter = fs.String("run", "", "only run scenarios whose name contains this substring")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "nfvbench:", perr)
+		}
+	}()
 
 	doc := benchFile{
 		GeneratedBy: "nfvbench",
@@ -72,6 +117,13 @@ func run(args []string) error {
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
+		Environment: benchEnv{
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			GitCommit:  gitCommit(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+		},
 	}
 	for _, sc := range scenarios() {
 		if *runFilter != "" && !strings.Contains(sc.name, *runFilter) {
@@ -130,6 +182,7 @@ func scenarios() []scenario {
 	out := []scenario{
 		{"Simulator/second", simulatorSecond},
 		{"Simulator/large-horizon", simulatorLargeHorizon},
+		{"Simulator/large-horizon-reuse", simulatorLargeHorizonReuse},
 		{"Simulator/drop-retransmit", simulatorDropRetransmit},
 	}
 	for _, n := range []int{250, 1000, 2000} {
@@ -211,6 +264,24 @@ func simulatorLargeHorizon(b *testing.B) {
 		if _, err := simulate.Run(simulate.Config{
 			Problem: prob, Schedule: sched, Horizon: 30, Warmup: 2, Seed: uint64(i),
 		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// simulatorLargeHorizonReuse is large-horizon through the Reset path: one
+// Simulator serves every iteration, so the gap to Simulator/large-horizon is
+// exactly the per-trial allocation cost sweeps save by reusing run state.
+func simulatorLargeHorizonReuse(b *testing.B) {
+	prob, sched := fleetFixture()
+	sim := simulate.NewSimulator()
+	for i := 0; i < b.N; i++ {
+		if err := sim.Reset(simulate.Config{
+			Problem: prob, Schedule: sched, Horizon: 30, Warmup: 2, Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(); err != nil {
 			b.Fatal(err)
 		}
 	}

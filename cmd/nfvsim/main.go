@@ -21,6 +21,7 @@ import (
 
 	"nfvchain/internal/experiment"
 	"nfvchain/internal/model"
+	"nfvchain/internal/profiling"
 	"nfvchain/internal/stats"
 
 	nfvchain "nfvchain"
@@ -54,10 +55,21 @@ func run(args []string) error {
 		requests   = fs.Int("requests", 200, "with -demo: number of requests")
 		vnfs       = fs.Int("vnfs", 15, "with -demo: number of VNFs")
 		nodes      = fs.Int("nodes", 10, "with -demo: number of nodes")
+		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "nfvsim:", perr)
+		}
+	}()
 
 	switch {
 	case *list:
@@ -277,12 +289,13 @@ func solveAndReport(p *model.Problem, seed uint64, simulate bool, solOut string,
 		return err
 	}
 	// No packet may complete inside [warmup, horizon] (short horizon, long
-	// warmup, or total buffer loss) — report "n/a" instead of panicking.
-	p99 := "n/a"
-	if v, ok := stats.PercentileOK(res.LatencySamples, 99); ok {
-		p99 = fmt.Sprintf("%.6fs", v)
+	// warmup, or total buffer loss) — report "n/a" instead of panicking. One
+	// PercentilesOK call sorts the sample set once for all three quantiles.
+	tail := "p50/p95/p99 n/a"
+	if qs, ok := stats.PercentilesOK(res.LatencySamples, 50, 95, 99); ok {
+		tail = fmt.Sprintf("p50 %.6fs, p95 %.6fs, p99 %.6fs", qs[0], qs[1], qs[2])
 	}
-	fmt.Printf("simulated: %d packets delivered, %d retransmitted, mean latency %.6fs, p99 %s\n",
-		res.Delivered, res.Retransmissions, res.Latency.Mean(), p99)
+	fmt.Printf("simulated: %d packets delivered, %d retransmitted, mean latency %.6fs, %s\n",
+		res.Delivered, res.Retransmissions, res.Latency.Mean(), tail)
 	return nil
 }

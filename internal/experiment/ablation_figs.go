@@ -1,7 +1,6 @@
 package experiment
 
 import (
-	"errors"
 	"fmt"
 
 	"nfvchain/internal/placement"
@@ -17,6 +16,8 @@ import (
 //   - Random — feasibility-only placement (no fit preference at all).
 //
 // The Y axis is the average utilization of nodes in service (Objective 1).
+// The sweep rides the same cross-point work queue as the main placement
+// figures.
 func AblationPlacement(cfg Config) (*Table, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -34,38 +35,8 @@ func AblationPlacement(cfg Config) (*Table, error) {
 			&placement.Random{Seed: seed},
 		}
 	}
-	failures := make(map[string]int)
-	for _, pt := range requestSweepPoints(15, 10) {
-		sums := make(map[string]*stats.Summary)
-		for trial := 0; trial < cfg.PlacementTrials; trial++ {
-			seed := cfg.Seed + uint64(trial)*1000003 + uint64(pt.x*7919)
-			prob, err := placementProblem(seed, pt.vnfs, pt.requests, pt.nodes, placementLoadFactor)
-			if err != nil {
-				return nil, fmt.Errorf("experiment: ablation-placement: %w", err)
-			}
-			for _, alg := range algs(seed) {
-				res, err := alg.Place(prob)
-				if err != nil {
-					if errors.Is(err, placement.ErrInfeasible) {
-						failures[alg.Name()]++
-						continue
-					}
-					return nil, fmt.Errorf("experiment: ablation-placement: %s: %w", alg.Name(), err)
-				}
-				if sums[alg.Name()] == nil {
-					sums[alg.Name()] = &stats.Summary{}
-				}
-				sums[alg.Name()].Add(res.Placement.AverageUtilization(prob))
-			}
-		}
-		for _, alg := range algs(0) {
-			if s := sums[alg.Name()]; s != nil {
-				t.AddPoint(alg.Name(), pt.x, s.Mean())
-			}
-		}
-	}
-	for name, n := range failures {
-		t.Note("%s failed to find a feasible placement in %d trials (skipped)", name, n)
+	if err := placementSweep(t, cfg, requestSweepPoints(15, 10, placementLoadFactor), algs, utilizationMetric); err != nil {
+		return nil, err
 	}
 	for _, label := range []string{"BFDSU", "BFD", "Random"} {
 		t.Note("%s mean utilization: %.2f%%", label, t.Mean(label)*100)
@@ -93,39 +64,43 @@ func AblationScheduling(cfg Config) (*Table, error) {
 	}
 	const m, p = 5, 0.98
 	algs := []scheduling.Partitioner{scheduling.RCKK{}, scheduling.CGA{}, scheduling.RoundRobin{}}
+	var tps []trialParams
 	for _, n := range []int{15, 25, 50, 100, 200} {
+		tps = append(tps, trialParams{n: n, m: m, p: p, rhoRaw: responseFigRho})
+	}
+	perPoint, err := schedulingSweep(cfg, tps, algs,
+		func(cfg Config, tp trialParams, trial int) uint64 {
+			return cfg.Seed + uint64(trial)*2654435761 + uint64(tp.n*41)
+		})
+	if err != nil {
+		return nil, fmt.Errorf("ablation-scheduling: %w", err)
+	}
+	for pi, tp := range tps {
 		sums := make(map[string]*stats.Summary)
 		skipped := 0
-		for trial := 0; trial < cfg.SchedulingTrials; trial++ {
-			seed := cfg.Seed + uint64(trial)*2654435761 + uint64(n*41)
-			results := make(map[string]trialResult, len(algs))
+		for _, results := range perPoint[pi] {
 			allStable := true
-			for _, alg := range algs {
-				res, err := schedulingTrial(seed, trialParams{n: n, m: m, p: p, rhoRaw: responseFigRho}, alg)
-				if err != nil {
-					return nil, fmt.Errorf("ablation-scheduling (n=%d): %s: %w", n, alg.Name(), err)
-				}
-				results[alg.Name()] = res
-				allStable = allStable && res.stable
+			for i := range algs {
+				allStable = allStable && results[i].stable
 			}
 			if !allStable {
 				skipped++
 				continue
 			}
-			for name, res := range results {
-				if sums[name] == nil {
-					sums[name] = &stats.Summary{}
+			for i, alg := range algs {
+				if sums[alg.Name()] == nil {
+					sums[alg.Name()] = &stats.Summary{}
 				}
-				sums[name].Add(res.meanW)
+				sums[alg.Name()].Add(results[i].meanW)
 			}
 		}
 		for _, alg := range algs {
 			if s := sums[alg.Name()]; s != nil {
-				t.AddPoint(alg.Name(), float64(n), s.Mean())
+				t.AddPoint(alg.Name(), float64(tp.n), s.Mean())
 			}
 		}
 		if skipped > 0 {
-			t.Note("n=%d: %d unstable trials skipped", n, skipped)
+			t.Note("n=%d: %d unstable trials skipped", tp.n, skipped)
 		}
 	}
 	return t, nil

@@ -5,18 +5,32 @@ import (
 	"sync"
 )
 
-// forEachTrial runs fn(trial) for trial ∈ [0, trials) on a bounded worker
-// pool and returns the per-trial results *in trial order*, so downstream
-// aggregation (floating-point folds included) is bit-identical to a serial
-// run. The first error wins; remaining workers drain without starting new
-// trials.
-func forEachTrial[T any](trials int, fn func(trial int) (T, error)) ([]T, error) {
-	results := make([]T, trials)
+// forEachPointTrial runs fn(point, trial) for every pair in
+// [0, points) × [0, trials) on ONE bounded worker pool spanning the whole
+// sweep, and returns the results as results[point][trial]. Jobs are claimed
+// in (point, trial) order but may complete in any order; callers aggregate
+// per point by folding trials in index order, so downstream floating-point
+// folds are bit-identical to a serial sweep.
+//
+// A single cross-point queue is what keeps `-fig all` busy: with a per-point
+// pool, every sweep point ends with a tail of idle cores waiting for its
+// slowest trial before the next point may start. Here the first trials of
+// point k+1 start the moment workers free up, so the only idle tail is the
+// final one of the whole sweep.
+//
+// The first error wins; remaining workers drain without claiming new jobs.
+func forEachPointTrial[T any](points, trials int, fn func(point, trial int) (T, error)) ([][]T, error) {
+	results := make([][]T, points)
+	flat := make([]T, points*trials)
+	for p := range results {
+		results[p] = flat[p*trials : (p+1)*trials : (p+1)*trials]
+	}
+	jobs := points * trials
 	// GOMAXPROCS (not NumCPU) respects container CPU quotas and explicit
 	// user overrides; NumCPU would oversubscribe a quota-limited cgroup.
 	workers := runtime.GOMAXPROCS(0)
-	if workers > trials {
-		workers = trials
+	if workers > jobs {
+		workers = jobs
 	}
 	if workers < 1 {
 		workers = 1
@@ -31,12 +45,12 @@ func forEachTrial[T any](trials int, fn func(trial int) (T, error)) ([]T, error)
 	claim := func() (int, bool) {
 		mu.Lock()
 		defer mu.Unlock()
-		if firstErr != nil || next >= trials {
+		if firstErr != nil || next >= jobs {
 			return 0, false
 		}
-		t := next
+		j := next
 		next++
-		return t, true
+		return j, true
 	}
 	fail := func(err error) {
 		mu.Lock()
@@ -51,16 +65,16 @@ func forEachTrial[T any](trials int, fn func(trial int) (T, error)) ([]T, error)
 		go func() {
 			defer wg.Done()
 			for {
-				trial, ok := claim()
+				j, ok := claim()
 				if !ok {
 					return
 				}
-				out, err := fn(trial)
+				out, err := fn(j/trials, j%trials)
 				if err != nil {
 					fail(err)
 					return
 				}
-				results[trial] = out
+				results[j/trials][j%trials] = out
 			}
 		}()
 	}
@@ -69,4 +83,21 @@ func forEachTrial[T any](trials int, fn func(trial int) (T, error)) ([]T, error)
 		return nil, firstErr
 	}
 	return results, nil
+}
+
+// forEachTrial runs fn(trial) for trial ∈ [0, trials) on a bounded worker
+// pool and returns the per-trial results *in trial order*, so downstream
+// aggregation (floating-point folds included) is bit-identical to a serial
+// run. It is the single-point special case of forEachPointTrial.
+func forEachTrial[T any](trials int, fn func(trial int) (T, error)) ([]T, error) {
+	if trials == 0 {
+		return nil, nil
+	}
+	results, err := forEachPointTrial(1, trials, func(_, trial int) (T, error) {
+		return fn(trial)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
 }

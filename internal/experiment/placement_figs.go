@@ -9,6 +9,14 @@ import (
 	"nfvchain/internal/stats"
 )
 
+// sweepPoint is one X point of a placement sweep: the instance shape and the
+// load factor its problems are generated at.
+type sweepPoint struct {
+	x                     float64
+	vnfs, requests, nodes int
+	loadFactor            float64
+}
+
 // placementAlgorithms returns fresh instances of the compared algorithms,
 // seeded per trial. Besides the paper's three series (BFDSU, FFD, NAH) we
 // include WFD: textbook first-fit-decreasing packs far better than the FFD
@@ -27,27 +35,6 @@ func placementAlgorithms(seed uint64) []placement.Algorithm {
 // placementMetric extracts one Y value from a placement result.
 type placementMetric func(p *model.Problem, res *placement.Result) float64
 
-// placementSweep runs the three algorithms over `trials` random instances
-// for every (vnfs, requests, nodes) point and adds the metric's mean per
-// algorithm to the table. Infeasible trials (possible for the baselines on
-// tight instances) are skipped and counted in a note.
-func placementSweep(t *Table, cfg Config, points []struct {
-	x                     float64
-	vnfs, requests, nodes int
-},
-	loadFactor float64, metric placementMetric) error {
-	failures := make(map[string]int)
-	for _, pt := range points {
-		if err := placementPoint(t, cfg, pt, loadFactor, metric, failures); err != nil {
-			return err
-		}
-	}
-	for name, n := range failures {
-		t.Note("%s failed to find a feasible placement in %d trials (skipped)", name, n)
-	}
-	return nil
-}
-
 // placementTrialOutcome is one trial's metric per algorithm (ok=false marks
 // an infeasible skip).
 type placementTrialOutcome struct {
@@ -55,52 +42,66 @@ type placementTrialOutcome struct {
 	ok    map[string]bool
 }
 
-// placementPoint runs one sweep point's trials in parallel (deterministic
-// trial-order fold) and appends the per-algorithm means to the table.
-func placementPoint(t *Table, cfg Config, pt struct {
-	x                     float64
-	vnfs, requests, nodes int
-}, loadFactor float64, metric placementMetric, failures map[string]int) error {
-	perTrial, err := forEachTrial(cfg.PlacementTrials, func(trial int) (placementTrialOutcome, error) {
-		out := placementTrialOutcome{value: map[string]float64{}, ok: map[string]bool{}}
-		seed := cfg.Seed + uint64(trial)*1000003 + uint64(pt.x*7919)
-		prob, err := placementProblem(seed, pt.vnfs, pt.requests, pt.nodes, loadFactor)
-		if err != nil {
-			return out, fmt.Errorf("experiment: %s: %w", t.ID, err)
-		}
-		for _, alg := range placementAlgorithms(seed) {
-			res, err := alg.Place(prob)
+// placementSweep runs the algorithms over `trials` random instances for
+// every sweep point and adds the metric's mean per algorithm to the table.
+// All (point, trial) pairs share one cross-point work queue — workers start
+// the next point's trials while a slow trial of the previous point is still
+// running — and the per-point aggregation folds trials in index order, so
+// the result is bit-identical to a serial sweep. Infeasible trials (possible
+// for the baselines on tight instances) are skipped and counted in a note.
+func placementSweep(t *Table, cfg Config, points []sweepPoint,
+	algorithms func(seed uint64) []placement.Algorithm, metric placementMetric) error {
+	perPoint, err := forEachPointTrial(len(points), cfg.PlacementTrials,
+		func(point, trial int) (placementTrialOutcome, error) {
+			pt := points[point]
+			out := placementTrialOutcome{value: map[string]float64{}, ok: map[string]bool{}}
+			seed := cfg.Seed + uint64(trial)*1000003 + uint64(pt.x*7919)
+			prob, err := placementProblem(seed, pt.vnfs, pt.requests, pt.nodes, pt.loadFactor)
 			if err != nil {
-				if errors.Is(err, placement.ErrInfeasible) {
-					continue
-				}
-				return out, fmt.Errorf("experiment: %s: %s: %w", t.ID, alg.Name(), err)
+				return out, fmt.Errorf("experiment: %s: %w", t.ID, err)
 			}
-			out.value[alg.Name()] = metric(prob, res)
-			out.ok[alg.Name()] = true
-		}
-		return out, nil
-	})
+			for _, alg := range algorithms(seed) {
+				res, err := alg.Place(prob)
+				if err != nil {
+					if errors.Is(err, placement.ErrInfeasible) {
+						continue
+					}
+					return out, fmt.Errorf("experiment: %s: %s: %w", t.ID, alg.Name(), err)
+				}
+				out.value[alg.Name()] = metric(prob, res)
+				out.ok[alg.Name()] = true
+			}
+			return out, nil
+		})
 	if err != nil {
 		return err
 	}
-	sums := make(map[string]*stats.Summary)
-	for _, trial := range perTrial {
-		for _, alg := range placementAlgorithms(0) {
-			name := alg.Name()
-			if !trial.ok[name] {
-				failures[name]++
-				continue
+
+	failures := make(map[string]int)
+	for pi, pt := range points {
+		sums := make(map[string]*stats.Summary)
+		for _, trial := range perPoint[pi] {
+			for _, alg := range algorithms(0) {
+				name := alg.Name()
+				if !trial.ok[name] {
+					failures[name]++
+					continue
+				}
+				if sums[name] == nil {
+					sums[name] = &stats.Summary{}
+				}
+				sums[name].Add(trial.value[name])
 			}
-			if sums[name] == nil {
-				sums[name] = &stats.Summary{}
+		}
+		for _, alg := range algorithms(0) {
+			if s := sums[alg.Name()]; s != nil {
+				t.AddPoint(alg.Name(), pt.x, s.Mean())
 			}
-			sums[name].Add(trial.value[name])
 		}
 	}
-	for _, alg := range placementAlgorithms(0) {
-		if s := sums[alg.Name()]; s != nil {
-			t.AddPoint(alg.Name(), pt.x, s.Mean())
+	for _, alg := range algorithms(0) {
+		if n := failures[alg.Name()]; n > 0 {
+			t.Note("%s failed to find a feasible placement in %d trials (skipped)", alg.Name(), n)
 		}
 	}
 	return nil
@@ -111,39 +112,24 @@ func utilizationMetric(p *model.Problem, res *placement.Result) float64 {
 }
 
 // requestSweepPoints is the Fig. 5/10 X axis: request counts from 30 to 1000.
-func requestSweepPoints(vnfs, nodes int) []struct {
-	x                     float64
-	vnfs, requests, nodes int
-} {
-	var pts []struct {
-		x                     float64
-		vnfs, requests, nodes int
-	}
+func requestSweepPoints(vnfs, nodes int, loadFactor float64) []sweepPoint {
+	var pts []sweepPoint
 	for _, n := range []int{30, 100, 200, 400, 600, 800, 1000} {
-		pts = append(pts, struct {
-			x                     float64
-			vnfs, requests, nodes int
-		}{float64(n), vnfs, n, nodes})
+		pts = append(pts, sweepPoint{x: float64(n), vnfs: vnfs, requests: n, nodes: nodes, loadFactor: loadFactor})
 	}
 	return pts
 }
 
 // nodeSweepPoints is the Fig. 7/8/9 X axis: node counts from 10 to 30 with
-// 15 VNFs. (The paper sweeps from 6; our demand reference needs ≥10 nodes
-// of room, see fig7ReferenceNodes.)
-func nodeSweepPoints() []struct {
-	x                     float64
-	vnfs, requests, nodes int
-} {
-	var pts []struct {
-		x                     float64
-		vnfs, requests, nodes int
-	}
+// 15 VNFs, total demand pinned to the fig7ReferenceNodes deployment (the
+// load factor shrinks as nodes grow, so extra nodes mean extra *room*, not
+// extra work). (The paper sweeps from 6; our demand reference needs ≥10
+// nodes of room, see fig7ReferenceNodes.)
+func nodeSweepPoints() []sweepPoint {
+	var pts []sweepPoint
 	for _, n := range []int{10, 14, 18, 22, 26, 30} {
-		pts = append(pts, struct {
-			x                     float64
-			vnfs, requests, nodes int
-		}{float64(n), 15, 200, n})
+		lf := placementLoadFactor * float64(fig7ReferenceNodes) / float64(n)
+		pts = append(pts, sweepPoint{x: float64(n), vnfs: 15, requests: 200, nodes: n, loadFactor: lf})
 	}
 	return pts
 }
@@ -168,7 +154,7 @@ func Fig5(cfg Config) (*Table, error) {
 		XLabel: "requests",
 		YLabel: "avg utilization of used nodes",
 	}
-	if err := placementSweep(t, cfg, requestSweepPoints(15, 10), placementLoadFactor, utilizationMetric); err != nil {
+	if err := placementSweep(t, cfg, requestSweepPoints(15, 10, placementLoadFactor), placementAlgorithms, utilizationMetric); err != nil {
 		return nil, err
 	}
 	noteOverallUtilization(t)
@@ -187,17 +173,11 @@ func Fig6(cfg Config) (*Table, error) {
 		XLabel: "vnfs",
 		YLabel: "avg utilization of used nodes",
 	}
-	var pts []struct {
-		x                     float64
-		vnfs, requests, nodes int
-	}
+	var pts []sweepPoint
 	for _, v := range []int{6, 12, 18, 24, 30} {
-		pts = append(pts, struct {
-			x                     float64
-			vnfs, requests, nodes int
-		}{float64(v), v, 1000, (v * 2) / 3})
+		pts = append(pts, sweepPoint{x: float64(v), vnfs: v, requests: 1000, nodes: (v * 2) / 3, loadFactor: placementLoadFactor})
 	}
-	if err := placementSweep(t, cfg, pts, placementLoadFactor, utilizationMetric); err != nil {
+	if err := placementSweep(t, cfg, pts, placementAlgorithms, utilizationMetric); err != nil {
 		return nil, err
 	}
 	noteOverallUtilization(t)
@@ -217,7 +197,7 @@ func Fig7(cfg Config) (*Table, error) {
 		XLabel: "nodes",
 		YLabel: "avg utilization of used nodes",
 	}
-	if err := fixedDemandNodeSweep(t, cfg, utilizationMetric); err != nil {
+	if err := placementSweep(t, cfg, nodeSweepPoints(), placementAlgorithms, utilizationMetric); err != nil {
 		return nil, err
 	}
 	noteOverallUtilization(t)
@@ -236,7 +216,7 @@ func Fig8(cfg Config) (*Table, error) {
 		XLabel: "nodes",
 		YLabel: "nodes in service",
 	}
-	if err := fixedDemandNodeSweep(t, cfg, func(p *model.Problem, res *placement.Result) float64 {
+	if err := placementSweep(t, cfg, nodeSweepPoints(), placementAlgorithms, func(p *model.Problem, res *placement.Result) float64 {
 		return float64(res.Placement.NodesInService())
 	}); err != nil {
 		return nil, err
@@ -260,29 +240,12 @@ func Fig9(cfg Config) (*Table, error) {
 		XLabel: "nodes",
 		YLabel: "total capacity of nodes in service",
 	}
-	if err := fixedDemandNodeSweep(t, cfg, func(p *model.Problem, res *placement.Result) float64 {
+	if err := placementSweep(t, cfg, nodeSweepPoints(), placementAlgorithms, func(p *model.Problem, res *placement.Result) float64 {
 		return res.Placement.ResourceOccupation(p)
 	}); err != nil {
 		return nil, err
 	}
 	return t, nil
-}
-
-// fixedDemandNodeSweep runs the Fig. 7–9 sweep: VNF total demand is pinned
-// to the fig7ReferenceNodes deployment while available nodes scale, so extra
-// nodes mean extra *room*, not extra work.
-func fixedDemandNodeSweep(t *Table, cfg Config, metric placementMetric) error {
-	failures := make(map[string]int)
-	for _, pt := range nodeSweepPoints() {
-		lf := placementLoadFactor * float64(fig7ReferenceNodes) / float64(pt.nodes)
-		if err := placementPoint(t, cfg, pt, lf, metric, failures); err != nil {
-			return err
-		}
-	}
-	for name, n := range failures {
-		t.Note("%s failed to find a feasible placement in %d trials (skipped)", name, n)
-	}
-	return nil
 }
 
 // Fig10 — iterations to reach a feasible placement for 15 VNFs as requests
@@ -302,7 +265,7 @@ func Fig10(cfg Config) (*Table, error) {
 	// engage, but loose enough that the restart-free NAH baseline still
 	// completes most trials.
 	const tightLoadFactor = 0.68
-	if err := placementSweep(t, cfg, requestSweepPoints(15, 10), tightLoadFactor, func(p *model.Problem, res *placement.Result) float64 {
+	if err := placementSweep(t, cfg, requestSweepPoints(15, 10, tightLoadFactor), placementAlgorithms, func(p *model.Problem, res *placement.Result) float64 {
 		return float64(res.Iterations)
 	}); err != nil {
 		return nil, err

@@ -38,6 +38,11 @@ func Robustness(cfg Config) (*Table, error) {
 		{"lognormal", simulate.ServiceLogNormal},
 	}
 	var kingmanWorst float64
+	// One reusable simulator serves every (ρ, distribution) cell: each Reset
+	// retains the agenda, packet arena, ring buffers and sample slice of the
+	// previous run, so the 15 long-horizon runs allocate run state once. The
+	// Results is consumed before the next Reset, as the contract requires.
+	sim := simulate.NewSimulator()
 	for _, rho := range []float64{0.5, 0.6, 0.7, 0.8, 0.9} {
 		lambda := rho * mu
 		for _, dist := range dists {
@@ -48,11 +53,14 @@ func Robustness(cfg Config) (*Table, error) {
 			}
 			sched := model.NewSchedule()
 			sched.Assign("r", "f", 0)
-			res, err := simulate.Run(simulate.Config{
+			if err := sim.Reset(simulate.Config{
 				Problem: prob, Schedule: sched,
 				Horizon: 2000, Warmup: 100,
 				ServiceDist: dist.d, Seed: cfg.Seed + uint64(rho*100),
-			})
+			}); err != nil {
+				return nil, fmt.Errorf("experiment: robustness (ρ=%.1f, %s): %w", rho, dist.name, err)
+			}
+			res, err := sim.Run()
 			if err != nil {
 				return nil, fmt.Errorf("experiment: robustness (ρ=%.1f, %s): %w", rho, dist.name, err)
 			}

@@ -98,6 +98,34 @@ func schedulingAlgorithms() []scheduling.Partitioner {
 	return []scheduling.Partitioner{scheduling.RCKK{}, scheduling.CGA{ArrivalOrder: true}}
 }
 
+// schedulingSeed is the per-(point, trial) seed of the Fig. 11–16 sweeps.
+func schedulingSeed(cfg Config, tp trialParams, trial int) uint64 {
+	return cfg.Seed + uint64(trial)*2654435761 + uint64(tp.n*31+tp.m*7)
+}
+
+// schedulingSweep runs every algorithm on every (point, trial) pair of the
+// sweep over ONE cross-point work queue and returns
+// perPoint[point][trial][algIndex]. Trial results land in index order, so
+// any per-point fold is bit-identical to a serial sweep, while workers never
+// idle at a point boundary.
+func schedulingSweep(cfg Config, tps []trialParams, algs []scheduling.Partitioner,
+	seedFor func(cfg Config, tp trialParams, trial int) uint64) ([][][]trialResult, error) {
+	return forEachPointTrial(len(tps), cfg.SchedulingTrials,
+		func(point, trial int) ([]trialResult, error) {
+			tp := tps[point]
+			seed := seedFor(cfg, tp, trial)
+			results := make([]trialResult, len(algs))
+			for i, alg := range algs {
+				res, err := schedulingTrial(seed, tp, alg)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", alg.Name(), err)
+				}
+				results[i] = res
+			}
+			return results, nil
+		})
+}
+
 // responseFigRho is the balanced raw utilization of the Fig. 11–14 sweeps.
 // Near saturation the mean of 1/(µ−Λ_k) over instances is dominated by the
 // most loaded instance, so the baseline's O(E[λ]) imbalance costs a large
@@ -122,32 +150,14 @@ type pointAggregates struct {
 	unstable int           // skipped trials
 }
 
-// schedulingPointMeans averages SchedulingTrials runs per algorithm at one
-// operating point. Response times are compared *pairwise*: a trial counts
-// toward the W means only when every algorithm's assignment is stable, so
-// neither side is favored by dropping only its own hard trials.
-func schedulingPointMeans(cfg Config, tp trialParams) (map[string]*pointAggregates, error) {
-	algs := schedulingAlgorithms()
+// foldPointAggregates averages one point's trials per algorithm. Response
+// times are compared *pairwise*: a trial counts toward the W means only when
+// every algorithm's assignment is stable, so neither side is favored by
+// dropping only its own hard trials.
+func foldPointAggregates(perTrial [][]trialResult, algs []scheduling.Partitioner) map[string]*pointAggregates {
 	out := make(map[string]*pointAggregates)
 	for _, alg := range algs {
 		out[alg.Name()] = &pointAggregates{}
-	}
-	// Trials are independent; run them on all cores and fold in trial order
-	// so the floating-point aggregates match a serial run exactly.
-	perTrial, err := forEachTrial(cfg.SchedulingTrials, func(trial int) ([]trialResult, error) {
-		seed := cfg.Seed + uint64(trial)*2654435761 + uint64(tp.n*31+tp.m*7)
-		results := make([]trialResult, len(algs))
-		for i, alg := range algs {
-			res, err := schedulingTrial(seed, tp, alg)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", alg.Name(), err)
-			}
-			results[i] = res
-		}
-		return results, nil
-	})
-	if err != nil {
-		return nil, err
 	}
 	for _, results := range perTrial {
 		allStable := true
@@ -163,7 +173,7 @@ func schedulingPointMeans(cfg Config, tp trialParams) (map[string]*pointAggregat
 			}
 		}
 	}
-	return out, nil
+	return out
 }
 
 // responseTimeVsRequests generates Figs. 11 and 12: mean response time of 5
@@ -180,15 +190,21 @@ func responseTimeVsRequests(id string, cfg Config, p float64) (*Table, error) {
 		YLabel: "mean W per instance (s)",
 	}
 	const m = 5
-	unstable := 0
+	var tps []trialParams
 	for _, n := range []int{15, 25, 50, 100, 150, 200, 250} {
-		ws, err := schedulingPointMeans(cfg, trialParams{n: n, m: m, p: p, rhoRaw: responseFigRho})
-		if err != nil {
-			return nil, fmt.Errorf("%s (n=%d): %w", id, n, err)
-		}
-		t.AddPoint("RCKK", float64(n), ws["RCKK"].w.Mean())
-		t.AddPoint("CGA", float64(n), ws["CGA"].w.Mean())
-		t.AddPoint("enhancement", float64(n), stats.EnhancementRatio(ws["CGA"].w.Mean(), ws["RCKK"].w.Mean()))
+		tps = append(tps, trialParams{n: n, m: m, p: p, rhoRaw: responseFigRho})
+	}
+	algs := schedulingAlgorithms()
+	perPoint, err := schedulingSweep(cfg, tps, algs, schedulingSeed)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", id, err)
+	}
+	unstable := 0
+	for pi, tp := range tps {
+		ws := foldPointAggregates(perPoint[pi], algs)
+		t.AddPoint("RCKK", float64(tp.n), ws["RCKK"].w.Mean())
+		t.AddPoint("CGA", float64(tp.n), ws["CGA"].w.Mean())
+		t.AddPoint("enhancement", float64(tp.n), stats.EnhancementRatio(ws["CGA"].w.Mean(), ws["RCKK"].w.Mean()))
 		unstable += ws["RCKK"].unstable + ws["CGA"].unstable
 	}
 	noteEnhancementRange(t)
@@ -211,15 +227,21 @@ func responseTimeVsInstances(id string, cfg Config, p float64) (*Table, error) {
 		YLabel: "mean W per instance (s)",
 	}
 	const n = 50
-	unstable := 0
+	var tps []trialParams
 	for m := 2; m <= 10; m++ {
-		ws, err := schedulingPointMeans(cfg, trialParams{n: n, m: m, p: p, rhoRaw: responseFigRho})
-		if err != nil {
-			return nil, fmt.Errorf("%s (m=%d): %w", id, m, err)
-		}
-		t.AddPoint("RCKK", float64(m), ws["RCKK"].w.Mean())
-		t.AddPoint("CGA", float64(m), ws["CGA"].w.Mean())
-		t.AddPoint("enhancement", float64(m), stats.EnhancementRatio(ws["CGA"].w.Mean(), ws["RCKK"].w.Mean()))
+		tps = append(tps, trialParams{n: n, m: m, p: p, rhoRaw: responseFigRho})
+	}
+	algs := schedulingAlgorithms()
+	perPoint, err := schedulingSweep(cfg, tps, algs, schedulingSeed)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", id, err)
+	}
+	unstable := 0
+	for pi, tp := range tps {
+		ws := foldPointAggregates(perPoint[pi], algs)
+		t.AddPoint("RCKK", float64(tp.m), ws["RCKK"].w.Mean())
+		t.AddPoint("CGA", float64(tp.m), ws["CGA"].w.Mean())
+		t.AddPoint("enhancement", float64(tp.m), stats.EnhancementRatio(ws["CGA"].w.Mean(), ws["RCKK"].w.Mean()))
 		unstable += ws["RCKK"].unstable + ws["CGA"].unstable
 	}
 	noteEnhancementRange(t)
@@ -245,13 +267,19 @@ func rejectionVsRequests(id string, cfg Config, p float64) (*Table, error) {
 		YLabel: "job rejection rate",
 	}
 	const m = 5
+	var tps []trialParams
 	for _, n := range []int{15, 25, 50, 100, 150, 200, 250} {
-		ws, err := schedulingPointMeans(cfg, trialParams{n: n, m: m, p: p, rhoRaw: rejectionFigRho, admission: true})
-		if err != nil {
-			return nil, fmt.Errorf("%s (n=%d): %w", id, n, err)
-		}
-		t.AddPoint("RCKK", float64(n), ws["RCKK"].rej.Mean())
-		t.AddPoint("CGA", float64(n), ws["CGA"].rej.Mean())
+		tps = append(tps, trialParams{n: n, m: m, p: p, rhoRaw: rejectionFigRho, admission: true})
+	}
+	algs := schedulingAlgorithms()
+	perPoint, err := schedulingSweep(cfg, tps, algs, schedulingSeed)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", id, err)
+	}
+	for pi, tp := range tps {
+		ws := foldPointAggregates(perPoint[pi], algs)
+		t.AddPoint("RCKK", float64(tp.n), ws["RCKK"].rej.Mean())
+		t.AddPoint("CGA", float64(tp.n), ws["CGA"].rej.Mean())
 	}
 	t.Note("mean rejection rate: RCKK %.2f%%, CGA %.2f%%", t.Mean("RCKK")*100, t.Mean("CGA")*100)
 	return t, nil
@@ -288,7 +316,8 @@ func Fig16(cfg Config) (*Table, error) { return rejectionVsRequests("fig16", cfg
 
 // FigTail — the 99th-percentile response-time statistics the paper quotes in
 // prose: p99 over the trial population of per-trial mean W, for requests
-// scaling 10→200 at 5 instances, P = 0.98.
+// scaling 10→200 at 5 instances, P = 0.98. The p50/p95/p99 of each sample
+// set come from a single Percentiles call (one sort) per algorithm.
 func FigTail(cfg Config) (*Table, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -300,41 +329,46 @@ func FigTail(cfg Config) (*Table, error) {
 		YLabel: "p99 of per-trial mean W (s)",
 	}
 	const m = 5
-	tpBase := trialParams{m: m, p: 0.98, rhoRaw: responseFigRho}
+	var tps []trialParams
 	for _, n := range []int{10, 25, 50, 100, 200} {
+		tps = append(tps, trialParams{n: n, m: m, p: 0.98, rhoRaw: responseFigRho})
+	}
+	algs := schedulingAlgorithms()
+	perPoint, err := schedulingSweep(cfg, tps, algs,
+		func(cfg Config, tp trialParams, trial int) uint64 {
+			return cfg.Seed + uint64(trial)*2654435761 + uint64(tp.n*131)
+		})
+	if err != nil {
+		return nil, fmt.Errorf("tail: %w", err)
+	}
+	for pi, tp := range tps {
 		samples := map[string][]float64{}
-		for trial := 0; trial < cfg.SchedulingTrials; trial++ {
-			seed := cfg.Seed + uint64(trial)*2654435761 + uint64(n*131)
-			trialWs := make(map[string]float64, 2)
+		for _, results := range perPoint[pi] {
 			allStable := true
-			for _, alg := range schedulingAlgorithms() {
-				tp := tpBase
-				tp.n = n
-				res, err := schedulingTrial(seed, tp, alg)
-				if err != nil {
-					return nil, fmt.Errorf("tail (n=%d): %s: %w", n, alg.Name(), err)
-				}
-				trialWs[alg.Name()] = res.meanW
-				allStable = allStable && res.stable
+			for i := range algs {
+				allStable = allStable && results[i].stable
 			}
 			if !allStable {
 				continue // pairwise comparison: skip the trial for both
 			}
-			for name, w := range trialWs {
-				samples[name] = append(samples[name], w)
+			for i, alg := range algs {
+				samples[alg.Name()] = append(samples[alg.Name()], results[i].meanW)
 			}
 		}
 		// Every trial may be skipped as unstable, leaving no samples for
-		// this n — PercentileOK makes the empty case explicit instead of
-		// relying on the callee to panic.
-		rp99, rok := stats.PercentileOK(samples["RCKK"], 99)
-		cp99, cok := stats.PercentileOK(samples["CGA"], 99)
+		// this n — PercentilesOK makes the empty case explicit instead of
+		// relying on the callee to panic, and batches the three quantiles
+		// into one sort per sample set (see stats.Percentile's cost note).
+		rq, rok := stats.PercentilesOK(samples["RCKK"], 50, 95, 99)
+		cq, cok := stats.PercentilesOK(samples["CGA"], 50, 95, 99)
 		if !rok || !cok {
 			continue
 		}
-		t.AddPoint("RCKK", float64(n), rp99)
-		t.AddPoint("CGA", float64(n), cp99)
-		t.AddPoint("enhancement", float64(n), stats.EnhancementRatio(cp99, rp99))
+		t.AddPoint("RCKK", float64(tp.n), rq[2])
+		t.AddPoint("CGA", float64(tp.n), cq[2])
+		t.AddPoint("enhancement", float64(tp.n), stats.EnhancementRatio(cq[2], rq[2]))
+		t.Note("n=%d: RCKK p50/p95/p99 = %.4g/%.4g/%.4g, CGA = %.4g/%.4g/%.4g",
+			tp.n, rq[0], rq[1], rq[2], cq[0], cq[1], cq[2])
 	}
 	noteEnhancementRange(t)
 	return t, nil

@@ -1,0 +1,52 @@
+// Package profiling wires the standard pprof file profiles into the
+// repository's commands (-cpuprofile / -memprofile on nfvsim and nfvbench),
+// so optimization PRs can demonstrate their wins with before/after flame
+// graphs next to the BENCH.json trajectory (see EXPERIMENTS.md).
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (when non-empty) and returns a stop
+// function that ends the CPU profile and writes a heap profile to memPath
+// (when non-empty). Either path may be empty to skip that profile; the stop
+// function is always non-nil and must be called exactly once.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("close cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("create mem profile: %w", err)
+			}
+			defer f.Close()
+			// Materialize recent frees so the heap profile reflects live
+			// memory, the view that matters for steady-state footprint.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("write mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

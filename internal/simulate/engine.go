@@ -4,20 +4,22 @@
 // exponential service at every service instance, inter-node link latency
 // from the placement, NACK-style loss feedback with source retransmission,
 // and optional finite buffers with per-instance drop accounting (discard or
-// NACK-style drop retransmission, see DropPolicy). Comparing its empirical
+// NACK-style drop retransmission, see DropPolicy).  Comparing its empirical
 // latencies against Eq. 12 validates the open-Jackson-network model end to
 // end.
 //
-// The event loop is allocation-lean: events and packets are recycled
-// through free lists on the simulation, each instance's waiting room is a
-// ring buffer, and the latency-sample slice is pre-sized from the offered
-// load, so steady-state simulation performs no per-packet allocation.
+// The event loop is allocation-free in steady state and built for raw CPU
+// speed: the agenda is a value-typed implicit 4-ary min-heap of 32-byte
+// events (no container/heap interface boxing, no per-event pointer), packets
+// live in a flat arena indexed by int32 and are recycled through a free
+// list, each instance's waiting room is a ring buffer of packet indices, and
+// the latency-sample slice is pre-sized from the offered load.  A Simulator
+// can additionally be Reset and re-Run so sweeps reuse every backing array
+// across trials.
 package simulate
 
-import "container/heap"
-
 // eventKind discriminates scheduler events.
-type eventKind int
+type eventKind int32
 
 const (
 	evArrival eventKind = iota + 1 // packet arrives at a stage's instance
@@ -26,64 +28,99 @@ const (
 )
 
 // event is one scheduled occurrence. seq breaks time ties deterministically.
+// It is a 32-byte value: the agenda stores events inline, so pushing and
+// popping never touches the allocator and comparisons never go through an
+// interface. pkt and inst index the simulation's packet arena and instance
+// table (-1 when unused).
 type event struct {
-	time float64
-	seq  uint64
-	kind eventKind
-
-	pkt      *packet // evArrival, evService payload
-	inst     *instance
-	reqIndex int // evSource payload
+	time     float64
+	seq      uint64
+	kind     eventKind
+	reqIndex int32 // evSource payload
+	pkt      int32 // evArrival payload (packet arena index)
+	inst     int32 // evArrival, evService payload (instance table index)
 }
 
-// eventHeap is a min-heap on (time, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return it
-}
-
-// agenda wraps the heap with sequence numbering.
+// agenda is a value-typed implicit 4-ary min-heap on (time, seq).
+//
+// Because (time, seq) is a total order — seq is unique per push — every
+// correct priority-queue representation pops the exact same event sequence,
+// so swapping the binary container/heap for this layout is stream-preserving
+// by construction (the seed-determinism goldens pin that). A 4-ary layout
+// halves the tree depth of the binary heap: sift-down does one comparison
+// chain over four children per level, which trades a few comparisons for far
+// fewer cache lines touched, a net win on event populations that fit L1/L2.
 type agenda struct {
-	h   eventHeap
-	seq uint64
+	events []event
+	seq    uint64
 }
 
-func newAgenda() *agenda {
-	// Pre-size the backing array: the outstanding-event population is one
-	// source event per request plus one service event per busy instance
-	// plus in-flight hops, which fits comfortably here for typical runs;
-	// larger runs amortize growth as usual.
-	a := &agenda{h: make(eventHeap, 0, 256)}
-	heap.Init(&a.h)
-	return a
+// reset empties the agenda, retaining its backing array for the next run.
+func (a *agenda) reset() {
+	a.events = a.events[:0]
+	a.seq = 0
 }
 
-func (a *agenda) push(e *event) {
+// push stamps e with the next sequence number and sifts it up.
+func (a *agenda) push(e event) {
 	a.seq++
 	e.seq = a.seq
-	heap.Push(&a.h, e)
-}
-
-func (a *agenda) pop() *event {
-	if len(a.h) == 0 {
-		return nil
+	a.events = append(a.events, e)
+	// Sift up: 4-ary parent of i is (i-1)/4.
+	i := len(a.events) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		p := &a.events[parent]
+		if p.time < e.time || (p.time == e.time && p.seq < e.seq) {
+			break
+		}
+		a.events[i] = *p
+		i = parent
 	}
-	return heap.Pop(&a.h).(*event)
+	a.events[i] = e
 }
 
-func (a *agenda) empty() bool { return len(a.h) == 0 }
+// pop removes and returns the minimum event; ok is false when empty.
+func (a *agenda) pop() (event, bool) {
+	n := len(a.events)
+	if n == 0 {
+		return event{}, false
+	}
+	top := a.events[0]
+	last := a.events[n-1]
+	a.events = a.events[:n-1]
+	n--
+	if n == 0 {
+		return top, true
+	}
+	// Sift down: children of i are 4i+1 … 4i+4.
+	i := 0
+	for {
+		child := i<<2 + 1
+		if child >= n {
+			break
+		}
+		// Select the minimum of up to four children.
+		end := child + 4
+		if end > n {
+			end = n
+		}
+		m := child
+		mt, ms := a.events[child].time, a.events[child].seq
+		for c := child + 1; c < end; c++ {
+			ct, cs := a.events[c].time, a.events[c].seq
+			if ct < mt || (ct == mt && cs < ms) {
+				m, mt, ms = c, ct, cs
+			}
+		}
+		if last.time < mt || (last.time == mt && last.seq < ms) {
+			break
+		}
+		a.events[i] = a.events[m]
+		i = m
+	}
+	a.events[i] = last
+	return top, true
+}
+
+func (a *agenda) empty() bool { return len(a.events) == 0 }

@@ -172,26 +172,31 @@ type Results struct {
 	PerInstance map[InstanceKey]*stats.Summary
 }
 
-// packet is one in-flight packet.
+// packet is one in-flight packet. Packets live in the simulation's flat
+// arena and are addressed by int32 index, so events and ring buffers carry
+// 4-byte handles instead of pointers.
 type packet struct {
-	reqIndex   int
-	stage      int     // index into the request's chain
+	reqIndex   int32
+	stage      int32   // index into the request's chain
 	birth      float64 // first external arrival time (retransmissions keep it)
 	visitStart float64 // arrival time at the current instance
 }
 
-// instance is the runtime state of one service instance.
+// instance is the runtime state of one service instance. Instances live in
+// a flat table indexed by int32; the per-instance aggregates (visit sojourn
+// summary, drop count) are folded into the Results maps at finalize so the
+// event loop never touches a map.
 type instance struct {
 	key InstanceKey
 	mu  float64
-	// Waiting room: a power-of-two ring buffer (q, qhead, qlen) instead of
-	// a slice dequeued by copy-shifting, making both enqueue and dequeue
-	// O(1) without per-packet allocation.
-	q     []*packet
+	// Waiting room: a power-of-two ring buffer of packet indices (q, qhead,
+	// qlen), making both enqueue and dequeue O(1) without per-packet
+	// allocation.
+	q     []int32
 	qhead int
 	qlen  int
-	// busy is non-nil while serving.
-	busy         *packet
+	// busy is the in-service packet index, -1 while idle.
+	busy         int32
 	serviceStart float64
 	busyTime     float64 // accumulated within [warmup, horizon]
 	stream       *rng.Stream
@@ -200,6 +205,10 @@ type instance struct {
 	population int
 	lastChange float64
 	popArea    float64
+
+	// dropped and visits feed DroppedByInstance and PerInstance.
+	dropped int
+	visits  stats.Summary
 }
 
 // notePopulation folds the time since the last change into the ∫N dt area
@@ -210,163 +219,258 @@ func (inst *instance) notePopulation(now, warmup, horizon float64, delta int) {
 	inst.population += delta
 }
 
-// enqueue appends p to the instance's ring buffer, doubling it when full
-// (capacities stay powers of two so the index masks below are valid).
-func (inst *instance) enqueue(p *packet) {
+// enqueue appends a packet index to the instance's ring buffer, doubling it
+// when full (capacities stay powers of two so the index masks below are
+// valid).
+func (inst *instance) enqueue(pid int32) {
 	if inst.qlen == len(inst.q) {
-		grown := make([]*packet, max(2*len(inst.q), 8))
+		grown := make([]int32, max(2*len(inst.q), 8))
 		for i := 0; i < inst.qlen; i++ {
 			grown[i] = inst.q[(inst.qhead+i)&(len(inst.q)-1)]
 		}
 		inst.q = grown
 		inst.qhead = 0
 	}
-	inst.q[(inst.qhead+inst.qlen)&(len(inst.q)-1)] = p
+	inst.q[(inst.qhead+inst.qlen)&(len(inst.q)-1)] = pid
 	inst.qlen++
 }
 
 // dequeue pops the head of the ring buffer; the caller checks qlen > 0.
-func (inst *instance) dequeue() *packet {
-	p := inst.q[inst.qhead]
-	inst.q[inst.qhead] = nil
+func (inst *instance) dequeue() int32 {
+	pid := inst.q[inst.qhead]
 	inst.qhead = (inst.qhead + 1) & (len(inst.q) - 1)
 	inst.qlen--
-	return p
+	return pid
 }
 
 // simulation is the run state.
 type simulation struct {
 	cfg     Config
-	agenda  *agenda
+	agenda  agenda
 	now     float64
 	results *Results
 
-	requests  []model.Request
-	instances map[InstanceKey]*instance
-	// route[i][s] is the instance serving stage s of request i.
-	route [][]*instance
-	// hop[i][s] is the link delay entering stage s of request i (0 for s=0
-	// or co-located stages).
-	hop [][]float64
+	requests []model.Request
+	// instances is the flat instance table; instIndex resolves keys to
+	// table indices during build.
+	instances []instance
+	instIndex map[InstanceKey]int32
+
+	// Flat chain routing: stage s of request i is served by instance
+	// routeFlat[chainOff[i]+s] and incurs link delay hopFlat[chainOff[i]+s]
+	// on entry (0 for s=0 or co-located stages).
+	chainOff  []int32
+	routeFlat []int32
+	hopFlat   []float64
 
 	arrivalStreams  []*rng.Stream
 	deliveryStreams []*rng.Stream
+
+	// perReq accumulates delivered latency per request index; finalize
+	// publishes it as Results.PerRequest.
+	perReq []stats.Summary
 
 	// live counts admitted packets not yet delivered or permanently
 	// dropped; finalize publishes it as Results.InFlight.
 	live int
 
-	// Free lists recycle event and packet objects across the run. The
-	// simulation is single-goroutine, so plain slices beat sync.Pool: no
+	// packets is the flat packet arena; packetFree recycles indices. The
+	// simulation is single-goroutine, so a plain slice beats sync.Pool: no
 	// synchronization, and recycling order is deterministic.
-	eventFree  []*event
-	packetFree []*packet
+	packets    []packet
+	packetFree []int32
 }
 
-// newEvent returns a recycled (or fresh) event populated from e.
-func (s *simulation) newEvent(e event) *event {
-	if n := len(s.eventFree); n > 0 {
-		out := s.eventFree[n-1]
-		s.eventFree = s.eventFree[:n-1]
-		*out = e
-		return out
-	}
-	out := new(event)
-	*out = e
-	return out
-}
-
-// freeEvent recycles e once the loop has dispatched it.
-func (s *simulation) freeEvent(e *event) {
-	e.pkt, e.inst = nil, nil
-	s.eventFree = append(s.eventFree, e)
-}
-
-// newPacket returns a recycled (or fresh) packet for request i born at t.
-func (s *simulation) newPacket(i int, t float64) *packet {
+// newPacket returns the arena index of a recycled (or fresh) packet for
+// request i born at t. Pointers into the arena must be re-derived after any
+// call — appends may move the backing array.
+func (s *simulation) newPacket(i int32, t float64) int32 {
 	if n := len(s.packetFree); n > 0 {
-		p := s.packetFree[n-1]
+		pid := s.packetFree[n-1]
 		s.packetFree = s.packetFree[:n-1]
-		*p = packet{reqIndex: i, birth: t}
-		return p
+		s.packets[pid] = packet{reqIndex: i, birth: t}
+		return pid
 	}
-	return &packet{reqIndex: i, birth: t}
+	s.packets = append(s.packets, packet{reqIndex: i, birth: t})
+	return int32(len(s.packets) - 1)
 }
 
-// freePacket recycles p after delivery or a discarding drop.
-func (s *simulation) freePacket(p *packet) {
-	s.packetFree = append(s.packetFree, p)
+// freePacket recycles the packet index after delivery or a discarding drop.
+func (s *simulation) freePacket(pid int32) {
+	s.packetFree = append(s.packetFree, pid)
 }
 
-// Run executes the simulation and returns its measurements.
+// Simulator owns a reusable simulation: Reset(cfg) prepares a run while
+// retaining every backing array of the previous one (agenda, packet arena,
+// ring buffers, free lists, latency-sample slice, result maps), and Run()
+// executes it. Sweeps that evaluate many configurations amortize all run
+//-state allocation this way:
+//
+//	var sim Simulator
+//	for _, cfg := range cfgs {
+//		if err := sim.Reset(cfg); err != nil { ... }
+//		res, err := sim.Run()
+//		// consume res before the next Reset
+//	}
+//
+// The Results returned by Run aliases the simulator's reused buffers and is
+// only valid until the next Reset. Use the package-level Run for a fresh,
+// independently owned Results. A Simulator must not be shared across
+// goroutines. The zero value is ready to use.
+type Simulator struct {
+	s     simulation
+	ready bool
+}
+
+// NewSimulator returns an empty reusable simulator.
+func NewSimulator() *Simulator { return &Simulator{} }
+
+// Run executes one simulation with freshly allocated state and returns its
+// measurements. The Results is independently owned and stays valid
+// indefinitely.
 func Run(cfg Config) (*Results, error) {
+	var sim Simulator
+	if err := sim.Reset(cfg); err != nil {
+		return nil, err
+	}
+	return sim.Run()
+}
+
+// Reset validates cfg and prepares the simulator for one run, reusing the
+// previous run's backing arrays. Any Results previously returned by Run is
+// invalidated.
+func (sim *Simulator) Reset(cfg Config) error {
+	sim.ready = false
 	if cfg.Problem == nil || cfg.Schedule == nil {
-		return nil, errors.New("simulate: Problem and Schedule are required")
+		return errors.New("simulate: Problem and Schedule are required")
 	}
 	if cfg.Horizon <= 0 {
-		return nil, fmt.Errorf("simulate: horizon %v must be positive", cfg.Horizon)
+		return fmt.Errorf("simulate: horizon %v must be positive", cfg.Horizon)
 	}
 	if cfg.Warmup < 0 || cfg.Warmup >= cfg.Horizon {
-		return nil, fmt.Errorf("simulate: warmup %v outside [0, horizon)", cfg.Warmup)
+		return fmt.Errorf("simulate: warmup %v outside [0, horizon)", cfg.Warmup)
 	}
 	if cfg.LinkDelay < 0 {
-		return nil, fmt.Errorf("simulate: negative link delay %v", cfg.LinkDelay)
+		return fmt.Errorf("simulate: negative link delay %v", cfg.LinkDelay)
 	}
 	if cfg.BufferSize < 0 {
-		return nil, fmt.Errorf("simulate: negative buffer size %d", cfg.BufferSize)
+		return fmt.Errorf("simulate: negative buffer size %d", cfg.BufferSize)
 	}
 	switch cfg.DropPolicy {
 	case DropDiscard:
 	case DropRetransmit:
 		if cfg.RetransmitDelay <= 0 {
-			return nil, fmt.Errorf("simulate: DropRetransmit requires a positive RetransmitDelay, got %v", cfg.RetransmitDelay)
+			return fmt.Errorf("simulate: DropRetransmit requires a positive RetransmitDelay, got %v", cfg.RetransmitDelay)
 		}
 	default:
-		return nil, fmt.Errorf("simulate: unknown drop policy %d", cfg.DropPolicy)
+		return fmt.Errorf("simulate: unknown drop policy %d", cfg.DropPolicy)
 	}
 	switch cfg.ServiceDist {
 	case ServiceExponential, ServiceDeterministic, ServiceLogNormal:
 	default:
-		return nil, fmt.Errorf("simulate: unknown service distribution %d", cfg.ServiceDist)
+		return fmt.Errorf("simulate: unknown service distribution %d", cfg.ServiceDist)
 	}
 	// Partial validation: requests absent from the schedule were rejected by
 	// admission control and simply generate no traffic.
 	if err := cfg.Schedule.ValidatePartial(cfg.Problem); err != nil {
-		return nil, fmt.Errorf("simulate: %w", err)
+		return fmt.Errorf("simulate: %w", err)
 	}
 	if cfg.Placement != nil {
 		if err := cfg.Placement.Validate(cfg.Problem); err != nil {
-			return nil, fmt.Errorf("simulate: %w", err)
+			return fmt.Errorf("simulate: %w", err)
 		}
 	}
 
-	s := &simulation{
-		cfg:    cfg,
-		agenda: newAgenda(),
-		results: &Results{
-			Horizon:           cfg.Horizon,
-			Warmup:            cfg.Warmup,
-			Utilization:       make(map[InstanceKey]float64),
-			MeanJobs:          make(map[InstanceKey]float64),
-			DroppedByInstance: make(map[InstanceKey]int),
-			PerRequest:        make(map[model.RequestID]*stats.Summary),
-			PerInstance:       make(map[InstanceKey]*stats.Summary),
-		},
-		instances: make(map[InstanceKey]*instance),
-	}
+	s := &sim.s
+	s.cfg = cfg
+	s.now = 0
+	s.live = 0
+	s.agenda.reset()
+	s.packets = s.packets[:0]
+	s.packetFree = s.packetFree[:0]
+	s.requests = s.requests[:0]
+	s.chainOff = s.chainOff[:0]
+	s.routeFlat = s.routeFlat[:0]
+	s.hopFlat = s.hopFlat[:0]
+	s.arrivalStreams = s.arrivalStreams[:0]
+	s.deliveryStreams = s.deliveryStreams[:0]
+	s.perReq = s.perReq[:0]
+	s.resetResults()
 	if err := s.build(); err != nil {
-		return nil, err
+		return err
 	}
 	s.presizeSamples()
+	sim.ready = true
+	return nil
+}
+
+// Run executes the run prepared by the preceding Reset. The returned Results
+// aliases the simulator's buffers and is valid until the next Reset.
+func (sim *Simulator) Run() (*Results, error) {
+	if !sim.ready {
+		return nil, errors.New("simulate: Run requires a successful Reset first")
+	}
+	sim.ready = false
+	s := &sim.s
 	s.seedArrivals()
 	s.loop()
 	s.finalize()
 	return s.results, nil
 }
 
+// resetResults clears the reused Results, retaining its maps and the
+// latency-sample backing array.
+func (s *simulation) resetResults() {
+	if s.results == nil {
+		s.results = &Results{
+			Utilization:       make(map[InstanceKey]float64),
+			MeanJobs:          make(map[InstanceKey]float64),
+			DroppedByInstance: make(map[InstanceKey]int),
+			PerRequest:        make(map[model.RequestID]*stats.Summary),
+			PerInstance:       make(map[InstanceKey]*stats.Summary),
+		}
+	}
+	r := s.results
+	clear(r.Utilization)
+	clear(r.MeanJobs)
+	clear(r.DroppedByInstance)
+	clear(r.PerRequest)
+	clear(r.PerInstance)
+	*r = Results{
+		Horizon:           s.cfg.Horizon,
+		Warmup:            s.cfg.Warmup,
+		LatencySamples:    r.LatencySamples[:0],
+		Utilization:       r.Utilization,
+		MeanJobs:          r.MeanJobs,
+		DroppedByInstance: r.DroppedByInstance,
+		PerRequest:        r.PerRequest,
+		PerInstance:       r.PerInstance,
+	}
+}
+
+// addInstance appends a fresh instance to the table, recycling the ring
+// buffer left in the slot by a previous run when one exists.
+func (s *simulation) addInstance(key InstanceKey, mu float64, stream *rng.Stream) int32 {
+	n := len(s.instances)
+	if n < cap(s.instances) {
+		s.instances = s.instances[:n+1]
+		q := s.instances[n].q
+		s.instances[n] = instance{key: key, mu: mu, stream: stream, busy: -1, q: q}
+	} else {
+		s.instances = append(s.instances, instance{key: key, mu: mu, stream: stream, busy: -1})
+	}
+	return int32(n)
+}
+
 // build resolves each request's chain to concrete instances and link hops.
 func (s *simulation) build() error {
 	p := s.cfg.Problem
+	s.instances = s.instances[:0]
+	if s.instIndex == nil {
+		s.instIndex = make(map[InstanceKey]int32)
+	} else {
+		clear(s.instIndex)
+	}
 	for _, r := range p.Requests {
 		// Skip requests the admission controller removed from the schedule.
 		if len(s.cfg.Schedule.InstanceOf[r.ID]) == 0 {
@@ -374,16 +478,12 @@ func (s *simulation) build() error {
 		}
 		s.requests = append(s.requests, r)
 	}
-	s.route = make([][]*instance, len(s.requests))
-	s.hop = make([][]float64, len(s.requests))
-	s.arrivalStreams = make([]*rng.Stream, len(s.requests))
-	s.deliveryStreams = make([]*rng.Stream, len(s.requests))
 
-	for i, r := range s.requests {
-		s.arrivalStreams[i] = rng.Derive(s.cfg.Seed, "arrivals/"+string(r.ID))
-		s.deliveryStreams[i] = rng.Derive(s.cfg.Seed, "delivery/"+string(r.ID))
-		s.route[i] = make([]*instance, len(r.Chain))
-		s.hop[i] = make([]float64, len(r.Chain))
+	for _, r := range s.requests {
+		s.arrivalStreams = append(s.arrivalStreams, rng.Derive(s.cfg.Seed, "arrivals/"+string(r.ID)))
+		s.deliveryStreams = append(s.deliveryStreams, rng.Derive(s.cfg.Seed, "delivery/"+string(r.ID)))
+		s.chainOff = append(s.chainOff, int32(len(s.routeFlat)))
+		s.perReq = append(s.perReq, stats.Summary{})
 		var prevNode model.NodeID
 		for stage, fid := range r.Chain {
 			k, ok := s.cfg.Schedule.Instance(r.ID, fid)
@@ -392,25 +492,22 @@ func (s *simulation) build() error {
 			}
 			f, _ := p.VNF(fid)
 			key := InstanceKey{VNF: fid, Instance: k}
-			inst, exists := s.instances[key]
+			iid, exists := s.instIndex[key]
 			if !exists {
-				inst = &instance{
-					key:    key,
-					mu:     f.ServiceRate,
-					stream: rng.Derive(s.cfg.Seed, fmt.Sprintf("service/%s/%d", fid, k)),
-				}
-				s.instances[key] = inst
+				iid = s.addInstance(key, f.ServiceRate, rng.Derive(s.cfg.Seed, fmt.Sprintf("service/%s/%d", fid, k)))
+				s.instIndex[key] = iid
 			}
-			s.route[i][stage] = inst
+			hop := 0.0
 			if s.cfg.Placement != nil {
 				node, _ := s.cfg.Placement.Node(fid)
 				if stage > 0 && node != prevNode {
-					s.hop[i][stage] = s.cfg.LinkDelay
+					hop = s.cfg.LinkDelay
 				}
 				prevNode = node
 			}
+			s.routeFlat = append(s.routeFlat, iid)
+			s.hopFlat = append(s.hopFlat, hop)
 		}
-		s.results.PerRequest[r.ID] = &stats.Summary{}
 	}
 	return nil
 }
@@ -434,7 +531,7 @@ func (s *simulation) presizeSamples() {
 	if expected > presizeCap {
 		expected = presizeCap
 	}
-	if expected > 0 {
+	if expected > cap(s.results.LatencySamples) {
 		s.results.LatencySamples = make([]float64, 0, expected)
 	}
 }
@@ -443,9 +540,9 @@ func (s *simulation) presizeSamples() {
 // pushes the whole trace.
 func (s *simulation) seedArrivals() {
 	if s.cfg.Trace != nil {
-		index := make(map[model.RequestID]int, len(s.requests))
+		index := make(map[model.RequestID]int32, len(s.requests))
 		for i, r := range s.requests {
-			index[r.ID] = i
+			index[r.ID] = int32(i)
 		}
 		for _, a := range s.cfg.Trace.Arrivals {
 			i, ok := index[a.Request]
@@ -454,169 +551,187 @@ func (s *simulation) seedArrivals() {
 			}
 			s.results.Generated++
 			s.live++
-			s.agenda.push(s.newEvent(event{
+			pid := s.newPacket(i, a.Time)
+			s.agenda.push(event{
 				time: a.Time,
 				kind: evArrival,
-				pkt:  s.newPacket(i, a.Time),
-				inst: s.route[i][0],
-			}))
+				pkt:  pid,
+				inst: s.routeFlat[s.chainOff[i]],
+			})
 		}
 		return
 	}
 	for i := range s.requests {
-		s.scheduleNextSource(i, 0)
+		s.scheduleNextSource(int32(i), 0)
 	}
 }
 
 // scheduleNextSource draws the next Poisson arrival of request i after t.
-func (s *simulation) scheduleNextSource(i int, t float64) {
+func (s *simulation) scheduleNextSource(i int32, t float64) {
 	next := t + s.arrivalStreams[i].Exp(s.requests[i].Rate)
 	if next >= s.cfg.Horizon {
 		return
 	}
-	s.agenda.push(s.newEvent(event{time: next, kind: evSource, reqIndex: i}))
+	s.agenda.push(event{time: next, kind: evSource, reqIndex: i})
 }
 
 // loop drains the agenda until the horizon.
 func (s *simulation) loop() {
-	for !s.agenda.empty() {
-		e := s.agenda.pop()
-		if e.time > s.cfg.Horizon {
+	horizon := s.cfg.Horizon
+	for {
+		e, ok := s.agenda.pop()
+		if !ok || e.time > horizon {
 			break
 		}
 		s.now = e.time
 		switch e.kind {
-		case evSource:
-			i := e.reqIndex
-			s.results.Generated++
-			s.live++
-			s.agenda.push(s.newEvent(event{
-				time: s.now,
-				kind: evArrival,
-				pkt:  s.newPacket(i, s.now),
-				inst: s.route[i][0],
-			}))
-			s.scheduleNextSource(i, s.now)
 		case evArrival:
 			s.arrive(e.pkt, e.inst)
 		case evService:
 			s.complete(e.inst)
+		case evSource:
+			i := e.reqIndex
+			s.results.Generated++
+			s.live++
+			pid := s.newPacket(i, s.now)
+			s.agenda.push(event{
+				time: s.now,
+				kind: evArrival,
+				pkt:  pid,
+				inst: s.routeFlat[s.chainOff[i]],
+			})
+			s.scheduleNextSource(i, s.now)
 		}
-		s.freeEvent(e)
 	}
 }
 
 // arrive delivers a packet to an instance's queue or service position.
-func (s *simulation) arrive(p *packet, inst *instance) {
-	p.visitStart = s.now
-	if inst.busy == nil {
+func (s *simulation) arrive(pid, iid int32) {
+	inst := &s.instances[iid]
+	s.packets[pid].visitStart = s.now
+	if inst.busy < 0 {
 		inst.notePopulation(s.now, s.cfg.Warmup, s.cfg.Horizon, +1)
-		s.startService(inst, p)
+		s.startService(inst, iid, pid)
 		return
 	}
 	if s.cfg.BufferSize > 0 && inst.qlen >= s.cfg.BufferSize {
-		s.drop(p, inst)
+		s.drop(pid, inst)
 		return
 	}
 	inst.notePopulation(s.now, s.cfg.Warmup, s.cfg.Horizon, +1)
-	inst.enqueue(p)
+	inst.enqueue(pid)
 }
 
 // drop handles a buffer-full arrival according to the configured policy.
-func (s *simulation) drop(p *packet, inst *instance) {
+func (s *simulation) drop(pid int32, inst *instance) {
 	s.results.Dropped++
-	s.results.DroppedByInstance[inst.key]++
+	inst.dropped++
 	if s.cfg.DropPolicy == DropRetransmit {
 		// NACK loss feedback: the source re-injects the packet after the
 		// feedback round-trip, keeping its original birth time so the
 		// measured latency includes every retry pass.
 		s.results.DropRetransmits++
+		p := &s.packets[pid]
 		p.stage = 0
-		s.agenda.push(s.newEvent(event{
+		s.agenda.push(event{
 			time: s.now + s.cfg.RetransmitDelay,
 			kind: evArrival,
-			pkt:  p,
-			inst: s.route[p.reqIndex][0],
-		}))
+			pkt:  pid,
+			inst: s.routeFlat[s.chainOff[p.reqIndex]],
+		})
 		return
 	}
 	s.live--
-	s.freePacket(p)
+	s.freePacket(pid)
 }
 
-// startService begins serving p at inst and schedules its completion.
-func (s *simulation) startService(inst *instance, p *packet) {
-	inst.busy = p
+// startService begins serving the packet at inst and schedules completion.
+func (s *simulation) startService(inst *instance, iid, pid int32) {
+	inst.busy = pid
 	inst.serviceStart = s.now
 	d := s.cfg.ServiceDist.sample(inst.stream, inst.mu)
-	s.agenda.push(s.newEvent(event{time: s.now + d, kind: evService, inst: inst}))
+	s.agenda.push(event{time: s.now + d, kind: evService, inst: iid})
 }
 
 // complete finishes the in-service packet of inst and advances it.
-func (s *simulation) complete(inst *instance) {
-	p := inst.busy
+func (s *simulation) complete(iid int32) {
+	inst := &s.instances[iid]
+	pid := inst.busy
 	inst.busyTime += overlap(inst.serviceStart, s.now, s.cfg.Warmup, s.cfg.Horizon)
 	inst.notePopulation(s.now, s.cfg.Warmup, s.cfg.Horizon, -1)
-	if p.visitStart >= s.cfg.Warmup {
-		sum := s.results.PerInstance[inst.key]
-		if sum == nil {
-			sum = &stats.Summary{}
-			s.results.PerInstance[inst.key] = sum
-		}
-		sum.Add(s.now - p.visitStart)
+	if s.packets[pid].visitStart >= s.cfg.Warmup {
+		inst.visits.Add(s.now - s.packets[pid].visitStart)
 	}
-	inst.busy = nil
+	inst.busy = -1
 	if inst.qlen > 0 {
-		s.startService(inst, inst.dequeue())
+		s.startService(inst, iid, inst.dequeue())
 	}
-	s.advance(p)
+	s.advance(pid)
 }
 
 // advance moves a finished packet to its next stage, delivery check, or
 // retransmission.
-func (s *simulation) advance(p *packet) {
-	r := s.requests[p.reqIndex]
-	if p.stage+1 < len(r.Chain) {
+func (s *simulation) advance(pid int32) {
+	p := &s.packets[pid]
+	ri := p.reqIndex
+	r := &s.requests[ri]
+	if int(p.stage)+1 < len(r.Chain) {
 		p.stage++
-		s.agenda.push(s.newEvent(event{
-			time: s.now + s.hop[p.reqIndex][p.stage],
+		off := s.chainOff[ri] + p.stage
+		s.agenda.push(event{
+			time: s.now + s.hopFlat[off],
 			kind: evArrival,
-			pkt:  p,
-			inst: s.route[p.reqIndex][p.stage],
-		}))
+			pkt:  pid,
+			inst: s.routeFlat[off],
+		})
 		return
 	}
 	// End of chain: delivery check.
-	if s.deliveryStreams[p.reqIndex].Bernoulli(r.DeliveryProb) {
+	if s.deliveryStreams[ri].Bernoulli(r.DeliveryProb) {
 		s.results.Delivered++
 		s.live--
 		if p.birth >= s.cfg.Warmup {
 			lat := s.now - p.birth
 			s.results.Latency.Add(lat)
 			s.results.LatencySamples = append(s.results.LatencySamples, lat)
-			s.results.PerRequest[r.ID].Add(lat)
+			s.perReq[ri].Add(lat)
 		}
-		s.freePacket(p)
+		s.freePacket(pid)
 		return
 	}
 	// NACK: retransmit from the source immediately (paper Fig. 3).
 	s.results.Retransmissions++
 	p.stage = 0
-	s.agenda.push(s.newEvent(event{time: s.now, kind: evArrival, pkt: p, inst: s.route[p.reqIndex][0]}))
+	s.agenda.push(event{time: s.now, kind: evArrival, pkt: pid, inst: s.routeFlat[s.chainOff[ri]]})
 }
 
-// finalize folds in-flight busy time and normalizes utilizations.
+// finalize folds in-flight busy time, normalizes utilizations, and publishes
+// the per-instance and per-request aggregates kept out of the hot loop.
 func (s *simulation) finalize() {
 	s.results.InFlight = s.live
 	span := s.cfg.Horizon - s.cfg.Warmup
-	for key, inst := range s.instances {
+	for i := range s.instances {
+		inst := &s.instances[i]
 		busy := inst.busyTime
-		if inst.busy != nil {
+		if inst.busy >= 0 {
 			busy += overlap(inst.serviceStart, s.cfg.Horizon, s.cfg.Warmup, s.cfg.Horizon)
 		}
-		s.results.Utilization[key] = busy / span
+		s.results.Utilization[inst.key] = busy / span
 		inst.notePopulation(s.cfg.Horizon, s.cfg.Warmup, s.cfg.Horizon, 0)
-		s.results.MeanJobs[key] = inst.popArea / span
+		s.results.MeanJobs[inst.key] = inst.popArea / span
+		if inst.dropped > 0 {
+			s.results.DroppedByInstance[inst.key] = inst.dropped
+		}
+		if inst.visits.N() > 0 {
+			sum := new(stats.Summary)
+			*sum = inst.visits
+			s.results.PerInstance[inst.key] = sum
+		}
+	}
+	for i := range s.requests {
+		sum := new(stats.Summary)
+		*sum = s.perReq[i]
+		s.results.PerRequest[s.requests[i].ID] = sum
 	}
 }
 

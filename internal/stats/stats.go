@@ -109,6 +109,11 @@ func (s *Summary) String() string {
 // Percentile returns the p-th percentile (p in [0,100]) of the samples using
 // linear interpolation between closest ranks. It panics on an empty slice or
 // out-of-range p. The input is not modified.
+//
+// Cost: every call copies the samples and sorts the copy — O(n) extra memory
+// and O(n log n) time. Callers that need several quantiles of the SAME
+// sample set must use Percentiles (or PercentilesOK), which sorts once for
+// all of them; calling Percentile k times re-sorts k times.
 func Percentile(samples []float64, p float64) float64 {
 	if len(samples) == 0 {
 		panic("stats: Percentile of empty sample set")
@@ -122,8 +127,9 @@ func Percentile(samples []float64, p float64) float64 {
 	return percentileSorted(sorted, p)
 }
 
-// Percentiles returns several percentiles in one pass (one sort). The input
-// is not modified.
+// Percentiles returns several percentiles in one pass — one copy and one
+// sort amortized over all requested quantiles, the cheap way to extract a
+// p50/p95/p99 profile from one sample set. The input is not modified.
 func Percentiles(samples []float64, ps ...float64) []float64 {
 	if len(samples) == 0 {
 		panic("stats: Percentiles of empty sample set")
@@ -153,7 +159,8 @@ func PercentileOK(samples []float64, p float64) (float64, bool) {
 }
 
 // PercentilesOK is the non-panicking Percentiles: ok = false on an empty
-// sample set or any out-of-range p.
+// sample set or any out-of-range p. Like Percentiles it sorts the sample
+// set once for all requested quantiles.
 func PercentilesOK(samples []float64, ps ...float64) ([]float64, bool) {
 	if len(samples) == 0 {
 		return nil, false
