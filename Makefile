@@ -3,9 +3,24 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-json profile clean
+.PHONY: check build vet lint test race bench bench-json profile clean
 
 check: build vet race
+
+# Static analysis beyond vet. staticcheck and govulncheck are optional local
+# tools (CI installs pinned versions); skip with a hint when absent so the
+# target works on a bare toolchain.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 build:
 	$(GO) build ./...

@@ -26,8 +26,10 @@ import (
 	"testing"
 	"time"
 
+	"nfvchain/internal/dynamic"
 	"nfvchain/internal/model"
 	"nfvchain/internal/profiling"
+	"nfvchain/internal/repair"
 	"nfvchain/internal/rng"
 	"nfvchain/internal/scheduling"
 	"nfvchain/internal/simulate"
@@ -184,6 +186,7 @@ func scenarios() []scenario {
 		{"Simulator/large-horizon", simulatorLargeHorizon},
 		{"Simulator/large-horizon-reuse", simulatorLargeHorizonReuse},
 		{"Simulator/drop-retransmit", simulatorDropRetransmit},
+		{"Simulator/failure-churn", simulatorFailureChurn},
 	}
 	for _, n := range []int{250, 1000, 2000} {
 		n := n
@@ -305,6 +308,74 @@ func simulatorDropRetransmit(b *testing.B) {
 		if _, err := simulate.Run(simulate.Config{
 			Problem: prob, Schedule: sched, Horizon: 30, Warmup: 2, Seed: uint64(i),
 			BufferSize: 3, DropPolicy: simulate.DropRetransmit, RetransmitDelay: 0.005,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// churnFixture spreads the fleet's chain over three nodes so a node failure
+// takes out a whole VNF (the co-located worst case the repair controller is
+// built for), with headroom left for replacement instances.
+func churnFixture() (*model.Problem, *model.Schedule, *model.Placement) {
+	prob := &model.Problem{
+		Nodes: []model.Node{
+			{ID: "a", Capacity: 6}, {ID: "b", Capacity: 6}, {ID: "c", Capacity: 6},
+		},
+		VNFs: []model.VNF{
+			{ID: "f1", Instances: 2, Demand: 1, ServiceRate: 1200},
+			{ID: "f2", Instances: 2, Demand: 1, ServiceRate: 1200},
+			{ID: "f3", Instances: 1, Demand: 1, ServiceRate: 2000},
+			{ID: "f4", Instances: 1, Demand: 1, ServiceRate: 2000},
+		},
+	}
+	for i := 0; i < 5; i++ {
+		prob.Requests = append(prob.Requests, model.Request{
+			ID:    model.RequestID(fmt.Sprintf("r%d", i)),
+			Chain: []model.VNFID{"f1", "f2", "f3", "f4"}, Rate: 300, DeliveryProb: 0.98,
+		})
+	}
+	sched := model.NewSchedule()
+	for i, r := range prob.Requests {
+		for _, f := range prob.VNFs {
+			sched.Assign(r.ID, f.ID, i%f.Instances)
+		}
+	}
+	pl := model.NewPlacement()
+	pl.Assign("f1", "a")
+	pl.Assign("f2", "b")
+	pl.Assign("f3", "c")
+	pl.Assign("f4", "c")
+	return prob, sched, pl
+}
+
+// simulatorFailureChurn: the fleet workload under sustained node churn (MTBF
+// = horizon/3, so roughly three outages per run) with failed packets
+// retransmitted and a reschedule+replace repair controller booting ClickOS
+// replacements mid-run. Measures the full self-healing path: fault events,
+// epoch-guarded completions, RCKK rebalancing and BFDSU re-placement.
+func simulatorFailureChurn(b *testing.B) {
+	prob, sched, pl := churnFixture()
+	const horizon = 30.0
+	for i := 0; i < b.N; i++ {
+		ctrl, err := repair.New(repair.Config{
+			Problem:   prob,
+			Placement: pl,
+			Schedule:  sched,
+			Mode:      repair.ModeRescheduleReplace,
+			SetupCost: dynamic.SetupCostClickOS,
+			Seed:      uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := simulate.Run(simulate.Config{
+			Problem: prob, Schedule: sched, Placement: pl, LinkDelay: 0.001,
+			Horizon: horizon, Warmup: 2, Seed: uint64(i),
+			FaultPlan:       &simulate.FaultPlan{MTBF: horizon / 3, MTTR: 2},
+			FailurePolicy:   simulate.FailRetransmit,
+			RetransmitDelay: 0.01,
+			FaultHook:       ctrl,
 		}); err != nil {
 			b.Fatal(err)
 		}

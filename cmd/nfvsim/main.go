@@ -57,6 +57,12 @@ func run(args []string) error {
 		nodes      = fs.Int("nodes", 10, "with -demo: number of nodes")
 		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = fs.String("memprofile", "", "write a heap profile to this file on exit")
+
+		mtbf       = fs.Float64("mtbf", 0, "with -simulate: mean time between node failures in seconds (0 disables fault injection)")
+		mttr       = fs.Float64("mttr", 5, "with -simulate -mtbf: mean time to repair a failed node in seconds")
+		failPolicy = fs.String("failurepolicy", "drop", "with -simulate -mtbf: fate of packets on failed nodes: drop|retransmit")
+		repairMode = fs.String("repair", "none", "with -simulate -mtbf: self-healing mode: none|reschedule|replace")
+		retrDelay  = fs.Float64("retransmit-delay", 0.005, "NACK round-trip before a dropped/failed packet is re-injected (seconds)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,13 +88,21 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		return runSolve(*solve, *seed, *simulateIt, *solOut, algs, *improve)
+		faults, err := chooseFaults(*mtbf, *mttr, *failPolicy, *repairMode, *retrDelay)
+		if err != nil {
+			return err
+		}
+		return runSolve(*solve, *seed, *simulateIt, *solOut, algs, *improve, faults)
 	case *demo:
 		algs, err := chooseAlgorithms(*placer, *scheduler, *seed)
 		if err != nil {
 			return err
 		}
-		return runDemo(*seed, *vnfs, *requests, *nodes, *simulateIt, *solOut, algs, *improve)
+		faults, err := chooseFaults(*mtbf, *mttr, *failPolicy, *repairMode, *retrDelay)
+		if err != nil {
+			return err
+		}
+		return runDemo(*seed, *vnfs, *requests, *nodes, *simulateIt, *solOut, algs, *improve, faults)
 	case *fig != "":
 		cfg := experiment.DefaultConfig()
 		if *fast {
@@ -148,7 +162,33 @@ func writeCSV(dir string, tab *experiment.Table) error {
 	return nil
 }
 
-func runSolve(path string, seed uint64, simulate bool, solOut string, algs algorithms, improve bool) error {
+// faultOptions bundles the fault-injection flags; mtbf == 0 disables them.
+type faultOptions struct {
+	mtbf, mttr      float64
+	policy          nfvchain.FailurePolicy
+	repair          nfvchain.RepairMode
+	retransmitDelay float64
+}
+
+func chooseFaults(mtbf, mttr float64, policy, repairMode string, retransmitDelay float64) (faultOptions, error) {
+	out := faultOptions{mtbf: mtbf, mttr: mttr, retransmitDelay: retransmitDelay}
+	switch policy {
+	case "drop":
+		out.policy = nfvchain.FailDrop
+	case "retransmit":
+		out.policy = nfvchain.FailRetransmit
+	default:
+		return out, fmt.Errorf("unknown failure policy %q (want drop|retransmit)", policy)
+	}
+	mode, err := nfvchain.ParseRepairMode(repairMode)
+	if err != nil {
+		return out, err
+	}
+	out.repair = mode
+	return out, nil
+}
+
+func runSolve(path string, seed uint64, simulate bool, solOut string, algs algorithms, improve bool, faults faultOptions) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("open %s: %w", path, err)
@@ -162,10 +202,10 @@ func runSolve(path string, seed uint64, simulate bool, solOut string, algs algor
 	}
 	fmt.Printf("problem: %d VNFs, %d requests, %d nodes (from %s)\n",
 		len(p.VNFs), len(p.Requests), len(p.Nodes), path)
-	return solveAndReport(p, seed, simulate, solOut, algs, improve)
+	return solveAndReport(p, seed, simulate, solOut, algs, improve, faults)
 }
 
-func runDemo(seed uint64, vnfs, requests, nodes int, simulate bool, solOut string, algs algorithms, improve bool) error {
+func runDemo(seed uint64, vnfs, requests, nodes int, simulate bool, solOut string, algs algorithms, improve bool, faults faultOptions) error {
 	cfg := nfvchain.DefaultWorkloadConfig()
 	cfg.Seed = seed
 	cfg.NumVNFs = vnfs
@@ -186,7 +226,7 @@ func runDemo(seed uint64, vnfs, requests, nodes int, simulate bool, solOut strin
 	}
 	fmt.Printf("workload: %d VNFs, %d requests, %d nodes (seed %d)\n",
 		len(p.VNFs), len(p.Requests), len(p.Nodes), seed)
-	return solveAndReport(p, seed, simulate, solOut, algs, improve)
+	return solveAndReport(p, seed, simulate, solOut, algs, improve, faults)
 }
 
 // algorithms bundles the user-selected pipeline strategies.
@@ -230,7 +270,7 @@ func chooseAlgorithms(placer, scheduler string, seed uint64) (algorithms, error)
 	return out, nil
 }
 
-func solveAndReport(p *model.Problem, seed uint64, simulate bool, solOut string, algs algorithms, improve bool) error {
+func solveAndReport(p *model.Problem, seed uint64, simulate bool, solOut string, algs algorithms, improve bool, faults faultOptions) error {
 	sol, err := nfvchain.Optimize(p, nfvchain.Options{
 		Seed:      seed,
 		LinkDelay: 0.001,
@@ -284,7 +324,27 @@ func solveAndReport(p *model.Problem, seed uint64, simulate bool, solOut string,
 	if !simulate {
 		return nil
 	}
-	res, err := nfvchain.Simulate(sol, nfvchain.SimulationConfig{Horizon: 60, Warmup: 10, Seed: seed})
+	simCfg := nfvchain.SimulationConfig{Horizon: 60, Warmup: 10, Seed: seed}
+	var repairCtrl *nfvchain.RepairController
+	if faults.mtbf > 0 {
+		simCfg.FaultPlan = &nfvchain.FaultPlan{MTBF: faults.mtbf, MTTR: faults.mttr}
+		simCfg.FailurePolicy = faults.policy
+		simCfg.RetransmitDelay = faults.retransmitDelay
+		if faults.repair != nfvchain.RepairNone {
+			repairCtrl, err = nfvchain.NewRepairController(nfvchain.RepairConfig{
+				Problem:   sol.Problem,
+				Placement: sol.Placement,
+				Schedule:  sol.Schedule,
+				Mode:      faults.repair,
+				Seed:      seed,
+			})
+			if err != nil {
+				return err
+			}
+			simCfg.FaultHook = repairCtrl
+		}
+	}
+	res, err := nfvchain.Simulate(sol, simCfg)
 	if err != nil {
 		return err
 	}
@@ -297,5 +357,18 @@ func solveAndReport(p *model.Problem, seed uint64, simulate bool, solOut string,
 	}
 	fmt.Printf("simulated: %d packets delivered, %d retransmitted, mean latency %.6fs, %s\n",
 		res.Delivered, res.Retransmissions, res.Latency.Mean(), tail)
+	if faults.mtbf > 0 {
+		var downtime float64
+		for _, dt := range res.Downtime {
+			downtime += dt
+		}
+		fmt.Printf("faults: availability %.4f, %d failure drops, %d failure retransmits, %.1f node-seconds of downtime across %d nodes\n",
+			res.Availability, res.FailureDrops, res.FailRetransmits, downtime, len(res.Downtime))
+		if repairCtrl != nil {
+			st := repairCtrl.Stats()
+			fmt.Printf("repair (%s): %d failures handled, %d reschedules, %d replacements booted (%d infeasible, %.1fs setup paid)\n",
+				faults.repair, st.NodeFailures, st.Reschedules, st.Replacements, st.ReplacementsFailed, st.SetupSecs)
+		}
+	}
 	return nil
 }

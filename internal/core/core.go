@@ -107,16 +107,26 @@ type SimulationConfig struct {
 	// exponential, the paper's assumption).
 	ServiceDist simulate.ServiceDist
 	Seed        uint64
+
+	// FaultPlan injects node failures; nil (the zero value) disables fault
+	// injection and keeps runs bit-identical to historical ones.
+	FaultPlan *simulate.FaultPlan
+	// FailurePolicy selects the fate of packets caught at failed instances
+	// (zero value FailDrop). Ignored without a FaultPlan.
+	FailurePolicy simulate.FailurePolicy
+	// FaultHook observes node transitions and may repair the run mid-
+	// flight (e.g. a repair.Controller). Ignored without a FaultPlan.
+	FaultHook simulate.FaultHook
 }
 
 // Simulate runs the discrete-event simulator on a solution, wiring in its
 // placement, post-admission schedule and link delay.
 func Simulate(sol *Solution, cfg SimulationConfig) (*simulate.Results, error) {
 	return simulate.Run(simulate.Config{
-		Problem:     sol.Problem,
-		Schedule:    sol.Schedule,
-		Placement:   sol.Placement,
-		LinkDelay:   sol.LinkDelay,
+		Problem:         sol.Problem,
+		Schedule:        sol.Schedule,
+		Placement:       sol.Placement,
+		LinkDelay:       sol.LinkDelay,
 		Horizon:         cfg.Horizon,
 		Warmup:          cfg.Warmup,
 		BufferSize:      cfg.BufferSize,
@@ -125,5 +135,8 @@ func Simulate(sol *Solution, cfg SimulationConfig) (*simulate.Results, error) {
 		Trace:           cfg.Trace,
 		ServiceDist:     cfg.ServiceDist,
 		Seed:            cfg.Seed,
+		FaultPlan:       cfg.FaultPlan,
+		FailurePolicy:   cfg.FailurePolicy,
+		FaultHook:       cfg.FaultHook,
 	})
 }

@@ -28,8 +28,8 @@ func runFig(t *testing.T, id string) *Table {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 17 {
-		t.Errorf("IDs() = %v, want 17 experiments", ids)
+	if len(ids) != 18 {
+		t.Errorf("IDs() = %v, want 18 experiments", ids)
 	}
 	for i := 1; i < len(ids); i++ {
 		if ids[i-1] >= ids[i] {
@@ -357,5 +357,60 @@ func TestHeadlineShape(t *testing.T) {
 	}
 	if len(tab.Notes) < 3 {
 		t.Errorf("headline notes = %v", tab.Notes)
+	}
+}
+
+func TestAvailabilityShape(t *testing.T) {
+	tab := runFig(t, "availability")
+	none, ok1 := tab.SeriesByLabel("availability (none)")
+	resched, ok2 := tab.SeriesByLabel("availability (reschedule)")
+	replace, ok3 := tab.SeriesByLabel("availability (replace)")
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatalf("missing availability series; have %v", tab.Series)
+	}
+	if len(none.Y) != 4 || len(resched.Y) != 4 || len(replace.Y) != 4 {
+		t.Fatalf("want 4 failure-rate points per mode, got %d/%d/%d",
+			len(none.Y), len(resched.Y), len(replace.Y))
+	}
+	// The first point is fault-free: every mode must agree exactly (the
+	// repair hook observes no transitions) and sit near full availability.
+	if none.Y[0] != replace.Y[0] || none.Y[0] != resched.Y[0] {
+		t.Errorf("fault-free availability differs across modes: %v/%v/%v",
+			none.Y[0], resched.Y[0], replace.Y[0])
+	}
+	if none.Y[0] < 0.95 {
+		t.Errorf("fault-free availability %v, want ≈1", none.Y[0])
+	}
+	// Unrepaired availability degrades as failures accelerate.
+	if none.Y[3] >= none.Y[0] {
+		t.Errorf("availability without repair did not degrade: %v → %v", none.Y[0], none.Y[3])
+	}
+	// The acceptance property: reschedule+replace recovers availability at
+	// the same failure rates and seeds — strictly at the two highest rates
+	// (at the mildest rate the few fast-config trials may draw no failure
+	// at all, leaving the modes identical).
+	for i := 1; i < 4; i++ {
+		if replace.Y[i] < none.Y[i] {
+			t.Errorf("x=%g: replace availability %v below none %v",
+				replace.X[i], replace.Y[i], none.Y[i])
+		}
+	}
+	for i := 2; i < 4; i++ {
+		if replace.Y[i] <= none.Y[i] {
+			t.Errorf("x=%g: replace availability %v not strictly above none %v",
+				replace.X[i], replace.Y[i], none.Y[i])
+		}
+	}
+	// Latency series exist for every mode.
+	for _, mode := range []string{"none", "reschedule", "replace"} {
+		if _, ok := tab.SeriesByLabel("mean latency (" + mode + ")"); !ok {
+			t.Errorf("missing mean latency series for %s", mode)
+		}
+		if _, ok := tab.SeriesByLabel("p99 latency (" + mode + ")"); !ok {
+			t.Errorf("missing p99 latency series for %s", mode)
+		}
+	}
+	if len(tab.Notes) < 2 {
+		t.Errorf("availability notes = %v", tab.Notes)
 	}
 }

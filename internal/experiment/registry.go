@@ -32,6 +32,9 @@ var registry = map[string]Runner{
 
 	// Model robustness: how Eq. 12 degrades when service is not exponential.
 	"robustness": Robustness,
+
+	// Fault tolerance: availability under node failures × repair mode.
+	"availability": Availability,
 }
 
 // IDs returns the known experiment ids, sorted.

@@ -64,18 +64,18 @@ func Robustness(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, fmt.Errorf("experiment: robustness (ρ=%.1f, %s): %w", rho, dist.name, err)
 			}
-			sim := res.Latency.Mean()
+			measured := res.Latency.Mean()
 			mm1, err := (queueing.MM1{Lambda: lambda, Mu: mu}).MeanResponseTime()
 			if err != nil {
 				return nil, err
 			}
-			t.AddPoint(dist.name, rho, (mm1-sim)/sim)
+			t.AddPoint(dist.name, rho, (mm1-measured)/measured)
 
 			kg, err := (queueing.Kingman{Lambda: lambda, Mu: mu, CA: 1, CS: dist.d.CV()}).MeanResponseTime()
 			if err != nil {
 				return nil, err
 			}
-			if e := abs((kg - sim) / sim); e > kingmanWorst {
+			if e := abs((kg - measured) / measured); e > kingmanWorst {
 				kingmanWorst = e
 			}
 		}

@@ -1,0 +1,376 @@
+// Package repair implements self-healing controllers for the fault-injected
+// simulator (simulate.FaultPlan): a Controller subscribes to node up/down
+// transitions as a simulate.FaultHook and repairs the running deployment at
+// the simulated time they occur.
+//
+// Two recovery mechanisms compose, mirroring the paper's own algorithms:
+//
+//   - Rescheduling (Section IV-B): when a VNF still has live instances, the
+//     requests of its failed instances are rebalanced across the survivors
+//     by re-running the request scheduler (RCKK by default) over the
+//     surviving instance set — the same load-balancing objective as the
+//     original schedule, restricted to what is still up.
+//
+//   - Re-placement (Section IV-A): when a VNF loses every instance — the
+//     common case here, since the paper's placement model hosts all M_f
+//     instances of a VNF on one node — replacement instances are placed
+//     onto surviving nodes by BFDSU (Algorithm 1) over their residual
+//     capacities, one replica at a time in the spirit of internal/dynamic's
+//     replicas-as-new-VNFs scale-out. Each replacement pays the paper's
+//     cited setup cost (dynamic.SetupCostVM ≈ 5 s for a middlebox VM,
+//     dynamic.SetupCostClickOS ≈ 30 ms) before it may serve.
+//
+// On node recovery the controller rebalances affected VNFs again so the
+// returned capacity is re-integrated. All decisions are deterministic given
+// Config.Seed: affected VNFs are processed in sorted order and the placement
+// draws derive from a per-decision seed, so equal seeds replay equal repairs.
+package repair
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"nfvchain/internal/dynamic"
+	"nfvchain/internal/model"
+	"nfvchain/internal/placement"
+	"nfvchain/internal/scheduling"
+	"nfvchain/internal/simulate"
+)
+
+// Mode selects how much of the repair machinery is active.
+type Mode int
+
+// Supported repair modes.
+const (
+	// ModeNone disables repair: failures run their course and the run
+	// measures unmitigated availability (the experiment baseline).
+	ModeNone Mode = iota
+	// ModeReschedule rebalances requests across a VNF's surviving instances
+	// but never adds capacity. With the paper's one-node-per-VNF placement
+	// a node failure leaves no survivors, so this mode only helps once
+	// earlier replacements have spread a VNF across nodes.
+	ModeReschedule
+	// ModeRescheduleReplace additionally re-places lost capacity: a VNF
+	// with no surviving instance gets replacements booted on surviving
+	// nodes via BFDSU, each paying Config.SetupCost before serving.
+	ModeRescheduleReplace
+)
+
+// String returns the flag spelling of the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "none"
+	case ModeReschedule:
+		return "reschedule"
+	case ModeRescheduleReplace:
+		return "replace"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode parses a -repair flag value.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "none":
+		return ModeNone, nil
+	case "reschedule":
+		return ModeReschedule, nil
+	case "replace", "reschedule+replace":
+		return ModeRescheduleReplace, nil
+	default:
+		return 0, fmt.Errorf("repair: unknown mode %q (want none|reschedule|replace)", s)
+	}
+}
+
+// Config parameterizes a Controller.
+type Config struct {
+	// Problem, Placement and Schedule describe the deployment being
+	// simulated — the same values passed to simulate.Config.
+	Problem   *model.Problem
+	Placement *model.Placement
+	Schedule  *model.Schedule
+
+	// Mode selects the repair mechanisms; the zero value is ModeNone.
+	Mode Mode
+
+	// Partitioner rebalances requests across surviving instances; nil
+	// defaults to RCKK, the paper's scheduler.
+	Partitioner scheduling.Partitioner
+
+	// SetupCost is the boot delay (seconds) a replacement instance pays
+	// before serving; zero defaults to dynamic.SetupCostVM.
+	SetupCost float64
+
+	// Seed makes replacement draws deterministic.
+	Seed uint64
+}
+
+// Stats counts the controller's repair activity over one run.
+type Stats struct {
+	// NodeFailures and NodeRecoveries count the transitions observed.
+	NodeFailures   int
+	NodeRecoveries int
+	// Reschedules counts VNF rebalances (both after failures and after
+	// recoveries).
+	Reschedules int
+	// Replacements counts instances booted on surviving nodes;
+	// ReplacementsFailed counts replicas that fit on no surviving node.
+	Replacements       int
+	ReplacementsFailed int
+	// SetupSecs is the total boot time paid by replacements.
+	SetupSecs float64
+}
+
+// Controller is a simulate.FaultHook that repairs the deployment mid-run.
+// Create one per simulation run (it accumulates per-run state); it is not
+// safe for concurrent use, matching the simulator's single-goroutine loop.
+type Controller struct {
+	cfg  Config
+	part scheduling.Partitioner
+
+	// instances[f][k] = node hosting instance k of f, covering the base
+	// instances (all on the placed node) plus repair-time replacements.
+	instances map[model.VNFID]map[int]model.NodeID
+	// usage / usageExtras track committed demand per node so replacement
+	// placement sees true residual capacities.
+	usage       map[model.NodeID]float64
+	usageExtras map[model.NodeID][]float64
+	// reqsOf[f] lists the scheduled requests using f, in problem order, for
+	// deterministic rebalancing.
+	reqsOf map[model.VNFID][]model.Request
+
+	stats Stats
+	seq   uint64 // per-decision counter feeding replacement seeds
+}
+
+// New validates cfg and builds a controller primed with the initial
+// placement's instance map and node usage.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Problem == nil || cfg.Placement == nil || cfg.Schedule == nil {
+		return nil, errors.New("repair: Problem, Placement and Schedule are required")
+	}
+	if cfg.SetupCost < 0 {
+		return nil, fmt.Errorf("repair: negative setup cost %v", cfg.SetupCost)
+	}
+	if cfg.SetupCost == 0 {
+		cfg.SetupCost = dynamic.SetupCostVM
+	}
+	if err := cfg.Placement.Validate(cfg.Problem); err != nil {
+		return nil, fmt.Errorf("repair: %w", err)
+	}
+	if err := cfg.Schedule.ValidatePartial(cfg.Problem); err != nil {
+		return nil, fmt.Errorf("repair: %w", err)
+	}
+	c := &Controller{
+		cfg:         cfg,
+		part:        cfg.Partitioner,
+		instances:   make(map[model.VNFID]map[int]model.NodeID),
+		usage:       make(map[model.NodeID]float64),
+		usageExtras: make(map[model.NodeID][]float64),
+		reqsOf:      make(map[model.VNFID][]model.Request),
+	}
+	if c.part == nil {
+		c.part = scheduling.RCKK{}
+	}
+	for _, f := range cfg.Problem.VNFs {
+		node, ok := cfg.Placement.Node(f.ID)
+		if !ok {
+			continue
+		}
+		hosts := make(map[int]model.NodeID, f.Instances)
+		for k := 0; k < f.Instances; k++ {
+			hosts[k] = node
+		}
+		c.instances[f.ID] = hosts
+		c.usage[node] += f.TotalDemand()
+		for d, e := range f.TotalExtras() {
+			c.extrasOf(node)[d] += e
+		}
+	}
+	for _, r := range cfg.Problem.Requests {
+		if len(cfg.Schedule.InstanceOf[r.ID]) == 0 {
+			continue // rejected by admission control: generates no traffic
+		}
+		for _, f := range r.Chain {
+			c.reqsOf[f] = append(c.reqsOf[f], r)
+		}
+	}
+	return c, nil
+}
+
+// extrasOf returns node's extras-usage vector, allocating it on first use.
+func (c *Controller) extrasOf(n model.NodeID) []float64 {
+	e, ok := c.usageExtras[n]
+	if !ok && c.cfg.Problem.ExtraResources() > 0 {
+		e = make([]float64, c.cfg.Problem.ExtraResources())
+		c.usageExtras[n] = e
+	}
+	return e
+}
+
+// Stats returns the controller's accumulated repair activity.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// NodeDown implements simulate.FaultHook: rebalance each affected VNF over
+// its surviving instances, first booting replacements when none survive.
+func (c *Controller) NodeDown(now float64, node model.NodeID, ctrl *simulate.RepairControl) {
+	c.stats.NodeFailures++
+	if c.cfg.Mode == ModeNone {
+		return
+	}
+	for _, f := range c.affectedVNFs(node) {
+		survivors := c.survivors(f, ctrl)
+		if len(survivors) == 0 && c.cfg.Mode == ModeRescheduleReplace {
+			c.replace(f, len(c.instances[f]), now, ctrl)
+			survivors = c.survivors(f, ctrl)
+		}
+		if len(survivors) > 0 {
+			c.rebalance(f, survivors, ctrl)
+		}
+	}
+}
+
+// NodeUp implements simulate.FaultHook: rebalance each VNF hosted on the
+// recovered node so its returned capacity is used again.
+func (c *Controller) NodeUp(now float64, node model.NodeID, ctrl *simulate.RepairControl) {
+	c.stats.NodeRecoveries++
+	if c.cfg.Mode == ModeNone {
+		return
+	}
+	for _, f := range c.affectedVNFs(node) {
+		if survivors := c.survivors(f, ctrl); len(survivors) > 0 {
+			c.rebalance(f, survivors, ctrl)
+		}
+	}
+}
+
+// affectedVNFs returns the VNFs with at least one instance on node, sorted
+// for deterministic processing order.
+func (c *Controller) affectedVNFs(node model.NodeID) []model.VNFID {
+	var out []model.VNFID
+	for f, hosts := range c.instances {
+		for _, n := range hosts {
+			if n == node {
+				out = append(out, f)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// survivors returns the instance indices of f hosted on up nodes, ascending.
+func (c *Controller) survivors(f model.VNFID, ctrl *simulate.RepairControl) []int {
+	var out []int
+	for k, n := range c.instances[f] {
+		if ctrl.NodeIsUp(n) {
+			out = append(out, k)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// replace boots count replacement instances of f on surviving nodes, one
+// BFDSU placement per replica over the nodes' residual capacities (the
+// replicas-as-new-VNFs scale-out of internal/dynamic). Replicas that fit
+// nowhere are counted and skipped — partial recovery beats none.
+func (c *Controller) replace(f model.VNFID, count int, now float64, ctrl *simulate.RepairControl) {
+	vnf, ok := c.cfg.Problem.VNF(f)
+	if !ok {
+		return
+	}
+	for i := 0; i < count; i++ {
+		c.seq++
+		node, ok := c.placeReplica(vnf, ctrl)
+		if !ok {
+			c.stats.ReplacementsFailed++
+			continue
+		}
+		k, err := ctrl.AddInstance(f, node, now+c.cfg.SetupCost)
+		if err != nil {
+			c.stats.ReplacementsFailed++
+			continue
+		}
+		c.instances[f][k] = node
+		c.usage[node] += vnf.Demand
+		for d, e := range vnf.Extras {
+			c.extrasOf(node)[d] += e
+		}
+		c.stats.Replacements++
+		c.stats.SetupSecs += c.cfg.SetupCost
+	}
+}
+
+// placeReplica runs BFDSU over the up nodes' residual capacities for a
+// single-instance replica of vnf and returns the chosen host.
+func (c *Controller) placeReplica(vnf model.VNF, ctrl *simulate.RepairControl) (model.NodeID, bool) {
+	dims := c.cfg.Problem.ExtraResources()
+	sub := &model.Problem{}
+	for _, n := range c.cfg.Problem.Nodes {
+		if !ctrl.NodeIsUp(n.ID) {
+			continue
+		}
+		residual := n.Capacity - c.usage[n.ID]
+		if residual < vnf.Demand {
+			continue
+		}
+		extras := make([]float64, dims)
+		used := c.usageExtras[n.ID]
+		fits := true
+		for d := 0; d < dims; d++ {
+			extras[d] = n.Extras[d]
+			if used != nil {
+				extras[d] -= used[d]
+			}
+			if d < len(vnf.Extras) && extras[d] < vnf.Extras[d] {
+				fits = false
+			}
+		}
+		if !fits {
+			continue
+		}
+		sub.Nodes = append(sub.Nodes, model.Node{ID: n.ID, Capacity: residual, Extras: extras})
+	}
+	if len(sub.Nodes) == 0 {
+		return "", false
+	}
+	replica := vnf
+	replica.ID = model.VNFID(fmt.Sprintf("%s#re%d", vnf.ID, c.seq))
+	replica.Instances = 1
+	sub.VNFs = []model.VNF{replica}
+	alg := &placement.BFDSU{Seed: c.cfg.Seed ^ c.seq*0x9e3779b97f4a7c15}
+	res, err := alg.Place(sub)
+	if err != nil {
+		return "", false
+	}
+	node, ok := res.Placement.Node(replica.ID)
+	return node, ok
+}
+
+// rebalance re-partitions f's scheduled requests across the surviving
+// instance set with the configured scheduler and reroutes them.
+func (c *Controller) rebalance(f model.VNFID, survivors []int, ctrl *simulate.RepairControl) {
+	reqs := c.reqsOf[f]
+	if len(reqs) == 0 {
+		return
+	}
+	items := make([]scheduling.Item, len(reqs))
+	for i, r := range reqs {
+		items[i] = scheduling.Item{ID: r.ID, Weight: r.EffectiveRate()}
+	}
+	assign, err := c.part.Partition(items, len(survivors))
+	if err != nil {
+		return
+	}
+	for i, r := range reqs {
+		// Reassign only fails on stale references, which the instance map
+		// precludes; a failed reroute simply leaves the old route in place.
+		_ = ctrl.Reassign(r.ID, f, survivors[assign[i]])
+	}
+	c.stats.Reschedules++
+}

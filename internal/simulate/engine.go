@@ -8,6 +8,13 @@
 // latencies against Eq. 12 validates the open-Jackson-network model end to
 // end.
 //
+// A FaultPlan additionally injects node failures (random MTBF/MTTR chains
+// and/or scheduled outages): a failed node takes every instance on it out of
+// service, packets caught there follow the FailurePolicy (crash loss or
+// NACK-style source retransmission), and a FaultHook can repair the run mid-
+// flight — rerouting requests to survivors and booting replacement instances
+// — which is how internal/repair implements self-healing.
+//
 // The event loop is allocation-free in steady state and built for raw CPU
 // speed: the agenda is a value-typed implicit 4-ary min-heap of 32-byte
 // events (no container/heap interface boxing, no per-event pointer), packets
@@ -22,16 +29,22 @@ package simulate
 type eventKind int32
 
 const (
-	evArrival eventKind = iota + 1 // packet arrives at a stage's instance
-	evService                      // instance finishes its packet
-	evSource                       // next external arrival of a request
+	evArrival       eventKind = iota + 1 // packet arrives at a stage's instance
+	evService                            // instance finishes its packet
+	evSource                             // next external arrival of a request
+	evNodeDown                           // a node (and every instance on it) fails
+	evNodeUp                             // a node returns to service
+	evInstanceReady                      // a replacement instance finishes booting
 )
 
 // event is one scheduled occurrence. seq breaks time ties deterministically.
 // It is a 32-byte value: the agenda stores events inline, so pushing and
 // popping never touches the allocator and comparisons never go through an
 // interface. pkt and inst index the simulation's packet arena and instance
-// table (-1 when unused).
+// table (-1 when unused). reqIndex is overloaded per kind: the request index
+// for evSource, the service epoch for evService (stale completions of a
+// failed instance are dropped by epoch mismatch), and the random-fault-chain
+// flag for evNodeDown/evNodeUp; for node events inst is the node index.
 type event struct {
 	time     float64
 	seq      uint64

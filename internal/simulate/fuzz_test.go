@@ -1,0 +1,75 @@
+package simulate
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzConfigValidate throws adversarial numeric knobs — negative, NaN, ±Inf
+// — at Reset and asserts the contract: every configuration either fails
+// validation with an error or produces a runnable simulation; nothing
+// panics. Runs are only attempted for configurations Reset accepted AND
+// whose timing knobs cannot livelock the event loop (a pathologically tiny
+// retransmit delay or MTTR is valid but makes the agenda grind through
+// billions of events, which a fuzzer must not wait on).
+func FuzzConfigValidate(f *testing.F) {
+	f.Add(10.0, 1.0, 0.001, 0.005, 20.0, 4.0, 0, 0, 0, false)
+	f.Add(-1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0, 0, 0, false)
+	f.Add(math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN(), 1, 1, 4, true)
+	f.Add(math.Inf(1), 0.0, 0.0, 0.0, math.Inf(1), 1.0, 0, 1, 0, true)
+	f.Add(5.0, -2.0, -0.5, 1e-12, -3.0, math.Inf(-1), 2, -1, -7, true)
+	f.Add(50.0, 5.0, 0.002, 0.01, math.Inf(1), 2.0, 1, 0, 2, true)
+
+	f.Fuzz(func(t *testing.T, horizon, warmup, linkDelay, retransmitDelay,
+		mtbf, mttr float64, dropPolicy, failPolicy, bufferSize int, withFaults bool) {
+		prob, sched, pl := faultProblem(40, 100)
+		cfg := Config{
+			Problem:         prob,
+			Schedule:        sched,
+			Placement:       pl,
+			LinkDelay:       linkDelay,
+			Horizon:         horizon,
+			Warmup:          warmup,
+			BufferSize:      bufferSize,
+			DropPolicy:      DropPolicy(dropPolicy),
+			FailurePolicy:   FailurePolicy(failPolicy),
+			RetransmitDelay: retransmitDelay,
+			Seed:            1,
+		}
+		if withFaults {
+			cfg.FaultPlan = &FaultPlan{MTBF: mtbf, MTTR: mttr}
+		}
+		sim := NewSimulator()
+		if err := sim.Reset(cfg); err != nil {
+			return // rejected cleanly — the contract holds
+		}
+		// Validation passed; make sure the accepted config is actually
+		// runnable — but only when it cannot livelock the fuzzer.
+		if horizon > 100 {
+			return
+		}
+		retransmitting := cfg.DropPolicy == DropRetransmit ||
+			(cfg.FaultPlan != nil && cfg.FailurePolicy == FailRetransmit)
+		if retransmitting && retransmitDelay < 1e-3 {
+			return
+		}
+		if cfg.FaultPlan != nil && cfg.FaultPlan.randomFaults() && (mtbf < 1e-3 || mttr < 1e-3) {
+			return
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatalf("Reset accepted config but Run failed: %v", err)
+		}
+		if res.Availability < 0 || res.Availability > 1 || math.IsNaN(res.Availability) {
+			t.Fatalf("availability %v out of [0,1]", res.Availability)
+		}
+		lost := res.FailureDrops
+		if cfg.DropPolicy == DropDiscard {
+			lost += res.Dropped
+		}
+		if got := res.Delivered + res.InFlight + lost; got != res.Generated {
+			t.Fatalf("conservation violated: delivered %d + inflight %d + lost %d = %d, want %d",
+				res.Delivered, res.InFlight, lost, got, res.Generated)
+		}
+	})
+}

@@ -54,6 +54,22 @@ type Config struct {
 	// generating Poisson arrivals online.
 	Trace *workload.Trace
 
+	// FaultPlan injects node failures (random MTBF/MTTR chains and/or
+	// scheduled outages). nil disables fault injection entirely, leaving
+	// every event and RNG stream bit-identical to historical runs. A
+	// FaultPlan requires a Placement (failures are per node).
+	FaultPlan *FaultPlan
+
+	// FailurePolicy selects the fate of packets caught at a failed
+	// instance (zero value FailDrop = crash loss). FailRetransmit requires
+	// a positive RetransmitDelay. Ignored without a FaultPlan.
+	FailurePolicy FailurePolicy
+
+	// FaultHook, if non-nil, is notified of node transitions mid-run and
+	// may repair the routing via the RepairControl it receives. Ignored
+	// without a FaultPlan.
+	FaultHook FaultHook
+
 	// ServiceDist selects the per-packet service-time distribution; the
 	// zero value means ServiceExponential (the paper's model assumption).
 	// Non-exponential choices keep each instance's mean rate µ but change
@@ -151,9 +167,34 @@ type Results struct {
 	// counts delivery-check NACKs).
 	DropRetransmits int
 	// InFlight counts packets admitted before the horizon that had neither
-	// completed delivery nor been permanently dropped when the run ended,
-	// so Generated = Delivered + InFlight + discarded drops always holds.
+	// completed delivery nor been permanently lost when the run ended, so
+	// Generated = Delivered + InFlight + discarded drops + FailureDrops
+	// always holds (buffer drops are permanent only under DropDiscard;
+	// failure drops only under FailDrop).
 	InFlight int
+
+	// FailureDrops counts packets permanently lost to node failures under
+	// FailDrop — in service or queued at a failing instance, or arriving
+	// while its node was down.
+	FailureDrops int
+	// FailureDropsByInstance breaks FailureDrops down by the instance that
+	// held (or was about to hold) the packet.
+	FailureDropsByInstance map[InstanceKey]int
+	// FailRetransmits counts failure-triggered source re-injections (only
+	// non-zero under FailRetransmit; disjoint from Retransmissions and
+	// DropRetransmits).
+	FailRetransmits int
+
+	// Downtime is each node's accumulated out-of-service time within
+	// [0, Horizon]; nodes that never failed are absent. Empty without a
+	// FaultPlan.
+	Downtime map[model.NodeID]float64
+
+	// Availability is the fraction of offered packets that completed
+	// delivery by the horizon, Delivered/Generated (1 when nothing was
+	// offered). Without faults it is slightly below 1 only because of
+	// still-in-flight packets and discarded buffer drops.
+	Availability float64
 
 	// Utilization is the measured busy fraction of each instance over
 	// [Warmup, Horizon].
@@ -201,14 +242,26 @@ type instance struct {
 	busyTime     float64 // accumulated within [warmup, horizon]
 	stream       *rng.Stream
 
+	// Fault state (inert without a FaultPlan): node indexes the node table
+	// (-1 when faults are off), down mirrors the node's state so the
+	// arrival hot path checks one local field, epoch invalidates pending
+	// completion events of failed service, and bootUntil delays a
+	// replacement instance's first service until its setup cost is paid.
+	node      int32
+	down      bool
+	epoch     int32
+	bootUntil float64
+
 	// Time-averaged population bookkeeping (∫N dt over [warmup, horizon]).
 	population int
 	lastChange float64
 	popArea    float64
 
-	// dropped and visits feed DroppedByInstance and PerInstance.
-	dropped int
-	visits  stats.Summary
+	// dropped, failureDrops and visits feed DroppedByInstance,
+	// FailureDropsByInstance and PerInstance.
+	dropped      int
+	failureDrops int
+	visits       stats.Summary
 }
 
 // notePopulation folds the time since the last change into the ∫N dt area
@@ -279,6 +332,14 @@ type simulation struct {
 	// synchronization, and recycling order is deterministic.
 	packets    []packet
 	packetFree []int32
+
+	// Fault state, populated only when cfg.FaultPlan != nil (see fault.go).
+	nodes     []nodeState
+	nodeIndex map[model.NodeID]int32
+	reqIndex  map[model.RequestID]int32
+	// nextInst tracks the next free instance index per VNF for
+	// RepairControl.AddInstance (base indices [0, M_f) are reserved).
+	nextInst map[model.VNFID]int
 }
 
 // newPacket returns the arena index of a recycled (or fresh) packet for
@@ -304,7 +365,7 @@ func (s *simulation) freePacket(pid int32) {
 // retaining every backing array of the previous one (agenda, packet arena,
 // ring buffers, free lists, latency-sample slice, result maps), and Run()
 // executes it. Sweeps that evaluate many configurations amortize all run
-//-state allocation this way:
+// -state allocation this way:
 //
 //	var sim Simulator
 //	for _, cfg := range cfgs {
@@ -344,14 +405,14 @@ func (sim *Simulator) Reset(cfg Config) error {
 	if cfg.Problem == nil || cfg.Schedule == nil {
 		return errors.New("simulate: Problem and Schedule are required")
 	}
-	if cfg.Horizon <= 0 {
-		return fmt.Errorf("simulate: horizon %v must be positive", cfg.Horizon)
+	if !(cfg.Horizon > 0) || math.IsInf(cfg.Horizon, 1) {
+		return fmt.Errorf("simulate: horizon %v must be positive and finite", cfg.Horizon)
 	}
-	if cfg.Warmup < 0 || cfg.Warmup >= cfg.Horizon {
+	if !(cfg.Warmup >= 0 && cfg.Warmup < cfg.Horizon) {
 		return fmt.Errorf("simulate: warmup %v outside [0, horizon)", cfg.Warmup)
 	}
-	if cfg.LinkDelay < 0 {
-		return fmt.Errorf("simulate: negative link delay %v", cfg.LinkDelay)
+	if !(cfg.LinkDelay >= 0) || math.IsInf(cfg.LinkDelay, 1) {
+		return fmt.Errorf("simulate: link delay %v must be non-negative and finite", cfg.LinkDelay)
 	}
 	if cfg.BufferSize < 0 {
 		return fmt.Errorf("simulate: negative buffer size %d", cfg.BufferSize)
@@ -359,8 +420,8 @@ func (sim *Simulator) Reset(cfg Config) error {
 	switch cfg.DropPolicy {
 	case DropDiscard:
 	case DropRetransmit:
-		if cfg.RetransmitDelay <= 0 {
-			return fmt.Errorf("simulate: DropRetransmit requires a positive RetransmitDelay, got %v", cfg.RetransmitDelay)
+		if !(cfg.RetransmitDelay > 0) || math.IsInf(cfg.RetransmitDelay, 1) {
+			return fmt.Errorf("simulate: DropRetransmit requires a positive finite RetransmitDelay, got %v", cfg.RetransmitDelay)
 		}
 	default:
 		return fmt.Errorf("simulate: unknown drop policy %d", cfg.DropPolicy)
@@ -369,6 +430,23 @@ func (sim *Simulator) Reset(cfg Config) error {
 	case ServiceExponential, ServiceDeterministic, ServiceLogNormal:
 	default:
 		return fmt.Errorf("simulate: unknown service distribution %d", cfg.ServiceDist)
+	}
+	switch cfg.FailurePolicy {
+	case FailDrop:
+	case FailRetransmit:
+		if cfg.FaultPlan != nil && (!(cfg.RetransmitDelay > 0) || math.IsInf(cfg.RetransmitDelay, 1)) {
+			return fmt.Errorf("simulate: FailRetransmit requires a positive finite RetransmitDelay, got %v", cfg.RetransmitDelay)
+		}
+	default:
+		return fmt.Errorf("simulate: unknown failure policy %d", cfg.FailurePolicy)
+	}
+	if cfg.FaultPlan != nil {
+		if cfg.Placement == nil {
+			return errors.New("simulate: FaultPlan requires a Placement (failures are per node)")
+		}
+		if err := cfg.FaultPlan.validate(cfg.Problem); err != nil {
+			return err
+		}
 	}
 	// Partial validation: requests absent from the schedule were rejected by
 	// admission control and simply generate no traffic.
@@ -395,6 +473,10 @@ func (sim *Simulator) Reset(cfg Config) error {
 	s.arrivalStreams = s.arrivalStreams[:0]
 	s.deliveryStreams = s.deliveryStreams[:0]
 	s.perReq = s.perReq[:0]
+	s.nodes = nil
+	s.nodeIndex = nil
+	s.reqIndex = nil
+	s.nextInst = nil
 	s.resetResults()
 	if err := s.build(); err != nil {
 		return err
@@ -413,6 +495,7 @@ func (sim *Simulator) Run() (*Results, error) {
 	sim.ready = false
 	s := &sim.s
 	s.seedArrivals()
+	s.seedFaults()
 	s.loop()
 	s.finalize()
 	return s.results, nil
@@ -423,28 +506,34 @@ func (sim *Simulator) Run() (*Results, error) {
 func (s *simulation) resetResults() {
 	if s.results == nil {
 		s.results = &Results{
-			Utilization:       make(map[InstanceKey]float64),
-			MeanJobs:          make(map[InstanceKey]float64),
-			DroppedByInstance: make(map[InstanceKey]int),
-			PerRequest:        make(map[model.RequestID]*stats.Summary),
-			PerInstance:       make(map[InstanceKey]*stats.Summary),
+			Utilization:            make(map[InstanceKey]float64),
+			MeanJobs:               make(map[InstanceKey]float64),
+			DroppedByInstance:      make(map[InstanceKey]int),
+			FailureDropsByInstance: make(map[InstanceKey]int),
+			Downtime:               make(map[model.NodeID]float64),
+			PerRequest:             make(map[model.RequestID]*stats.Summary),
+			PerInstance:            make(map[InstanceKey]*stats.Summary),
 		}
 	}
 	r := s.results
 	clear(r.Utilization)
 	clear(r.MeanJobs)
 	clear(r.DroppedByInstance)
+	clear(r.FailureDropsByInstance)
+	clear(r.Downtime)
 	clear(r.PerRequest)
 	clear(r.PerInstance)
 	*r = Results{
-		Horizon:           s.cfg.Horizon,
-		Warmup:            s.cfg.Warmup,
-		LatencySamples:    r.LatencySamples[:0],
-		Utilization:       r.Utilization,
-		MeanJobs:          r.MeanJobs,
-		DroppedByInstance: r.DroppedByInstance,
-		PerRequest:        r.PerRequest,
-		PerInstance:       r.PerInstance,
+		Horizon:                s.cfg.Horizon,
+		Warmup:                 s.cfg.Warmup,
+		LatencySamples:         r.LatencySamples[:0],
+		Utilization:            r.Utilization,
+		MeanJobs:               r.MeanJobs,
+		DroppedByInstance:      r.DroppedByInstance,
+		FailureDropsByInstance: r.FailureDropsByInstance,
+		Downtime:               r.Downtime,
+		PerRequest:             r.PerRequest,
+		PerInstance:            r.PerInstance,
 	}
 }
 
@@ -455,9 +544,9 @@ func (s *simulation) addInstance(key InstanceKey, mu float64, stream *rng.Stream
 	if n < cap(s.instances) {
 		s.instances = s.instances[:n+1]
 		q := s.instances[n].q
-		s.instances[n] = instance{key: key, mu: mu, stream: stream, busy: -1, q: q}
+		s.instances[n] = instance{key: key, mu: mu, stream: stream, busy: -1, node: -1, q: q}
 	} else {
-		s.instances = append(s.instances, instance{key: key, mu: mu, stream: stream, busy: -1})
+		s.instances = append(s.instances, instance{key: key, mu: mu, stream: stream, busy: -1, node: -1})
 	}
 	return int32(n)
 }
@@ -507,6 +596,11 @@ func (s *simulation) build() error {
 			}
 			s.routeFlat = append(s.routeFlat, iid)
 			s.hopFlat = append(s.hopFlat, hop)
+		}
+	}
+	if s.cfg.FaultPlan != nil {
+		if err := s.buildFaults(); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -588,7 +682,13 @@ func (s *simulation) loop() {
 		case evArrival:
 			s.arrive(e.pkt, e.inst)
 		case evService:
-			s.complete(e.inst)
+			s.complete(e.inst, e.reqIndex)
+		case evNodeDown:
+			s.nodeDown(e.inst, e.reqIndex == 1)
+		case evNodeUp:
+			s.nodeUp(e.inst, e.reqIndex == 1)
+		case evInstanceReady:
+			s.instanceReady(e.inst)
 		case evSource:
 			i := e.reqIndex
 			s.results.Generated++
@@ -605,11 +705,17 @@ func (s *simulation) loop() {
 	}
 }
 
-// arrive delivers a packet to an instance's queue or service position.
+// arrive delivers a packet to an instance's queue or service position. A
+// packet reaching an instance whose node is down follows the failure policy;
+// one reaching a still-booting replacement waits in its buffer.
 func (s *simulation) arrive(pid, iid int32) {
 	inst := &s.instances[iid]
+	if inst.down {
+		s.failPacket(pid, inst)
+		return
+	}
 	s.packets[pid].visitStart = s.now
-	if inst.busy < 0 {
+	if inst.busy < 0 && s.now >= inst.bootUntil {
 		inst.notePopulation(s.now, s.cfg.Warmup, s.cfg.Horizon, +1)
 		s.startService(inst, iid, pid)
 		return
@@ -650,12 +756,19 @@ func (s *simulation) startService(inst *instance, iid, pid int32) {
 	inst.busy = pid
 	inst.serviceStart = s.now
 	d := s.cfg.ServiceDist.sample(inst.stream, inst.mu)
-	s.agenda.push(event{time: s.now + d, kind: evService, inst: iid})
+	s.agenda.push(event{time: s.now + d, kind: evService, inst: iid, reqIndex: inst.epoch})
 }
 
-// complete finishes the in-service packet of inst and advances it.
-func (s *simulation) complete(iid int32) {
+// complete finishes the in-service packet of inst and advances it. epoch
+// guards against stale completions: when an instance fails mid-service its
+// epoch is bumped, so the already-scheduled evService for the failed packet
+// arrives with an outdated epoch and is ignored (the agenda has no removal).
+// Without faults every epoch is 0, preserving historical event streams.
+func (s *simulation) complete(iid int32, epoch int32) {
 	inst := &s.instances[iid]
+	if inst.epoch != epoch || inst.busy < 0 {
+		return
+	}
 	pid := inst.busy
 	inst.busyTime += overlap(inst.serviceStart, s.now, s.cfg.Warmup, s.cfg.Horizon)
 	inst.notePopulation(s.now, s.cfg.Warmup, s.cfg.Horizon, -1)
@@ -722,6 +835,9 @@ func (s *simulation) finalize() {
 		if inst.dropped > 0 {
 			s.results.DroppedByInstance[inst.key] = inst.dropped
 		}
+		if inst.failureDrops > 0 {
+			s.results.FailureDropsByInstance[inst.key] = inst.failureDrops
+		}
 		if inst.visits.N() > 0 {
 			sum := new(stats.Summary)
 			*sum = inst.visits
@@ -732,6 +848,13 @@ func (s *simulation) finalize() {
 		sum := new(stats.Summary)
 		*sum = s.perReq[i]
 		s.results.PerRequest[s.requests[i].ID] = sum
+	}
+	if s.cfg.FaultPlan != nil {
+		s.finalizeFaults()
+	}
+	s.results.Availability = 1
+	if s.results.Generated > 0 {
+		s.results.Availability = float64(s.results.Delivered) / float64(s.results.Generated)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"nfvchain/internal/experiment"
 	"nfvchain/internal/model"
 	"nfvchain/internal/placement"
+	"nfvchain/internal/repair"
 	"nfvchain/internal/rng"
 	"nfvchain/internal/routing"
 	"nfvchain/internal/scheduling"
@@ -75,6 +76,62 @@ const (
 	// SimulationConfig.RetransmitDelay (NACK loss feedback).
 	DropRetransmit = simulate.DropRetransmit
 )
+
+// Fault injection and self-healing, re-exported.
+type (
+	// FaultPlan injects node failures into a simulation: random MTBF/MTTR
+	// chains and/or scheduled outages. nil disables fault injection.
+	FaultPlan = simulate.FaultPlan
+	// Outage is one scheduled node outage of a FaultPlan.
+	Outage = simulate.Outage
+	// FailurePolicy selects the fate of packets caught at failed instances.
+	FailurePolicy = simulate.FailurePolicy
+	// FaultHook observes node transitions mid-run and may repair the
+	// simulation through the RepairControl it receives.
+	FaultHook = simulate.FaultHook
+	// RepairControl is the handle a FaultHook uses to reroute requests and
+	// boot replacement instances at simulated time.
+	RepairControl = simulate.RepairControl
+	// RepairConfig parameterizes a self-healing repair controller.
+	RepairConfig = repair.Config
+	// RepairController reschedules and re-places around node failures; pass
+	// it as SimulationConfig.FaultHook.
+	RepairController = repair.Controller
+	// RepairMode selects how much of the repair machinery is active.
+	RepairMode = repair.Mode
+	// RepairStats counts one run's repair activity.
+	RepairStats = repair.Stats
+)
+
+// Failure policies for SimulationConfig.FailurePolicy.
+const (
+	// FailDrop counts packets caught at a failed instance as failure drops
+	// (crash loss, the default).
+	FailDrop = simulate.FailDrop
+	// FailRetransmit re-injects them from the source after
+	// SimulationConfig.RetransmitDelay (NACK loss feedback).
+	FailRetransmit = simulate.FailRetransmit
+)
+
+// Repair modes for RepairConfig.Mode.
+const (
+	// RepairNone observes failures without acting (the baseline).
+	RepairNone = repair.ModeNone
+	// RepairReschedule rebalances requests across surviving instances.
+	RepairReschedule = repair.ModeReschedule
+	// RepairRescheduleReplace additionally boots replacement instances on
+	// surviving nodes, paying the configured setup cost.
+	RepairRescheduleReplace = repair.ModeRescheduleReplace
+)
+
+// NewRepairController builds a self-healing controller for one simulation
+// run; wire it in via SimulationConfig.FaultHook alongside a FaultPlan.
+func NewRepairController(cfg RepairConfig) (*RepairController, error) {
+	return repair.New(cfg)
+}
+
+// ParseRepairMode parses a textual repair mode (none|reschedule|replace).
+func ParseRepairMode(s string) (RepairMode, error) { return repair.ParseMode(s) }
 
 // Algorithm interfaces re-exported for callers supplying their own
 // strategies via Options.
