@@ -290,6 +290,28 @@ func BenchmarkSimulatorLargeHorizon(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulatorDeepHorizon stretches the fleet workload to a 300 s
+// horizon — roughly 4.5M events, ten times BenchmarkSimulatorLargeHorizon —
+// which pushes AgendaAuto past its expected-event threshold onto the ladder
+// queue. One reused Simulator serves every iteration, so allocs/op is the
+// steady-state sweep cost.
+func BenchmarkSimulatorDeepHorizon(b *testing.B) {
+	prob, sched := largeHorizonFixture()
+	sim := simulate.NewSimulator()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sim.Reset(simulate.Config{
+			Problem: prob, Schedule: sched, Horizon: 300, Warmup: 2, Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSimulatorDropRetransmit measures the NACK loss-feedback path: a
 // stable M/M/1/4 queue (ρ = 0.8) whose blocking losses are re-injected from
 // the source. The system must stay stable — an overloaded queue with

@@ -99,6 +99,8 @@ func run(args []string) error {
 		runFilter = fs.String("run", "", "only run scenarios whose name contains this substring")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		compare   = fs.String("compare", "", "compare against a baseline BENCH.json instead of writing a report; exits non-zero on regression")
+		nsTol     = fs.Float64("ns-tolerance", 0.15, "fractional ns/op regression tolerated by -compare (allocs/op is always strict)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -146,6 +148,9 @@ func run(args []string) error {
 	if len(doc.Benchmarks) == 0 {
 		return fmt.Errorf("no scenario matches -run %q", *runFilter)
 	}
+	if *compare != "" {
+		return compareBaseline(*compare, doc.Benchmarks, *nsTol)
+	}
 
 	if dir := filepath.Dir(*out); dir != "." {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -161,6 +166,62 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Println("wrote", *out)
+	return nil
+}
+
+// compareBaseline diffs the fresh measurements against a recorded baseline
+// file, printing one line per scenario, and fails on any allocs/op increase
+// or an ns/op regression beyond tol (a fraction, e.g. 0.15 = +15%).
+// Scenarios present on only one side are reported but never fail the gate,
+// so adding a scenario does not require regenerating the baseline first.
+func compareBaseline(path string, got []benchResult, tol float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base benchFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	baseline := make(map[string]benchResult, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
+	}
+	var regressions []string
+	compared := 0
+	for _, g := range got {
+		b, ok := baseline[g.Name]
+		if !ok {
+			fmt.Printf("%-34s %14.0f ns/op %8d allocs/op   (no baseline entry)\n",
+				g.Name, g.NsPerOp, g.AllocsPerOp)
+			continue
+		}
+		compared++
+		dNs := (g.NsPerOp - b.NsPerOp) / b.NsPerOp
+		verdict := "ok"
+		if g.AllocsPerOp > b.AllocsPerOp {
+			verdict = "FAIL allocs/op"
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: allocs/op %d -> %d", g.Name, b.AllocsPerOp, g.AllocsPerOp))
+		}
+		if dNs > tol {
+			verdict = "FAIL ns/op"
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: ns/op %.0f -> %.0f (%+.1f%%, tolerance %+.0f%%)",
+				g.Name, b.NsPerOp, g.NsPerOp, 100*dNs, 100*tol))
+		}
+		fmt.Printf("%-34s ns/op %12.0f -> %12.0f (%+6.1f%%)   allocs/op %6d -> %6d   %s\n",
+			g.Name, b.NsPerOp, g.NsPerOp, 100*dNs, b.AllocsPerOp, g.AllocsPerOp, verdict)
+	}
+	if compared == 0 {
+		return fmt.Errorf("no scenario in common with baseline %s", path)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("performance regressions against %s:\n  %s",
+			path, strings.Join(regressions, "\n  "))
+	}
+	fmt.Printf("compared %d scenarios against %s: no regressions (ns/op tolerance %+.0f%%, allocs/op strict)\n",
+		compared, path, 100*tol)
 	return nil
 }
 
@@ -185,6 +246,9 @@ func scenarios() []scenario {
 		{"Simulator/second", simulatorSecond},
 		{"Simulator/large-horizon", simulatorLargeHorizon},
 		{"Simulator/large-horizon-reuse", simulatorLargeHorizonReuse},
+		{"Simulator/deep-horizon", simulatorDeepHorizon},
+		{"Simulator/agenda-ab/heap", func(b *testing.B) { simulatorAgendaAB(b, simulate.AgendaHeap) }},
+		{"Simulator/agenda-ab/ladder", func(b *testing.B) { simulatorAgendaAB(b, simulate.AgendaLadder) }},
 		{"Simulator/drop-retransmit", simulatorDropRetransmit},
 		{"Simulator/failure-churn", simulatorFailureChurn},
 	}
@@ -290,6 +354,44 @@ func simulatorLargeHorizonReuse(b *testing.B) {
 	}
 }
 
+// simulatorDeepHorizon stretches the fleet workload to a 300 s horizon —
+// about 4.5M events, ten times the large-horizon run — which pushes
+// AgendaAuto past its expected-event threshold onto the ladder queue. Reuses
+// one Simulator so allocs/op reflects steady-state sweeps.
+func simulatorDeepHorizon(b *testing.B) {
+	prob, sched := fleetFixture()
+	sim := simulate.NewSimulator()
+	for i := 0; i < b.N; i++ {
+		if err := sim.Reset(simulate.Config{
+			Problem: prob, Schedule: sched, Horizon: 300, Warmup: 2, Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// simulatorAgendaAB pins the deep-horizon workload to one agenda backend, so
+// the heap and ladder scenarios differ only in the pending-event queue —
+// the direct A/B behind AgendaAuto's threshold.
+func simulatorAgendaAB(b *testing.B, kind simulate.AgendaKind) {
+	prob, sched := fleetFixture()
+	sim := simulate.NewSimulator()
+	for i := 0; i < b.N; i++ {
+		if err := sim.Reset(simulate.Config{
+			Problem: prob, Schedule: sched, Horizon: 300, Warmup: 2, Seed: uint64(i),
+			Agenda: kind,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // simulatorDropRetransmit: a stable M/M/1/4 queue (ρ = 0.8) whose blocking
 // losses are re-injected from the source (NACK loss feedback).
 func simulatorDropRetransmit(b *testing.B) {
@@ -357,26 +459,31 @@ func churnFixture() (*model.Problem, *model.Schedule, *model.Placement) {
 func simulatorFailureChurn(b *testing.B) {
 	prob, sched, pl := churnFixture()
 	const horizon = 30.0
+	ctrl, err := repair.New(repair.Config{
+		Problem:   prob,
+		Placement: pl,
+		Schedule:  sched,
+		Mode:      repair.ModeRescheduleReplace,
+		SetupCost: dynamic.SetupCostClickOS,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := simulate.NewSimulator()
+	plan := &simulate.FaultPlan{MTBF: horizon / 3, MTTR: 2}
 	for i := 0; i < b.N; i++ {
-		ctrl, err := repair.New(repair.Config{
-			Problem:   prob,
-			Placement: pl,
-			Schedule:  sched,
-			Mode:      repair.ModeRescheduleReplace,
-			SetupCost: dynamic.SetupCostClickOS,
-			Seed:      uint64(i),
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if _, err := simulate.Run(simulate.Config{
+		ctrl.Reset(uint64(i))
+		if err := sim.Reset(simulate.Config{
 			Problem: prob, Schedule: sched, Placement: pl, LinkDelay: 0.001,
 			Horizon: horizon, Warmup: 2, Seed: uint64(i),
-			FaultPlan:       &simulate.FaultPlan{MTBF: horizon / 3, MTTR: 2},
+			FaultPlan:       plan,
 			FailurePolicy:   simulate.FailRetransmit,
 			RetransmitDelay: 0.01,
 			FaultHook:       ctrl,
 		}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -49,6 +49,7 @@ func run(args []string) error {
 		solve      = fs.String("solve", "", "run the joint pipeline on a problem JSON file (see cmd/tracegen)")
 		solOut     = fs.String("out", "", "with -demo/-solve: write the solution (problem+placement+schedule) as JSON")
 		simulateIt = fs.Bool("simulate", false, "with -demo: also run the discrete-event simulator")
+		agendaStr  = fs.String("agenda", "auto", "with -simulate: event-queue backend: auto|heap|ladder (results are bit-identical under every choice)")
 		placer     = fs.String("placer", "bfdsu", "placement algorithm: bfdsu|ffd|bfd|wfd|nah|exact")
 		scheduler  = fs.String("scheduler", "rckk", "scheduling algorithm: rckk|cga|ckk|roundrobin|exact")
 		improve    = fs.Bool("improve", false, "polish placement and schedule with local search")
@@ -92,7 +93,11 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		return runSolve(*solve, *seed, *simulateIt, *solOut, algs, *improve, faults)
+		agenda, err := nfvchain.ParseAgendaKind(*agendaStr)
+		if err != nil {
+			return err
+		}
+		return runSolve(*solve, *seed, *simulateIt, *solOut, algs, *improve, faults, agenda)
 	case *demo:
 		algs, err := chooseAlgorithms(*placer, *scheduler, *seed)
 		if err != nil {
@@ -102,7 +107,11 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		return runDemo(*seed, *vnfs, *requests, *nodes, *simulateIt, *solOut, algs, *improve, faults)
+		agenda, err := nfvchain.ParseAgendaKind(*agendaStr)
+		if err != nil {
+			return err
+		}
+		return runDemo(*seed, *vnfs, *requests, *nodes, *simulateIt, *solOut, algs, *improve, faults, agenda)
 	case *fig != "":
 		cfg := experiment.DefaultConfig()
 		if *fast {
@@ -188,7 +197,7 @@ func chooseFaults(mtbf, mttr float64, policy, repairMode string, retransmitDelay
 	return out, nil
 }
 
-func runSolve(path string, seed uint64, simulate bool, solOut string, algs algorithms, improve bool, faults faultOptions) error {
+func runSolve(path string, seed uint64, simulate bool, solOut string, algs algorithms, improve bool, faults faultOptions, agenda nfvchain.AgendaKind) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("open %s: %w", path, err)
@@ -202,10 +211,10 @@ func runSolve(path string, seed uint64, simulate bool, solOut string, algs algor
 	}
 	fmt.Printf("problem: %d VNFs, %d requests, %d nodes (from %s)\n",
 		len(p.VNFs), len(p.Requests), len(p.Nodes), path)
-	return solveAndReport(p, seed, simulate, solOut, algs, improve, faults)
+	return solveAndReport(p, seed, simulate, solOut, algs, improve, faults, agenda)
 }
 
-func runDemo(seed uint64, vnfs, requests, nodes int, simulate bool, solOut string, algs algorithms, improve bool, faults faultOptions) error {
+func runDemo(seed uint64, vnfs, requests, nodes int, simulate bool, solOut string, algs algorithms, improve bool, faults faultOptions, agenda nfvchain.AgendaKind) error {
 	cfg := nfvchain.DefaultWorkloadConfig()
 	cfg.Seed = seed
 	cfg.NumVNFs = vnfs
@@ -226,7 +235,7 @@ func runDemo(seed uint64, vnfs, requests, nodes int, simulate bool, solOut strin
 	}
 	fmt.Printf("workload: %d VNFs, %d requests, %d nodes (seed %d)\n",
 		len(p.VNFs), len(p.Requests), len(p.Nodes), seed)
-	return solveAndReport(p, seed, simulate, solOut, algs, improve, faults)
+	return solveAndReport(p, seed, simulate, solOut, algs, improve, faults, agenda)
 }
 
 // algorithms bundles the user-selected pipeline strategies.
@@ -270,7 +279,7 @@ func chooseAlgorithms(placer, scheduler string, seed uint64) (algorithms, error)
 	return out, nil
 }
 
-func solveAndReport(p *model.Problem, seed uint64, simulate bool, solOut string, algs algorithms, improve bool, faults faultOptions) error {
+func solveAndReport(p *model.Problem, seed uint64, simulate bool, solOut string, algs algorithms, improve bool, faults faultOptions, agenda nfvchain.AgendaKind) error {
 	sol, err := nfvchain.Optimize(p, nfvchain.Options{
 		Seed:      seed,
 		LinkDelay: 0.001,
@@ -324,7 +333,7 @@ func solveAndReport(p *model.Problem, seed uint64, simulate bool, solOut string,
 	if !simulate {
 		return nil
 	}
-	simCfg := nfvchain.SimulationConfig{Horizon: 60, Warmup: 10, Seed: seed}
+	simCfg := nfvchain.SimulationConfig{Horizon: 60, Warmup: 10, Seed: seed, Agenda: agenda}
 	var repairCtrl *nfvchain.RepairController
 	if faults.mtbf > 0 {
 		simCfg.FaultPlan = &nfvchain.FaultPlan{MTBF: faults.mtbf, MTTR: faults.mttr}
@@ -355,8 +364,8 @@ func solveAndReport(p *model.Problem, seed uint64, simulate bool, solOut string,
 	if qs, ok := stats.PercentilesOK(res.LatencySamples, 50, 95, 99); ok {
 		tail = fmt.Sprintf("p50 %.6fs, p95 %.6fs, p99 %.6fs", qs[0], qs[1], qs[2])
 	}
-	fmt.Printf("simulated: %d packets delivered, %d retransmitted, mean latency %.6fs, %s\n",
-		res.Delivered, res.Retransmissions, res.Latency.Mean(), tail)
+	fmt.Printf("simulated (agenda %s): %d packets delivered, %d retransmitted, mean latency %.6fs, %s\n",
+		res.Agenda, res.Delivered, res.Retransmissions, res.Latency.Mean(), tail)
 	if faults.mtbf > 0 {
 		var downtime float64
 		for _, dt := range res.Downtime {

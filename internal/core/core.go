@@ -106,7 +106,11 @@ type SimulationConfig struct {
 	// ServiceDist selects the service-time distribution (zero value =
 	// exponential, the paper's assumption).
 	ServiceDist simulate.ServiceDist
-	Seed        uint64
+	// Agenda selects the event-queue backend (zero value AgendaAuto picks
+	// by expected event count). Pop order is identical under every kind,
+	// so results are bit-for-bit reproducible regardless of the choice.
+	Agenda simulate.AgendaKind
+	Seed   uint64
 
 	// FaultPlan injects node failures; nil (the zero value) disables fault
 	// injection and keeps runs bit-identical to historical ones.
@@ -134,6 +138,7 @@ func Simulate(sol *Solution, cfg SimulationConfig) (*simulate.Results, error) {
 		RetransmitDelay: cfg.RetransmitDelay,
 		Trace:           cfg.Trace,
 		ServiceDist:     cfg.ServiceDist,
+		Agenda:          cfg.Agenda,
 		Seed:            cfg.Seed,
 		FaultPlan:       cfg.FaultPlan,
 		FailurePolicy:   cfg.FailurePolicy,

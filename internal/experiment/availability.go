@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"nfvchain/internal/dynamic"
 	"nfvchain/internal/placement"
@@ -54,6 +55,12 @@ func Availability(cfg Config) (*Table, error) {
 		p99ok             bool
 		repaired          repair.Stats
 	}
+	// Each (point, trial) cell runs 3 fault-injected simulations; recycling
+	// simulators across cells keeps the packet arena, agenda and fault
+	// tables warm instead of reallocating them 3×points×trials times.
+	// Results alias the simulator's buffers, so each cell extracts its
+	// scalars before returning the simulator to the pool.
+	simPool := sync.Pool{New: func() any { return simulate.NewSimulator() }}
 	perPoint, err := forEachPointTrial(len(factors), cfg.PlacementTrials,
 		func(point, trial int) ([3]modeResult, error) {
 			var out [3]modeResult
@@ -76,6 +83,9 @@ func Availability(cfg Config) (*Table, error) {
 			if err != nil {
 				return out, fmt.Errorf("availability: %w", err)
 			}
+			sim := simPool.Get().(*simulate.Simulator)
+			defer simPool.Put(sim)
+			plan := &simulate.FaultPlan{MTBF: factors[point] * horizon, MTTR: mttr}
 			for mi, mode := range availabilityModes {
 				ctrl, err := repair.New(repair.Config{
 					Problem:   prob,
@@ -88,7 +98,7 @@ func Availability(cfg Config) (*Table, error) {
 				if err != nil {
 					return out, fmt.Errorf("availability: %w", err)
 				}
-				res, err := simulate.Run(simulate.Config{
+				if err := sim.Reset(simulate.Config{
 					Problem:   prob,
 					Schedule:  sched,
 					Placement: placed.Placement,
@@ -96,9 +106,12 @@ func Availability(cfg Config) (*Table, error) {
 					Warmup:    warmup,
 					LinkDelay: 0.001,
 					Seed:      seed,
-					FaultPlan: &simulate.FaultPlan{MTBF: factors[point] * horizon, MTTR: mttr},
+					FaultPlan: plan,
 					FaultHook: ctrl,
-				})
+				}); err != nil {
+					return out, fmt.Errorf("availability: %w", err)
+				}
+				res, err := sim.Run()
 				if err != nil {
 					return out, fmt.Errorf("availability: %w", err)
 				}

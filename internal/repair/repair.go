@@ -29,7 +29,7 @@ package repair
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"nfvchain/internal/dynamic"
 	"nfvchain/internal/model"
@@ -144,6 +144,18 @@ type Controller struct {
 
 	stats Stats
 	seq   uint64 // per-decision counter feeding replacement seeds
+
+	// Rebalance/replacement scratch, reused across node transitions so the
+	// repair hot path stops rebuilding slices per outage event. reuse is
+	// non-nil when the partitioner supports scratch-backed calls (RCKK does).
+	reuse      scheduling.ReusePartitioner
+	partScr    scheduling.PartitionScratch
+	items      []scheduling.Item
+	affected   []model.VNFID
+	surv       []int
+	subProblem model.Problem
+	subVNFs    [1]model.VNF
+	extrasBuf  []float64
 }
 
 // New validates cfg and builds a controller primed with the initial
@@ -175,12 +187,23 @@ func New(cfg Config) (*Controller, error) {
 	if c.part == nil {
 		c.part = scheduling.RCKK{}
 	}
-	for _, f := range cfg.Problem.VNFs {
-		node, ok := cfg.Placement.Node(f.ID)
+	c.reuse, _ = c.part.(scheduling.ReusePartitioner)
+	c.prime()
+	return c, nil
+}
+
+// prime loads the initial placement into the instance map, node usage and
+// per-VNF request lists. Called on construction and again from Reset.
+func (c *Controller) prime() {
+	for _, f := range c.cfg.Problem.VNFs {
+		node, ok := c.cfg.Placement.Node(f.ID)
 		if !ok {
 			continue
 		}
-		hosts := make(map[int]model.NodeID, f.Instances)
+		hosts := c.instances[f.ID]
+		if hosts == nil {
+			hosts = make(map[int]model.NodeID, f.Instances)
+		}
 		for k := 0; k < f.Instances; k++ {
 			hosts[k] = node
 		}
@@ -190,15 +213,35 @@ func New(cfg Config) (*Controller, error) {
 			c.extrasOf(node)[d] += e
 		}
 	}
-	for _, r := range cfg.Problem.Requests {
-		if len(cfg.Schedule.InstanceOf[r.ID]) == 0 {
+	for _, r := range c.cfg.Problem.Requests {
+		if len(c.cfg.Schedule.InstanceOf[r.ID]) == 0 {
 			continue // rejected by admission control: generates no traffic
 		}
 		for _, f := range r.Chain {
 			c.reqsOf[f] = append(c.reqsOf[f], r)
 		}
 	}
-	return c, nil
+}
+
+// Reset re-primes the controller to its initial-placement state with a new
+// replacement-draw seed, retaining every map and scratch buffer, so sweeps
+// and benchmarks reuse one controller across simulation runs instead of
+// rebuilding it per run. Equivalent to New with the same Config and Seed.
+func (c *Controller) Reset(seed uint64) {
+	c.cfg.Seed = seed
+	c.stats = Stats{}
+	c.seq = 0
+	for _, hosts := range c.instances {
+		clear(hosts)
+	}
+	clear(c.usage)
+	for _, e := range c.usageExtras {
+		clear(e)
+	}
+	for f := range c.reqsOf {
+		c.reqsOf[f] = c.reqsOf[f][:0]
+	}
+	c.prime()
 }
 
 // extrasOf returns node's extras-usage vector, allocating it on first use.
@@ -248,9 +291,10 @@ func (c *Controller) NodeUp(now float64, node model.NodeID, ctrl *simulate.Repai
 }
 
 // affectedVNFs returns the VNFs with at least one instance on node, sorted
-// for deterministic processing order.
+// for deterministic processing order. The returned slice is scratch, valid
+// until the next call.
 func (c *Controller) affectedVNFs(node model.NodeID) []model.VNFID {
-	var out []model.VNFID
+	out := c.affected[:0]
 	for f, hosts := range c.instances {
 		for _, n := range hosts {
 			if n == node {
@@ -259,19 +303,22 @@ func (c *Controller) affectedVNFs(node model.NodeID) []model.VNFID {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
+	c.affected = out
 	return out
 }
 
 // survivors returns the instance indices of f hosted on up nodes, ascending.
+// The returned slice is scratch, valid until the next call.
 func (c *Controller) survivors(f model.VNFID, ctrl *simulate.RepairControl) []int {
-	var out []int
+	out := c.surv[:0]
 	for k, n := range c.instances[f] {
 		if ctrl.NodeIsUp(n) {
 			out = append(out, k)
 		}
 	}
-	sort.Ints(out)
+	slices.Sort(out)
+	c.surv = out
 	return out
 }
 
@@ -307,10 +354,18 @@ func (c *Controller) replace(f model.VNFID, count int, now float64, ctrl *simula
 }
 
 // placeReplica runs BFDSU over the up nodes' residual capacities for a
-// single-instance replica of vnf and returns the chosen host.
+// single-instance replica of vnf and returns the chosen host. The candidate
+// sub-problem is rebuilt into retained scratch (subProblem, extrasBuf), so
+// repeated replacements only pay for the placement itself.
 func (c *Controller) placeReplica(vnf model.VNF, ctrl *simulate.RepairControl) (model.NodeID, bool) {
 	dims := c.cfg.Problem.ExtraResources()
-	sub := &model.Problem{}
+	sub := &c.subProblem
+	sub.Nodes = sub.Nodes[:0]
+	sub.VNFs = sub.VNFs[:0]
+	if need := len(c.cfg.Problem.Nodes) * dims; cap(c.extrasBuf) < need {
+		c.extrasBuf = make([]float64, 0, need)
+	}
+	c.extrasBuf = c.extrasBuf[:0]
 	for _, n := range c.cfg.Problem.Nodes {
 		if !ctrl.NodeIsUp(n.ID) {
 			continue
@@ -319,21 +374,24 @@ func (c *Controller) placeReplica(vnf model.VNF, ctrl *simulate.RepairControl) (
 		if residual < vnf.Demand {
 			continue
 		}
-		extras := make([]float64, dims)
+		start := len(c.extrasBuf)
 		used := c.usageExtras[n.ID]
 		fits := true
 		for d := 0; d < dims; d++ {
-			extras[d] = n.Extras[d]
+			e := n.Extras[d]
 			if used != nil {
-				extras[d] -= used[d]
+				e -= used[d]
 			}
-			if d < len(vnf.Extras) && extras[d] < vnf.Extras[d] {
+			if d < len(vnf.Extras) && e < vnf.Extras[d] {
 				fits = false
 			}
+			c.extrasBuf = append(c.extrasBuf, e)
 		}
 		if !fits {
+			c.extrasBuf = c.extrasBuf[:start]
 			continue
 		}
+		extras := c.extrasBuf[start:len(c.extrasBuf):len(c.extrasBuf)]
 		sub.Nodes = append(sub.Nodes, model.Node{ID: n.ID, Capacity: residual, Extras: extras})
 	}
 	if len(sub.Nodes) == 0 {
@@ -342,7 +400,8 @@ func (c *Controller) placeReplica(vnf model.VNF, ctrl *simulate.RepairControl) (
 	replica := vnf
 	replica.ID = model.VNFID(fmt.Sprintf("%s#re%d", vnf.ID, c.seq))
 	replica.Instances = 1
-	sub.VNFs = []model.VNF{replica}
+	c.subVNFs[0] = replica
+	sub.VNFs = c.subVNFs[:1]
 	alg := &placement.BFDSU{Seed: c.cfg.Seed ^ c.seq*0x9e3779b97f4a7c15}
 	res, err := alg.Place(sub)
 	if err != nil {
@@ -359,11 +418,17 @@ func (c *Controller) rebalance(f model.VNFID, survivors []int, ctrl *simulate.Re
 	if len(reqs) == 0 {
 		return
 	}
-	items := make([]scheduling.Item, len(reqs))
-	for i, r := range reqs {
-		items[i] = scheduling.Item{ID: r.ID, Weight: r.EffectiveRate()}
+	c.items = c.items[:0]
+	for _, r := range reqs {
+		c.items = append(c.items, scheduling.Item{ID: r.ID, Weight: r.EffectiveRate()})
 	}
-	assign, err := c.part.Partition(items, len(survivors))
+	var assign []int
+	var err error
+	if c.reuse != nil {
+		assign, err = c.reuse.PartitionReuse(c.items, len(survivors), &c.partScr)
+	} else {
+		assign, err = c.part.Partition(c.items, len(survivors))
+	}
 	if err != nil {
 		return
 	}

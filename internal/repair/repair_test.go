@@ -183,6 +183,62 @@ func TestSequentialFailures(t *testing.T) {
 
 // TestRepairDeterminism asserts equal seeds replay equal repairs: identical
 // availability, downtime and stats across two runs.
+// TestResetMatchesFresh pins the reuse contract: a controller Reset to a
+// seed must behave bit-identically to a freshly constructed one — same
+// simulation results, same repair stats — including when the reset run
+// replays the seed of a prior, state-mutating run.
+func TestResetMatchesFresh(t *testing.T) {
+	outages := []simulate.Outage{
+		{Node: "a", DownAt: 1, UpAt: 4},
+		{Node: "b", DownAt: 5, UpAt: 8},
+	}
+	prob, sched, pl := fixture(t)
+	ctrl, err := New(Config{
+		Problem:   prob,
+		Placement: pl,
+		Schedule:  sched,
+		Mode:      ModeRescheduleReplace,
+		SetupCost: 0.05,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(c *Controller, seed uint64) (*simulate.Results, Stats) {
+		res, err := simulate.Run(simulate.Config{
+			Problem:   prob,
+			Schedule:  sched,
+			Placement: pl,
+			Horizon:   10,
+			LinkDelay: 0.001,
+			Seed:      seed,
+			FaultPlan: &simulate.FaultPlan{Outages: outages},
+			FaultHook: c,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, c.Stats()
+	}
+	// Dirty the controller with one run on a different seed, then Reset and
+	// compare against the fresh-controller baseline.
+	run(ctrl, 99)
+	for trial := 0; trial < 3; trial++ {
+		ctrl.Reset(1)
+		gotRes, gotStats := run(ctrl, 7)
+		wantRes, wantStats := runWithMode(t, ModeRescheduleReplace, outages)
+		if gotRes.Availability != wantRes.Availability || gotRes.Delivered != wantRes.Delivered ||
+			gotRes.Dropped != wantRes.Dropped {
+			t.Fatalf("trial %d: reset run diverged from fresh: %v/%d/%d vs %v/%d/%d", trial,
+				gotRes.Availability, gotRes.Delivered, gotRes.Dropped,
+				wantRes.Availability, wantRes.Delivered, wantRes.Dropped)
+		}
+		if gotStats != wantStats {
+			t.Fatalf("trial %d: reset stats diverged from fresh: %+v vs %+v", trial, gotStats, wantStats)
+		}
+	}
+}
+
 func TestRepairDeterminism(t *testing.T) {
 	outages := []simulate.Outage{
 		{Node: "a", DownAt: 1, UpAt: 4},

@@ -16,12 +16,14 @@ import (
 // Stream is a deterministic random stream. The zero value is not usable;
 // construct with New or Derive.
 type Stream struct {
-	r *rand.Rand
+	r   *rand.Rand
+	pcg *rand.PCG
 }
 
 // New returns a stream seeded with the given seed.
 func New(seed uint64) *Stream {
-	return &Stream{r: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+	pcg := rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)
+	return &Stream{r: rand.New(pcg), pcg: pcg}
 }
 
 // Derive returns an independent child stream identified by a label. The same
@@ -29,11 +31,21 @@ func New(seed uint64) *Stream {
 // experiment component own a private stream without cross-contamination.
 func Derive(seed uint64, label string) *Stream {
 	h := fnv64(label)
-	return &Stream{r: rand.New(rand.NewPCG(seed^h, h*0x2545f4914f6cdd1d+seed))}
+	pcg := rand.NewPCG(seed^h, h*0x2545f4914f6cdd1d+seed)
+	return &Stream{r: rand.New(pcg), pcg: pcg}
+}
+
+// Reseed rewinds the stream in place to the exact state a fresh
+// Derive(seed, label) would start in, without allocating. The label is a
+// byte slice so callers sweeping many trials can rebuild labels in a reused
+// buffer; Derive-constructed and Reseed-rewound streams are bit-identical.
+func (s *Stream) Reseed(seed uint64, label []byte) {
+	h := fnv64(label)
+	s.pcg.Seed(seed^h, h*0x2545f4914f6cdd1d+seed)
 }
 
 // fnv64 hashes a label with FNV-1a.
-func fnv64(s string) uint64 {
+func fnv64[T ~string | ~[]byte](s T) uint64 {
 	const (
 		offset = 14695981039346656037
 		prime  = 1099511628211

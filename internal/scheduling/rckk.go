@@ -114,23 +114,30 @@ func newPartitionList(items []Item, order []int, m int) []*partition {
 }
 
 // Partition implements Partitioner.
-func (RCKK) Partition(items []Item, m int) ([]int, error) {
+func (r RCKK) Partition(items []Item, m int) ([]int, error) {
+	var scratch PartitionScratch
+	return r.PartitionReuse(items, m, &scratch)
+}
+
+// PartitionReuse implements ReusePartitioner: identical assignments to
+// Partition, but every working buffer — the merge arena, the flat tuple
+// blocks, the sorted list, the walk stack and the result itself — lives in
+// scratch and is recycled across calls.
+func (RCKK) PartitionReuse(items []Item, m int, sc *PartitionScratch) ([]int, error) {
 	if err := validate(items, m); err != nil {
 		return nil, err
 	}
 	n := len(items)
-	assign := make([]int, n)
-	if n == 0 {
-		return assign, nil
-	}
-	if m == 1 {
-		return assign, nil // all zeros
+	sc.assign = grown(sc.assign, n)
+	clear(sc.assign)
+	if n == 0 || m == 1 {
+		return sc.assign, nil // all zeros
 	}
 
 	// One partition per item: (λ_r, 0, …, 0). Build in descending weight
 	// order so the list starts sorted by leading value.
-	ar := &mergeArena{nodes: make([]mergeNode, 0, n)}
-	list := newPartitionList(items, sortedIndexesByWeightDesc(items), m)
+	ar := &mergeArena{nodes: sc.nodes[:0]}
+	list := sc.partitionList(items, m)
 
 	for len(list) > 1 {
 		a, b := list[0], list[1]
@@ -139,8 +146,48 @@ func (RCKK) Partition(items []Item, m int) ([]int, error) {
 		list = insertSorted(list, a)
 	}
 
-	list[0].assignments(ar, assign)
-	return assign, nil
+	sc.stack = sc.stack[:0]
+	for pos, ref := range list[0].sets {
+		sc.stack = ar.assignTo(ref, pos, sc.assign, sc.stack)
+	}
+	sc.nodes = ar.nodes
+	return sc.assign, nil
+}
+
+// partitionList is newPartitionList against the scratch's retained blocks:
+// the list slice gets 2n capacity because the combine loop consumes two
+// entries off the front for every one it re-inserts at the back.
+func (sc *PartitionScratch) partitionList(items []Item, m int) []*partition {
+	n := len(items)
+	sc.order = grown(sc.order, n)
+	for i := range sc.order {
+		sc.order[i] = i
+	}
+	sort.SliceStable(sc.order, func(a, b int) bool {
+		wa, wb := items[sc.order[a]].Weight, items[sc.order[b]].Weight
+		if wa != wb {
+			return wa > wb
+		}
+		return items[sc.order[a]].ID < items[sc.order[b]].ID
+	})
+	sc.sums = grown(sc.sums, n*m)
+	clear(sc.sums)
+	sc.sets = grown(sc.sets, n*m)
+	clear(sc.sets)
+	sc.parts = grown(sc.parts, n)
+	if cap(sc.list) < 2*n {
+		sc.list = make([]*partition, 2*n)
+	}
+	list := sc.list[:n]
+	for i, idx := range sc.order {
+		p := &sc.parts[i]
+		p.sums = sc.sums[i*m : (i+1)*m : (i+1)*m]
+		p.sets = sc.sets[i*m : (i+1)*m : (i+1)*m]
+		p.sums[0] = items[idx].Weight
+		p.sets[0] = leafRef(idx)
+		list[i] = p
+	}
+	return list
 }
 
 // combineReverse merges b into a (in place, consuming b) with reverse
@@ -195,4 +242,7 @@ func insertSorted(list []*partition, p *partition) []*partition {
 	return list
 }
 
-var _ Partitioner = RCKK{}
+var (
+	_ Partitioner      = RCKK{}
+	_ ReusePartitioner = RCKK{}
+)

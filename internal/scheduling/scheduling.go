@@ -38,6 +38,39 @@ type Partitioner interface {
 	Partition(items []Item, m int) ([]int, error)
 }
 
+// ReusePartitioner is implemented by partitioners that can run against
+// caller-retained scratch buffers, allocation-free in steady state. The
+// returned assignment slice aliases the scratch and is only valid until the
+// next call with the same scratch — callers that keep results must copy.
+// Repair controllers rebalance on every node transition, so this is their
+// hot path.
+type ReusePartitioner interface {
+	Partitioner
+	PartitionReuse(items []Item, m int, scratch *PartitionScratch) ([]int, error)
+}
+
+// PartitionScratch holds the reusable buffers of PartitionReuse calls. The
+// zero value is ready; a scratch must not be shared across goroutines.
+type PartitionScratch struct {
+	assign []int
+	order  []int
+	nodes  []mergeNode
+	sums   []float64
+	sets   []setRef
+	parts  []partition
+	list   []*partition
+	stack  []setRef
+}
+
+// grown returns s resized to n elements, reusing its backing array when
+// large enough; contents are unspecified.
+func grown[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
 // validate rejects structurally bad partition inputs on behalf of all
 // implementations.
 func validate(items []Item, m int) error {

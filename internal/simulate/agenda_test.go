@@ -1,0 +1,187 @@
+package simulate
+
+import (
+	"strings"
+	"testing"
+
+	"nfvchain/internal/rng"
+)
+
+// TestAgendaDifferentialRandom drives the heap- and ladder-backed agendas
+// with identical randomized push/pop workloads — duplicate timestamps,
+// equal-time seq ties, pushes interleaved mid-drain, occasional pushes below
+// already-popped times — and asserts the two pop bit-identical event
+// sequences. The wrappers are reused across trials, so post-reset state
+// (retained rungs, FIFO, heap array) is exercised too.
+func TestAgendaDifferentialRandom(t *testing.T) {
+	st := rng.New(42)
+	var h, l agenda
+	for trial := 0; trial < 60; trial++ {
+		h.reset(AgendaHeap)
+		l.reset(AgendaLadder)
+		pending := 0
+		last := 0.0
+		for i := 0; i < 3000; i++ {
+			if pending > 0 && st.Float64() < 0.45 {
+				eh, okh := h.pop()
+				el, okl := l.pop()
+				if okh != okl || eh != el {
+					t.Fatalf("trial %d op %d: pop diverged: heap %+v %v, ladder %+v %v",
+						trial, i, eh, okh, el, okl)
+				}
+				pending--
+				last = eh.time
+				continue
+			}
+			var tm float64
+			switch st.IntN(5) {
+			case 0:
+				tm = last // exact duplicate of the current time (seq tie-break)
+			case 1:
+				tm = float64(st.IntN(8)) // coarse grid: heavy cross-push ties
+			case 2:
+				tm = st.Float64() * 10 // continuous, possibly below 'last'
+			case 3:
+				tm = last + st.Float64() // near future
+			case 4:
+				tm = 5 + st.Float64()*0.001 // dense cluster: crowded buckets
+			}
+			e := event{time: tm, kind: evArrival, pkt: int32(i), inst: int32(trial)}
+			h.push(e)
+			l.push(e)
+			pending++
+		}
+		for {
+			eh, okh := h.pop()
+			el, okl := l.pop()
+			if okh != okl || eh != el {
+				t.Fatalf("trial %d drain: pop diverged: heap %+v %v, ladder %+v %v",
+					trial, eh, okh, el, okl)
+			}
+			if !okh {
+				break
+			}
+		}
+	}
+}
+
+// TestAgendaDifferentialBulk skips the wrapper's due-now FIFO and compares
+// the raw backends under bulk loads that force the ladder through every
+// structural path: a top spawn over thousands of events, crowded buckets
+// that spawn deeper rungs, an equal-timestamp mass that cannot be
+// subdivided, and bottom-insert storms below every rung.
+func TestAgendaDifferentialBulk(t *testing.T) {
+	st := rng.New(7)
+	var h heapAgenda
+	var l ladderAgenda
+	for trial := 0; trial < 4; trial++ {
+		h.reset()
+		l.reset()
+		seq := uint64(0)
+		push := func(tm float64) {
+			seq++
+			e := event{time: tm, seq: seq, kind: evService}
+			h.push(e)
+			l.push(e)
+		}
+		for i := 0; i < 8000; i++ {
+			switch st.IntN(10) {
+			case 0, 1, 2:
+				push(st.Float64() * 1000) // broad uniform spread
+			case 3, 4, 5, 6:
+				push(500 + st.Float64()*0.01) // dense cluster → deep rungs
+			default:
+				push(7.25) // zero-spread mass → wholesale sort path
+			}
+		}
+		drained := 0
+		for {
+			hp, lp := h.peek(), l.peek()
+			if (hp == nil) != (lp == nil) {
+				t.Fatalf("trial %d: emptiness diverged at pop %d", trial, drained)
+			}
+			if hp == nil {
+				break
+			}
+			eh, el := h.pop(), l.pop()
+			if eh != el {
+				t.Fatalf("trial %d pop %d: heap %+v, ladder %+v", trial, drained, eh, el)
+			}
+			drained++
+			// Interleave pushes mid-drain, some undercutting every rung.
+			if drained%3 == 0 {
+				push(eh.time + st.Float64()*100)
+			}
+			if drained%7 == 0 {
+				push(eh.time) // equal to the just-popped time
+			}
+			if drained > 20000 {
+				break // bounded: interleaved pushes would drain forever
+			}
+		}
+	}
+}
+
+// TestAgendaGoldenInvariance asserts AgendaHeap and AgendaLadder produce
+// byte-identical Results on the seed-determinism configs — both must match
+// the pinned golden fingerprints, proving the agenda kind is invisible to
+// every measurement.
+func TestAgendaGoldenInvariance(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want uint64
+	}{
+		{"plain", Config{Horizon: 20, Warmup: 2, Seed: 7}, 0x4af579b7b3270177},
+		{"buffered", Config{Horizon: 20, Warmup: 2, Seed: 7, BufferSize: 2}, 0x7c13b08e2cdb0988},
+		{"lognormal", Config{Horizon: 15, Warmup: 1, Seed: 3, ServiceDist: ServiceLogNormal}, 0xb81fe93896fa901a},
+	}
+	for _, kind := range []AgendaKind{AgendaHeap, AgendaLadder} {
+		for _, tc := range cases {
+			t.Run(kind.String()+"/"+tc.name, func(t *testing.T) {
+				cfg := tc.cfg
+				cfg.Agenda = kind
+				res := defaultWorkloadRun(t, cfg)
+				if res.Agenda != kind {
+					t.Errorf("Results.Agenda = %v, want %v", res.Agenda, kind)
+				}
+				if got := fingerprintResults(res); got != tc.want {
+					t.Errorf("%v fingerprint = %#x, want golden %#x", kind, got, tc.want)
+				}
+			})
+		}
+	}
+}
+
+// TestParseAgendaKind covers the flag-value round trip and the error text
+// listing the valid spellings.
+func TestParseAgendaKind(t *testing.T) {
+	for _, k := range []AgendaKind{AgendaAuto, AgendaHeap, AgendaLadder} {
+		got, err := ParseAgendaKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseAgendaKind(%q) = %v, %v; want %v", k.String(), got, err, k)
+		}
+	}
+	if _, err := ParseAgendaKind("bogus"); err == nil {
+		t.Fatal("ParseAgendaKind(bogus) succeeded")
+	} else if msg := err.Error(); !strings.Contains(msg, "auto|heap|ladder") {
+		t.Errorf("error %q does not list valid values", msg)
+	}
+}
+
+// TestAgendaAutoResolution pins the auto heuristic: small runs stay on the
+// heap, runs past the expected-event threshold move to the ladder, and an
+// explicit kind always wins.
+func TestAgendaAutoResolution(t *testing.T) {
+	small := Config{Horizon: 20, Warmup: 2, Seed: 7}
+	if res := defaultWorkloadRun(t, small); res.Agenda != AgendaHeap {
+		t.Errorf("small auto run resolved to %v, want heap", res.Agenda)
+	}
+	forced := Config{Horizon: 20, Warmup: 2, Seed: 7, Agenda: AgendaLadder}
+	if res := defaultWorkloadRun(t, forced); res.Agenda != AgendaLadder {
+		t.Errorf("forced ladder run resolved to %v", res.Agenda)
+	}
+	if _, err := Run(Config{Horizon: 1, Agenda: AgendaKind(99)}); err == nil {
+		t.Error("invalid agenda kind accepted")
+	}
+}

@@ -16,14 +16,20 @@
 // — which is how internal/repair implements self-healing.
 //
 // The event loop is allocation-free in steady state and built for raw CPU
-// speed: the agenda is a value-typed implicit 4-ary min-heap of 32-byte
-// events (no container/heap interface boxing, no per-event pointer), packets
-// live in a flat arena indexed by int32 and are recycled through a free
-// list, each instance's waiting room is a ring buffer of packet indices, and
-// the latency-sample slice is pre-sized from the offered load.  A Simulator
-// can additionally be Reset and re-Run so sweeps reuse every backing array
-// across trials.
+// speed: the agenda (see AgendaKind) is either a value-typed implicit 4-ary
+// min-heap of 32-byte events or an O(1)-amortized ladder queue, fronted by a
+// due-now FIFO that lets the dominant zero-delay stage transitions bypass
+// the priority queue entirely; packets live in a flat arena indexed by int32
+// and are recycled through a free list, each instance's waiting room is a
+// ring buffer of packet indices, and the latency-sample slice is pre-sized
+// from the offered load.  A Simulator can additionally be Reset and re-Run
+// so sweeps reuse every backing array across trials.
 package simulate
+
+import (
+	"fmt"
+	"math"
+)
 
 // eventKind discriminates scheduler events.
 type eventKind int32
@@ -54,58 +60,361 @@ type event struct {
 	inst     int32 // evArrival, evService payload (instance table index)
 }
 
-// agenda is a value-typed implicit 4-ary min-heap on (time, seq).
+// eventBefore is the agenda's total order. seq is unique per push, so every
+// correct priority-queue representation pops the exact same event sequence —
+// which is why AgendaHeap and AgendaLadder are interchangeable bit-for-bit
+// (the seed-determinism goldens pin that).
+func eventBefore(a, b *event) bool {
+	return a.time < b.time || (a.time == b.time && a.seq < b.seq)
+}
+
+// AgendaKind selects the pending-event priority queue backing the simulator.
+// All kinds pop events in the identical (time, seq) total order, so results
+// are bit-identical across kinds; the choice is purely about speed.
+type AgendaKind int
+
+// Supported agenda kinds.
+const (
+	// AgendaAuto (the zero value) picks the backend from the expected event
+	// count: the 4-ary heap for small runs, the ladder queue once the run is
+	// large enough for O(1)-amortized operations to beat the heap's cache-hot
+	// sift (see agendaAutoThreshold).
+	AgendaAuto AgendaKind = iota
+	// AgendaHeap is the value-typed implicit 4-ary min-heap — the reference
+	// implementation: ~O(log n) per operation but with a short, cache-friendly
+	// sift that wins on small pending-event populations.
+	AgendaHeap
+	// AgendaLadder is the ladder queue (calendar-queue family): a lazily
+	// bucketed multi-rung structure with an unsorted top and a small sorted
+	// bottom, O(1) amortized insert and pop regardless of population.
+	AgendaLadder
+)
+
+// agendaAutoThreshold is the expected-event count above which AgendaAuto
+// selects the ladder queue. The threshold is deliberately high: with the
+// lazy-hole optimization the heap's sift is so cheap that the ladder only
+// reaches parity around ~10k simultaneously pending events (measured on the
+// wide-fleet workload), and expected TOTAL events overstate the pending
+// population by orders of magnitude on steady-state queueing runs. The
+// ladder's O(1)-amortized bound is insurance for extreme backlogs, not the
+// common case.
+const agendaAutoThreshold = 1 << 24
+
+// String returns the flag spelling of the kind.
+func (k AgendaKind) String() string {
+	switch k {
+	case AgendaAuto:
+		return "auto"
+	case AgendaHeap:
+		return "heap"
+	case AgendaLadder:
+		return "ladder"
+	default:
+		return fmt.Sprintf("AgendaKind(%d)", int(k))
+	}
+}
+
+// ParseAgendaKind parses an -agenda flag value.
+func ParseAgendaKind(s string) (AgendaKind, error) {
+	switch s {
+	case "auto":
+		return AgendaAuto, nil
+	case "heap":
+		return AgendaHeap, nil
+	case "ladder":
+		return AgendaLadder, nil
+	default:
+		return 0, fmt.Errorf("simulate: unknown agenda kind %q (want auto|heap|ladder)", s)
+	}
+}
+
+// agenda is the simulator's pending-event queue: a seq-stamping wrapper over
+// one of the priority-queue backends, fronted by a due-now FIFO.
 //
-// Because (time, seq) is a total order — seq is unique per push — every
-// correct priority-queue representation pops the exact same event sequence,
-// so swapping the binary container/heap for this layout is stream-preserving
-// by construction (the seed-determinism goldens pin that). A 4-ary layout
-// halves the tree depth of the binary heap: sift-down does one comparison
-// chain over four children per level, which trades a few comparisons for far
-// fewer cache lines touched, a net win on event populations that fit L1/L2.
+// The FIFO exploits the dominant event pattern of the DES: a finished packet
+// advancing to a co-located stage is pushed with time exactly equal to the
+// current simulated time. Such an event can only be preceded by other events
+// with the same time and a smaller sequence number, so appending it to a
+// FIFO and comparing the FIFO head against the backend minimum on pop
+// preserves the exact (time, seq) pop order while skipping the backend
+// entirely — an O(1) append and an O(1) pop for roughly half of all events.
+//
+// Invariants: every event in now[nhead:] has time == nowTime and the
+// segment is in ascending seq order (appends carry the globally increasing
+// seq). nowTime is the time of the last event popped while the FIFO was
+// empty; it is poisoned to NaN — matching no push — in the one ordering
+// where a backend event with a different time overtakes a non-empty FIFO,
+// which never happens in the simulator (events are never scheduled in the
+// past) but keeps the wrapper correct as a general priority queue. backMin
+// and backSeq mirror the backend head's key exactly (+Inf/0 when empty):
+// pushes can only lower backMin (a pushed event always carries the largest
+// seq, so it never wins a time tie against the resident head) and backend
+// pops refresh both — which is what lets the dominant FIFO pop decide the
+// race against the backend with two scalar compares and no backend call.
 type agenda struct {
-	events []event
-	seq    uint64
+	seq     uint64
+	kind    AgendaKind // resolved backend: AgendaHeap or AgendaLadder
+	now     []event    // due-now FIFO
+	nhead   int
+	nowTime float64
+	backMin float64 // backend head time, +Inf when the backend is empty
+	backSeq uint64  // backend head seq
+	heap    heapAgenda
+	ladder  ladderAgenda
 }
 
-// reset empties the agenda, retaining its backing array for the next run.
-func (a *agenda) reset() {
-	a.events = a.events[:0]
+// reset empties the agenda for kind, retaining every backing array.
+func (a *agenda) reset(kind AgendaKind) {
 	a.seq = 0
+	a.kind = kind
+	a.now = a.now[:0]
+	a.nhead = 0
+	a.nowTime = math.NaN()
+	a.backMin = math.Inf(1)
+	a.backSeq = 0
+	a.heap.reset()
+	a.ladder.reset()
 }
 
-// push stamps e with the next sequence number and sifts it up.
+// push stamps e with the next sequence number and enqueues it.
 func (a *agenda) push(e event) {
 	a.seq++
 	e.seq = a.seq
-	a.events = append(a.events, e)
-	// Sift up: 4-ary parent of i is (i-1)/4.
-	i := len(a.events) - 1
-	for i > 0 {
-		parent := (i - 1) >> 2
-		p := &a.events[parent]
-		if p.time < e.time || (p.time == e.time && p.seq < e.seq) {
-			break
-		}
-		a.events[i] = *p
-		i = parent
+	if e.time == a.nowTime {
+		a.now = append(a.now, e)
+		return
 	}
-	a.events[i] = e
+	if e.time < a.backMin {
+		a.backMin, a.backSeq = e.time, e.seq
+	}
+	if a.kind == AgendaLadder {
+		a.ladder.push(e)
+	} else {
+		a.heap.push(e)
+	}
 }
 
 // pop removes and returns the minimum event; ok is false when empty.
+//
+// The heap path is pop-as-hole: popping only marks the root as removed, and
+// the hole is filled by whatever comes next — a push replaces the root and
+// sifts down once (so the steady pop/push cycle of the DES pays a single
+// sift-down per event, with no sift-up and no append), or a later pop
+// finishes the deferred removal first. The heap's arrangement after a
+// replace differs from a pop-then-push arrangement, but (time, seq) is a
+// total order, so the pop sequence — the only observable — is identical.
+//
+// While the root is holed the new backend minimum is unknown, so backMin
+// demotes from exact to a lower bound (the popped key). The FIFO fast path
+// stays sound — a FIFO head strictly below a lower bound is certainly below
+// the real head — and the rare tie falls through to an exact peek, which
+// fills the hole and re-tightens the bound.
 func (a *agenda) pop() (event, bool) {
-	n := len(a.events)
-	if n == 0 {
+	if a.nhead < len(a.now) {
+		f := &a.now[a.nhead]
+		if f.time < a.backMin || (f.time == a.backMin && f.seq < a.backSeq) {
+			e := *f
+			a.nhead++
+			if a.nhead == len(a.now) {
+				a.now = a.now[:0]
+				a.nhead = 0
+			}
+			return e, true
+		}
+		// The bound says the backend head may precede the FIFO's: resolve
+		// exactly. peek fills any hole, making the head (and bound) exact.
+		var b *event
+		if a.kind == AgendaLadder {
+			b = a.ladder.peek()
+		} else {
+			b = a.heap.peek()
+		}
+		if b == nil || eventBefore(f, b) {
+			if b != nil {
+				a.backMin, a.backSeq = b.time, b.seq
+			} else {
+				a.backMin, a.backSeq = math.Inf(1), 0
+			}
+			e := *f
+			a.nhead++
+			if a.nhead == len(a.now) {
+				a.now = a.now[:0]
+				a.nhead = 0
+			}
+			return e, true
+		}
+		// Backend first: pop it. If its time differs from the FIFO's,
+		// poison nowTime so later pushes cannot break the FIFO's time
+		// homogeneity.
+		e, _ := a.popBackend()
+		if e.time != a.nowTime {
+			a.nowTime = math.NaN()
+		}
+		return e, true
+	}
+	if a.kind == AgendaLadder {
+		l := &a.ladder
+		// Bottom-run fast path: while at least two sorted events remain,
+		// pop and read the next head without the popOK/head call pair
+		// (each of which re-walks ensureBottom).
+		if l.bhead+1 < len(l.bottom) {
+			e := l.bottom[l.bhead]
+			l.bhead++
+			nxt := &l.bottom[l.bhead]
+			a.backMin, a.backSeq = nxt.time, nxt.seq
+			a.nowTime = e.time
+			return e, true
+		}
+		e, ok := l.popOK()
+		if ok {
+			a.backMin, a.backSeq = l.head()
+			a.nowTime = e.time
+		}
+		return e, ok
+	}
+	h := &a.heap
+	if h.holed {
+		h.fill()
+	}
+	if len(h.events) == 0 {
 		return event{}, false
 	}
-	top := a.events[0]
-	last := a.events[n-1]
-	a.events = a.events[:n-1]
-	n--
-	if n == 0 {
-		return top, true
+	top := h.events[0]
+	h.holed = true
+	a.backMin, a.backSeq = top.time, top.seq
+	a.nowTime = top.time
+	return top, true
+}
+
+// popBackend removes the backend minimum and refreshes the cached head key.
+func (a *agenda) popBackend() (event, bool) {
+	if a.kind == AgendaLadder {
+		e, ok := a.ladder.popOK()
+		a.backMin, a.backSeq = a.ladder.head()
+		return e, ok
 	}
+	e, ok := a.heap.popOK()
+	a.backMin, a.backSeq = a.heap.head()
+	return e, ok
+}
+
+func (a *agenda) empty() bool {
+	if a.nhead < len(a.now) {
+		return false
+	}
+	if a.kind == AgendaLadder {
+		return a.ladder.peek() == nil
+	}
+	n := len(a.heap.events)
+	if a.heap.holed {
+		n--
+	}
+	return n == 0
+}
+
+// fifoEmpty reports whether the due-now FIFO is drained. While it is, an
+// event pushed at the current time is guaranteed (up to measure-zero time
+// ties against future-scheduled events) to be the very next pop, so the
+// simulator may dispatch its handler directly instead of round-tripping
+// the event through the agenda.
+func (a *agenda) fifoEmpty() bool {
+	return a.nhead >= len(a.now)
+}
+
+// heapAgenda is a value-typed implicit 4-ary min-heap on (time, seq).
+//
+// A 4-ary layout halves the tree depth of the binary heap: sift-down does
+// one comparison chain over four children per level, which trades a few
+// comparisons for far fewer cache lines touched, a net win on event
+// populations that fit L1/L2.
+//
+// holed marks a deferred removal: the root has been popped (the agenda
+// returned events[0] to the caller) but the slot still holds the stale
+// value. The next push fills the hole by sifting the new event down from
+// the root — one sift-down instead of a sift-down plus a sift-up — and
+// every other entry point (peek, pop, popOK, head) calls fill first.
+type heapAgenda struct {
+	events []event
+	holed  bool
+}
+
+// reset empties the heap, retaining its backing array for the next run.
+func (h *heapAgenda) reset() {
+	h.events = h.events[:0]
+	h.holed = false
+}
+
+// fill finishes a deferred root removal: the last element is moved into the
+// hole and sifted down.
+func (h *heapAgenda) fill() {
+	if !h.holed {
+		return
+	}
+	h.holed = false
+	n := len(h.events) - 1
+	last := h.events[n]
+	h.events = h.events[:n]
+	if n > 0 {
+		h.siftDownRoot(last)
+	}
+}
+
+// peek returns the minimum event without removing it, nil when empty. The
+// pointer is invalidated by the next push or pop.
+func (h *heapAgenda) peek() *event {
+	h.fill()
+	if len(h.events) == 0 {
+		return nil
+	}
+	return &h.events[0]
+}
+
+// popOK removes and returns the minimum event; ok is false when empty.
+func (h *heapAgenda) popOK() (event, bool) {
+	h.fill()
+	if len(h.events) == 0 {
+		return event{}, false
+	}
+	return h.pop(), true
+}
+
+// head returns the minimum event's (time, seq) key, (+Inf, 0) when empty.
+func (h *heapAgenda) head() (float64, uint64) {
+	h.fill()
+	if len(h.events) == 0 {
+		return math.Inf(1), 0
+	}
+	return h.events[0].time, h.events[0].seq
+}
+
+// push inserts the (already seq-stamped) event: into a pending root hole
+// with one sift-down when there is one, otherwise appended and sifted up.
+func (h *heapAgenda) push(e event) {
+	if h.holed {
+		h.holed = false
+		h.siftDownRoot(e)
+		return
+	}
+	h.events = append(h.events, e)
+	// Sift up: 4-ary parent of i is (i-1)/4.
+	i := len(h.events) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		p := &h.events[parent]
+		if p.time < e.time || (p.time == e.time && p.seq < e.seq) {
+			break
+		}
+		h.events[i] = *p
+		i = parent
+	}
+	h.events[i] = e
+}
+
+// siftDownRoot writes e into the (vacant) root slot, sinking it to its
+// heap position. len(h.events) >= 1.
+func (h *heapAgenda) siftDownRoot(e event) {
+	ev := h.events
+	n := len(ev)
 	// Sift down: children of i are 4i+1 … 4i+4.
 	i := 0
 	for {
@@ -119,21 +428,31 @@ func (a *agenda) pop() (event, bool) {
 			end = n
 		}
 		m := child
-		mt, ms := a.events[child].time, a.events[child].seq
+		mt, ms := ev[child].time, ev[child].seq
 		for c := child + 1; c < end; c++ {
-			ct, cs := a.events[c].time, a.events[c].seq
+			ct, cs := ev[c].time, ev[c].seq
 			if ct < mt || (ct == mt && cs < ms) {
 				m, mt, ms = c, ct, cs
 			}
 		}
-		if last.time < mt || (last.time == mt && last.seq < ms) {
+		if e.time < mt || (e.time == mt && e.seq < ms) {
 			break
 		}
-		a.events[i] = a.events[m]
+		ev[i] = ev[m]
 		i = m
 	}
-	a.events[i] = last
-	return top, true
+	ev[i] = e
 }
 
-func (a *agenda) empty() bool { return len(a.events) == 0 }
+// pop removes and returns the minimum event; the caller checks non-empty
+// and that no hole is pending (fill).
+func (h *heapAgenda) pop() event {
+	n := len(h.events)
+	top := h.events[0]
+	last := h.events[n-1]
+	h.events = h.events[:n-1]
+	if n > 1 {
+		h.siftDownRoot(last)
+	}
+	return top
+}

@@ -122,12 +122,23 @@ type nodeState struct {
 // FaultPlan is configured.
 func (s *simulation) buildFaults() error {
 	p := s.cfg.Problem
-	s.nodes = make([]nodeState, len(p.Nodes))
-	s.nodeIndex = make(map[model.NodeID]int32, len(p.Nodes))
+	// Rebuild into the retained node table: slots up to the previous run's
+	// capacity keep their instances backing arrays, so churn-heavy sweeps
+	// stop re-allocating per-node state every trial. The maps were cleared
+	// (not dropped) by Reset.
+	nodes := s.nodes[:cap(s.nodes)]
+	if s.nodeIndex == nil {
+		s.nodeIndex = make(map[model.NodeID]int32, len(p.Nodes))
+	}
 	for i, n := range p.Nodes {
-		s.nodes[i] = nodeState{id: n.ID}
+		if i < len(nodes) {
+			nodes[i] = nodeState{id: n.ID, instances: nodes[i].instances[:0]}
+		} else {
+			nodes = append(nodes, nodeState{id: n.ID})
+		}
 		s.nodeIndex[n.ID] = int32(i)
 	}
+	s.nodes = nodes[:len(p.Nodes)]
 	for iid := range s.instances {
 		inst := &s.instances[iid]
 		node, ok := s.cfg.Placement.Node(inst.key.VNF)
@@ -138,11 +149,15 @@ func (s *simulation) buildFaults() error {
 		inst.node = nid
 		s.nodes[nid].instances = append(s.nodes[nid].instances, int32(iid))
 	}
-	s.reqIndex = make(map[model.RequestID]int32, len(s.requests))
+	if s.reqIndex == nil {
+		s.reqIndex = make(map[model.RequestID]int32, len(s.requests))
+	}
 	for i, r := range s.requests {
 		s.reqIndex[r.ID] = int32(i)
 	}
-	s.nextInst = make(map[model.VNFID]int)
+	if s.nextInst == nil {
+		s.nextInst = make(map[model.VNFID]int)
+	}
 	return nil
 }
 
@@ -159,7 +174,7 @@ func (s *simulation) seedFaults() {
 	if fp.randomFaults() {
 		for i := range s.nodes {
 			nd := &s.nodes[i]
-			nd.stream = rng.Derive(s.cfg.Seed, "fault/"+string(nd.id))
+			nd.stream = s.namedStream("fault/", string(nd.id))
 			t := nd.stream.Exp(1 / fp.MTBF)
 			if t < s.cfg.Horizon {
 				s.agenda.push(event{time: t, kind: evNodeDown, inst: int32(i), reqIndex: 1})
@@ -320,7 +335,7 @@ func (rc *RepairControl) AddInstance(f model.VNFID, node model.NodeID, readyAt f
 	}
 	s.nextInst[f] = k + 1
 	key := InstanceKey{VNF: f, Instance: k}
-	iid := s.addInstance(key, vnf.ServiceRate, rng.Derive(s.cfg.Seed, fmt.Sprintf("service/%s/%d", f, k)))
+	iid := s.addInstance(key, vnf.ServiceRate, s.serviceStream(f, k))
 	s.instIndex[key] = iid
 	inst := &s.instances[iid]
 	inst.node = nid
@@ -363,7 +378,7 @@ func (rc *RepairControl) Reassign(r model.RequestID, f model.VNFID, k int) error
 			return fmt.Errorf("simulate: repair: vnf %s unplaced", f)
 		}
 		nid := s.nodeIndex[node]
-		iid = s.addInstance(key, vnf.ServiceRate, rng.Derive(s.cfg.Seed, fmt.Sprintf("service/%s/%d", f, k)))
+		iid = s.addInstance(key, vnf.ServiceRate, s.serviceStream(f, k))
 		s.instIndex[key] = iid
 		s.instances[iid].node = nid
 		s.instances[iid].down = s.nodes[nid].downDepth > 0

@@ -1,0 +1,354 @@
+package simulate
+
+import "math"
+
+// ladderAgenda is a ladder queue (Tang, Goh & Thng's calendar-queue
+// descendant): an O(1)-amortized priority queue on the (time, seq) total
+// order, selected via AgendaLadder.
+//
+// Structure, from coarse to fine:
+//
+//   - top: an unsorted spill buffer. Every push with time >= topStart lands
+//     here with an O(1) append; topStart is the maximum timestamp top held
+//     when the current ladder generation was spawned, so top only ever
+//     receives events at or beyond everything already in the ladder.
+//   - rungs: a stack of bucket arrays. Rung 0 spans the timestamps top held
+//     at spawn time, divided into ~one bucket per event; each deeper rung
+//     lazily subdivides the single bucket its parent is currently consuming,
+//     and only buckets that turn out crowded (> ladderThresh events) are
+//     subdivided at all. A push below topStart lands in the first rung
+//     bucket that is still ahead of the consumption point — again O(1).
+//   - bottom: the sorted head of the queue, holding the contents of the
+//     deepest rung's current bucket (<= ladderThresh events, sorted once on
+//     transfer). Pops read it in order; pushes that undercut every rung are
+//     insertion-sorted into it, and if such pushes pile up, bottom itself is
+//     re-bucketized into a new rung (ladderBottomMax).
+//
+// Every event is appended O(1) on push, moved O(1) times between rungs in
+// expectation, and sorted once inside a bounded bucket — O(1) amortized per
+// operation, against the heap's O(log n) sift. Consumption order is bottom,
+// then rungs deepest-first, then top; the bucket arithmetic routes every
+// push below the consumption point into bottom, so the pop sequence is the
+// exact (time, seq) order regardless of arrival pattern.
+//
+// All backing arrays (top, bottom, rung stack, bucket arrays) are retained
+// across reset, mirroring the simulator's packet arena: steady-state sweeps
+// run the ladder allocation-free. The zero value is ready to use.
+type ladderAgenda struct {
+	top      []event
+	topStart float64 // pushes at or beyond this go to top
+	topMin   float64 // min/max timestamps currently in top
+	topMax   float64
+
+	rungs []rung
+
+	bottom []event // sorted ascending by (time, seq)
+	bhead  int
+}
+
+// Sizing constants. ladderThresh bounds the bucket size sorted directly into
+// bottom (and thereby bottom's usual length); ladderBottomMax triggers
+// re-bucketizing a bottom that pushes keep undercutting; ladderMaxRungs
+// bounds subdivision depth (equal-timestamp masses cannot be subdivided and
+// are sorted wholesale instead); ladderMaxBuckets caps one rung's width.
+const (
+	ladderThresh     = 48
+	ladderBottomMax  = 192
+	ladderMaxRungs   = 8
+	ladderMaxBuckets = 1 << 16
+)
+
+// rung is one subdivision level: nbuckets buckets of width seconds starting
+// at start. cur is the index of the bucket whose contents have moved on to
+// bottom (or a deeper rung); pushes only land in buckets strictly beyond it.
+type rung struct {
+	start    float64
+	width    float64
+	buckets  [][]event
+	nbuckets int
+	cur      int
+}
+
+// bucketOf maps a timestamp to a bucket index, clamped to the rung. The
+// computation stays in float64 until the clamp so out-of-range timestamps
+// cannot overflow the int conversion.
+func (r *rung) bucketOf(t float64) int {
+	ft := (t - r.start) / r.width
+	if !(ft > 0) { // also catches NaN
+		return 0
+	}
+	if ft >= float64(r.nbuckets) {
+		return r.nbuckets - 1
+	}
+	return int(ft)
+}
+
+// prepare readies the rung to hold nb buckets, truncating recycled bucket
+// arrays in place.
+func (r *rung) prepare(start, width float64, nb int) {
+	r.start, r.width, r.nbuckets, r.cur = start, width, nb, -1
+	for len(r.buckets) < nb {
+		r.buckets = append(r.buckets, nil)
+	}
+	for i := 0; i < nb; i++ {
+		r.buckets[i] = r.buckets[i][:0]
+	}
+}
+
+// reset empties the ladder, retaining every backing array.
+func (l *ladderAgenda) reset() {
+	l.top = l.top[:0]
+	l.topStart = math.Inf(-1)
+	l.rungs = l.rungs[:0]
+	l.bottom = l.bottom[:0]
+	l.bhead = 0
+}
+
+// push enqueues an already seq-stamped event.
+func (l *ladderAgenda) push(e event) {
+	if e.time >= l.topStart {
+		if len(l.top) == 0 {
+			l.topMin, l.topMax = e.time, e.time
+		} else if e.time < l.topMin {
+			l.topMin = e.time
+		} else if e.time > l.topMax {
+			l.topMax = e.time
+		}
+		l.top = append(l.top, e)
+		return
+	}
+	for i := range l.rungs {
+		r := &l.rungs[i]
+		if idx := r.bucketOf(e.time); idx > r.cur {
+			r.buckets[idx] = append(r.buckets[idx], e)
+			return
+		}
+	}
+	l.insertBottom(e)
+}
+
+// peek returns the minimum event without removing it, nil when empty. The
+// pointer is invalidated by the next push or pop.
+func (l *ladderAgenda) peek() *event {
+	if !l.ensureBottom() {
+		return nil
+	}
+	return &l.bottom[l.bhead]
+}
+
+// pop removes and returns the minimum event; the caller checks non-empty
+// (via peek).
+func (l *ladderAgenda) pop() event {
+	if !l.ensureBottom() {
+		return event{}
+	}
+	e := l.bottom[l.bhead]
+	l.bhead++
+	if l.bhead == len(l.bottom) {
+		l.bottom = l.bottom[:0]
+		l.bhead = 0
+	}
+	return e
+}
+
+// popOK removes and returns the minimum event; ok is false when empty.
+func (l *ladderAgenda) popOK() (event, bool) {
+	if !l.ensureBottom() {
+		return event{}, false
+	}
+	e := l.bottom[l.bhead]
+	l.bhead++
+	if l.bhead == len(l.bottom) {
+		l.bottom = l.bottom[:0]
+		l.bhead = 0
+	}
+	return e, true
+}
+
+// head returns the minimum event's (time, seq) key, (+Inf, 0) when empty.
+func (l *ladderAgenda) head() (float64, uint64) {
+	if !l.ensureBottom() {
+		return math.Inf(1), 0
+	}
+	e := &l.bottom[l.bhead]
+	return e.time, e.seq
+}
+
+// ensureBottom refills bottom from the ladder until it holds the global
+// minimum; false means the whole queue is empty.
+func (l *ladderAgenda) ensureBottom() bool {
+	for l.bhead >= len(l.bottom) {
+		l.bottom = l.bottom[:0]
+		l.bhead = 0
+		if n := len(l.rungs); n > 0 {
+			r := &l.rungs[n-1]
+			nxt := r.cur + 1
+			for nxt < r.nbuckets && len(r.buckets[nxt]) == 0 {
+				nxt++
+			}
+			if nxt >= r.nbuckets {
+				// Rung exhausted; drop it, retaining its bucket arrays.
+				l.rungs = l.rungs[:n-1]
+				continue
+			}
+			r.cur = nxt
+			b := r.buckets[nxt]
+			if len(b) > ladderThresh && n < ladderMaxRungs && l.spawnRung(b) {
+				// Re-derive the parent pointer: spawnRung may have grown the
+				// rung stack's backing array.
+				l.rungs[n-1].buckets[nxt] = b[:0]
+				continue
+			}
+			sortEvents(b)
+			l.bottom = append(l.bottom, b...)
+			r.buckets[nxt] = b[:0]
+			continue
+		}
+		if len(l.top) > 0 {
+			if len(l.rungs) < ladderMaxRungs && l.spawnRung(l.top) {
+				l.topStart = l.topMax
+				l.top = l.top[:0]
+				continue
+			}
+			// Degenerate top (all equal timestamps, or rungs exhausted):
+			// sort it wholesale. Equal-time events arrive in seq order, so
+			// this path is near-linear.
+			sortEvents(l.top)
+			l.bottom = append(l.bottom, l.top...)
+			l.topStart = l.topMax
+			l.top = l.top[:0]
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// spawnRung subdivides the events of b into a new deepest rung sized so
+// each bucket holds about half a threshold's worth of events — buckets then
+// usually drain straight to bottom without re-spawning, and the rung needs
+// ~2/ladderThresh as many bucket arrays as events (vs one per event, which
+// made bucket-slice churn the dominant allocator). It reports false when b
+// cannot be subdivided (all timestamps equal, or the span underflows); the
+// caller sorts b instead.
+func (l *ladderAgenda) spawnRung(b []event) bool {
+	mn, mx := b[0].time, b[0].time
+	for i := 1; i < len(b); i++ {
+		if t := b[i].time; t < mn {
+			mn = t
+		} else if t > mx {
+			mx = t
+		}
+	}
+	nb := len(b) / (ladderThresh / 2)
+	if nb < 2 {
+		nb = 2
+	}
+	if nb > ladderMaxBuckets {
+		nb = ladderMaxBuckets
+	}
+	width := (mx - mn) / float64(nb)
+	if !(width > 0) || math.IsInf(width, 1) {
+		return false
+	}
+	// Recycle the rung slot (and its bucket arrays) left by a popped rung.
+	n := len(l.rungs)
+	if n < cap(l.rungs) {
+		l.rungs = l.rungs[:n+1]
+	} else {
+		l.rungs = append(l.rungs, rung{})
+	}
+	r := &l.rungs[n]
+	r.prepare(mn, width, nb)
+	for _, e := range b {
+		idx := r.bucketOf(e.time)
+		r.buckets[idx] = append(r.buckets[idx], e)
+	}
+	return true
+}
+
+// insertBottom insertion-sorts an event into bottom — the path for pushes
+// that undercut every rung. When such pushes pile bottom up past
+// ladderBottomMax, bottom is re-bucketized into a new deepest rung so the
+// per-push memmove stays bounded.
+func (l *ladderAgenda) insertBottom(e event) {
+	lo, hi := l.bhead, len(l.bottom)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if eventBefore(&l.bottom[mid], &e) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	l.bottom = append(l.bottom, event{})
+	copy(l.bottom[lo+1:], l.bottom[lo:])
+	l.bottom[lo] = e
+	if len(l.bottom)-l.bhead > ladderBottomMax && len(l.rungs) < ladderMaxRungs {
+		if l.spawnRung(l.bottom[l.bhead:]) {
+			l.bottom = l.bottom[:0]
+			l.bhead = 0
+		}
+	}
+}
+
+// sortEvents orders events ascending by (time, seq) — a closure-free,
+// allocation-free insertion/quicksort hybrid. Keys are unique (seq is), so
+// equal-pivot pathologies cannot arise; equal-time runs arrive already in
+// seq order, which the insertion sort handles in linear time.
+func sortEvents(s []event) {
+	for len(s) > 24 {
+		// Median-of-three pivot, moved to s[0].
+		m := len(s) / 2
+		hi := len(s) - 1
+		if eventBefore(&s[m], &s[0]) {
+			s[m], s[0] = s[0], s[m]
+		}
+		if eventBefore(&s[hi], &s[0]) {
+			s[hi], s[0] = s[0], s[hi]
+		}
+		if eventBefore(&s[hi], &s[m]) {
+			s[hi], s[m] = s[m], s[hi]
+		}
+		s[0], s[m] = s[m], s[0]
+		pivot := s[0]
+		// Hoare partition.
+		i, j := 0, len(s)
+		for {
+			for {
+				j--
+				if !eventBefore(&pivot, &s[j]) {
+					break
+				}
+			}
+			for {
+				i++
+				if i >= len(s) || !eventBefore(&s[i], &pivot) {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			s[i], s[j] = s[j], s[i]
+		}
+		s[0], s[j] = s[j], s[0]
+		// Recurse into the smaller half, loop on the larger.
+		if j < len(s)-j-1 {
+			sortEvents(s[:j])
+			s = s[j+1:]
+		} else {
+			sortEvents(s[j+1:])
+			s = s[:j]
+		}
+	}
+	for i := 1; i < len(s); i++ {
+		e := s[i]
+		j := i
+		for j > 0 && eventBefore(&e, &s[j-1]) {
+			s[j] = s[j-1]
+			j--
+		}
+		s[j] = e
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 
 	"nfvchain/internal/model"
 	"nfvchain/internal/rng"
@@ -77,7 +78,44 @@ type Config struct {
 	// be trusted when the M/M/1 assumption is violated.
 	ServiceDist ServiceDist
 
+	// Agenda selects the pending-event queue implementation (see AgendaKind).
+	// Every kind pops events in the identical (time, seq) order, so Results
+	// are bit-identical across kinds — this is purely a performance knob.
+	// The zero value AgendaAuto picks by expected event count.
+	Agenda AgendaKind
+
 	Seed uint64
+}
+
+// expectedEvents estimates the run's total event count from the offered
+// load: per admitted packet, one source event, one arrival plus one service
+// completion per chain stage, and one delivery check.
+func (cfg *Config) expectedEvents() float64 {
+	var perPacket, total float64
+	for _, r := range cfg.Problem.Requests {
+		perPacket += float64(2*len(r.Chain) + 2)
+		total += r.Rate * cfg.Horizon * float64(2*len(r.Chain)+2)
+	}
+	if cfg.Trace != nil {
+		if len(cfg.Problem.Requests) == 0 {
+			return 0
+		}
+		return float64(len(cfg.Trace.Arrivals)) * perPacket / float64(len(cfg.Problem.Requests))
+	}
+	return total
+}
+
+// resolveAgenda returns the concrete backend for the run: the configured
+// kind, or — for AgendaAuto — the 4-ary heap on small runs and the ladder
+// queue once the expected event count clears agendaAutoThreshold.
+func (cfg *Config) resolveAgenda() AgendaKind {
+	if cfg.Agenda != AgendaAuto {
+		return cfg.Agenda
+	}
+	if cfg.expectedEvents() >= agendaAutoThreshold {
+		return AgendaLadder
+	}
+	return AgendaHeap
 }
 
 // DropPolicy selects the fate of packets arriving at a full buffer.
@@ -139,6 +177,10 @@ func (d ServiceDist) sample(s *rng.Stream, mu float64) float64 {
 // Results aggregates one run's measurements.
 type Results struct {
 	Horizon, Warmup float64
+
+	// Agenda is the resolved agenda kind the run executed with (never
+	// AgendaAuto). Diagnostic only — it affects no measurement.
+	Agenda AgendaKind
 
 	// Generated counts external packet arrivals admitted before the
 	// horizon (retransmissions are not new packets).
@@ -340,6 +382,48 @@ type simulation struct {
 	// nextInst tracks the next free instance index per VNF for
 	// RepairControl.AddInstance (base indices [0, M_f) are reserved).
 	nextInst map[model.VNFID]int
+
+	// streams caches derived RNG streams by label: Reset rewinds a cached
+	// stream in place (rng.Stream.Reseed) instead of re-deriving it, which
+	// would allocate per request and instance on every trial. labelBuf is the
+	// reused label scratch; the map lookup on string(labelBuf) does not
+	// allocate.
+	streams  map[string]*rng.Stream
+	labelBuf []byte
+}
+
+// stream returns the cached stream for the label currently in labelBuf,
+// rewound to the state rng.Derive(cfg.Seed, label) would start in —
+// bit-identical to a fresh derivation, allocation-free after the first run.
+func (s *simulation) stream() *rng.Stream {
+	if st, ok := s.streams[string(s.labelBuf)]; ok {
+		st.Reseed(s.cfg.Seed, s.labelBuf)
+		return st
+	}
+	if s.streams == nil {
+		s.streams = make(map[string]*rng.Stream)
+	}
+	lbl := string(s.labelBuf)
+	st := rng.Derive(s.cfg.Seed, lbl)
+	s.streams[lbl] = st
+	return st
+}
+
+// namedStream resolves the stream labeled prefix+id.
+func (s *simulation) namedStream(prefix, id string) *rng.Stream {
+	s.labelBuf = append(s.labelBuf[:0], prefix...)
+	s.labelBuf = append(s.labelBuf, id...)
+	return s.stream()
+}
+
+// serviceStream resolves the per-instance service stream, labeled
+// "service/<vnf>/<k>" exactly as the historical fmt.Sprintf spelling.
+func (s *simulation) serviceStream(f model.VNFID, k int) *rng.Stream {
+	s.labelBuf = append(s.labelBuf[:0], "service/"...)
+	s.labelBuf = append(s.labelBuf, f...)
+	s.labelBuf = append(s.labelBuf, '/')
+	s.labelBuf = strconv.AppendInt(s.labelBuf, int64(k), 10)
+	return s.stream()
 }
 
 // newPacket returns the arena index of a recycled (or fresh) packet for
@@ -431,6 +515,11 @@ func (sim *Simulator) Reset(cfg Config) error {
 	default:
 		return fmt.Errorf("simulate: unknown service distribution %d", cfg.ServiceDist)
 	}
+	switch cfg.Agenda {
+	case AgendaAuto, AgendaHeap, AgendaLadder:
+	default:
+		return fmt.Errorf("simulate: unknown agenda kind %d", cfg.Agenda)
+	}
 	switch cfg.FailurePolicy {
 	case FailDrop:
 	case FailRetransmit:
@@ -463,7 +552,7 @@ func (sim *Simulator) Reset(cfg Config) error {
 	s.cfg = cfg
 	s.now = 0
 	s.live = 0
-	s.agenda.reset()
+	s.agenda.reset(cfg.resolveAgenda())
 	s.packets = s.packets[:0]
 	s.packetFree = s.packetFree[:0]
 	s.requests = s.requests[:0]
@@ -473,10 +562,19 @@ func (sim *Simulator) Reset(cfg Config) error {
 	s.arrivalStreams = s.arrivalStreams[:0]
 	s.deliveryStreams = s.deliveryStreams[:0]
 	s.perReq = s.perReq[:0]
-	s.nodes = nil
-	s.nodeIndex = nil
-	s.reqIndex = nil
-	s.nextInst = nil
+	// Fault state is truncated, not dropped: buildFaults recycles the node
+	// table (and each node's instances slice) and the maps below, so
+	// failure-churn sweeps reuse memory like the packet arena does.
+	s.nodes = s.nodes[:0]
+	if s.nodeIndex != nil {
+		clear(s.nodeIndex)
+	}
+	if s.reqIndex != nil {
+		clear(s.reqIndex)
+	}
+	if s.nextInst != nil {
+		clear(s.nextInst)
+	}
 	s.resetResults()
 	if err := s.build(); err != nil {
 		return err
@@ -526,6 +624,7 @@ func (s *simulation) resetResults() {
 	*r = Results{
 		Horizon:                s.cfg.Horizon,
 		Warmup:                 s.cfg.Warmup,
+		Agenda:                 s.agenda.kind,
 		LatencySamples:         r.LatencySamples[:0],
 		Utilization:            r.Utilization,
 		MeanJobs:               r.MeanJobs,
@@ -569,8 +668,8 @@ func (s *simulation) build() error {
 	}
 
 	for _, r := range s.requests {
-		s.arrivalStreams = append(s.arrivalStreams, rng.Derive(s.cfg.Seed, "arrivals/"+string(r.ID)))
-		s.deliveryStreams = append(s.deliveryStreams, rng.Derive(s.cfg.Seed, "delivery/"+string(r.ID)))
+		s.arrivalStreams = append(s.arrivalStreams, s.namedStream("arrivals/", string(r.ID)))
+		s.deliveryStreams = append(s.deliveryStreams, s.namedStream("delivery/", string(r.ID)))
 		s.chainOff = append(s.chainOff, int32(len(s.routeFlat)))
 		s.perReq = append(s.perReq, stats.Summary{})
 		var prevNode model.NodeID
@@ -583,7 +682,7 @@ func (s *simulation) build() error {
 			key := InstanceKey{VNF: fid, Instance: k}
 			iid, exists := s.instIndex[key]
 			if !exists {
-				iid = s.addInstance(key, f.ServiceRate, rng.Derive(s.cfg.Seed, fmt.Sprintf("service/%s/%d", fid, k)))
+				iid = s.addInstance(key, f.ServiceRate, s.serviceStream(fid, k))
 				s.instIndex[key] = iid
 			}
 			hop := 0.0
@@ -678,11 +777,13 @@ func (s *simulation) loop() {
 			break
 		}
 		s.now = e.time
+		// evService leads: with due-now arrivals dispatched directly, service
+		// completions are the bulk of what still flows through the agenda.
 		switch e.kind {
-		case evArrival:
-			s.arrive(e.pkt, e.inst)
 		case evService:
 			s.complete(e.inst, e.reqIndex)
+		case evArrival:
+			s.arrive(e.pkt, e.inst)
 		case evNodeDown:
 			s.nodeDown(e.inst, e.reqIndex == 1)
 		case evNodeUp:
@@ -694,12 +795,15 @@ func (s *simulation) loop() {
 			s.results.Generated++
 			s.live++
 			pid := s.newPacket(i, s.now)
-			s.agenda.push(event{
-				time: s.now,
-				kind: evArrival,
-				pkt:  pid,
-				inst: s.routeFlat[s.chainOff[i]],
-			})
+			first := s.routeFlat[s.chainOff[i]]
+			// A fresh packet enters its first stage at the current time; with
+			// the due-now FIFO drained that arrival is the next pop, so call
+			// the handler directly and skip the agenda round-trip.
+			if s.agenda.fifoEmpty() {
+				s.arrive(pid, first)
+			} else {
+				s.agenda.push(event{time: s.now, kind: evArrival, pkt: pid, inst: first})
+			}
 			s.scheduleNextSource(i, s.now)
 		}
 	}
@@ -791,12 +895,18 @@ func (s *simulation) advance(pid int32) {
 	if int(p.stage)+1 < len(r.Chain) {
 		p.stage++
 		off := s.chainOff[ri] + p.stage
-		s.agenda.push(event{
-			time: s.now + s.hopFlat[off],
-			kind: evArrival,
-			pkt:  pid,
-			inst: s.routeFlat[off],
-		})
+		// Zero-latency hop with a drained due-now FIFO: the arrival is the
+		// next pop, so dispatch it directly instead of via the agenda.
+		if hop := s.hopFlat[off]; hop != 0 || !s.agenda.fifoEmpty() {
+			s.agenda.push(event{
+				time: s.now + hop,
+				kind: evArrival,
+				pkt:  pid,
+				inst: s.routeFlat[off],
+			})
+			return
+		}
+		s.arrive(pid, s.routeFlat[off])
 		return
 	}
 	// End of chain: delivery check.
@@ -815,6 +925,10 @@ func (s *simulation) advance(pid int32) {
 	// NACK: retransmit from the source immediately (paper Fig. 3).
 	s.results.Retransmissions++
 	p.stage = 0
+	if s.agenda.fifoEmpty() {
+		s.arrive(pid, s.routeFlat[s.chainOff[ri]])
+		return
+	}
 	s.agenda.push(event{time: s.now, kind: evArrival, pkt: pid, inst: s.routeFlat[s.chainOff[ri]]})
 }
 
