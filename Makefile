@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race bench bench-json profile clean
+.PHONY: check build vet lint test race bench bench-json serve-smoke profile clean
 
 check: build vet race
 
@@ -43,6 +43,11 @@ bench:
 # performance-sensitive changes.
 bench-json:
 	$(GO) run ./cmd/nfvbench -out results/BENCH.json
+
+# End-to-end smoke test of the serving daemon: boot nfvd on a random port,
+# curl /healthz, run a tiny /v1/solve round-trip, and shut down gracefully.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # Profile the hottest scenario and print the top CPU consumers. Leaves
 # cpu.prof/mem.prof behind for `go tool pprof -http` flame graphs; see the

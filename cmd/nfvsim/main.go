@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -35,6 +36,12 @@ func main() {
 }
 
 func run(args []string) error {
+	return runTo(args, os.Stdout)
+}
+
+// runTo is run with an explicit stdout, so tests can capture machine-readable
+// output (-json) without redirecting the process's file descriptors.
+func runTo(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("nfvsim", flag.ContinueOnError)
 	var (
 		list       = fs.Bool("list", false, "list available experiments and exit")
@@ -49,6 +56,7 @@ func run(args []string) error {
 		solve      = fs.String("solve", "", "run the joint pipeline on a problem JSON file (see cmd/tracegen)")
 		solOut     = fs.String("out", "", "with -demo/-solve: write the solution (problem+placement+schedule) as JSON")
 		simulateIt = fs.Bool("simulate", false, "with -demo: also run the discrete-event simulator")
+		jsonOut    = fs.Bool("json", false, "with -simulate: write the simulation Results JSON to stdout (the nfvd wire format) instead of the text report; progress goes to stderr")
 		agendaStr  = fs.String("agenda", "auto", "with -simulate: event-queue backend: auto|heap|ladder (results are bit-identical under every choice)")
 		placer     = fs.String("placer", "bfdsu", "placement algorithm: bfdsu|ffd|bfd|wfd|nah|exact")
 		scheduler  = fs.String("scheduler", "rckk", "scheduling algorithm: rckk|cga|ckk|roundrobin|exact")
@@ -68,6 +76,10 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *jsonOut && !*simulateIt {
+		return fmt.Errorf("-json requires -simulate (it emits the simulation Results document)")
+	}
+	out := output{stdout: stdout, json: *jsonOut}
 	stopProf, err := profiling.Start(*cpuProf, *memProf)
 	if err != nil {
 		return err
@@ -97,7 +109,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		return runSolve(*solve, *seed, *simulateIt, *solOut, algs, *improve, faults, agenda)
+		return runSolve(*solve, *seed, *simulateIt, *solOut, algs, *improve, faults, agenda, out)
 	case *demo:
 		algs, err := chooseAlgorithms(*placer, *scheduler, *seed)
 		if err != nil {
@@ -111,7 +123,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		return runDemo(*seed, *vnfs, *requests, *nodes, *simulateIt, *solOut, algs, *improve, faults, agenda)
+		return runDemo(*seed, *vnfs, *requests, *nodes, *simulateIt, *solOut, algs, *improve, faults, agenda, out)
 	case *fig != "":
 		cfg := experiment.DefaultConfig()
 		if *fast {
@@ -171,6 +183,22 @@ func writeCSV(dir string, tab *experiment.Table) error {
 	return nil
 }
 
+// output bundles where solveAndReport writes. In -json mode the Results
+// document owns stdout and the human report moves to stderr, so the JSON can
+// be piped or captured cleanly.
+type output struct {
+	stdout io.Writer
+	json   bool
+}
+
+// report returns the destination for the human-readable lines.
+func (o output) report() io.Writer {
+	if o.json {
+		return os.Stderr
+	}
+	return o.stdout
+}
+
 // faultOptions bundles the fault-injection flags; mtbf == 0 disables them.
 type faultOptions struct {
 	mtbf, mttr      float64
@@ -197,7 +225,7 @@ func chooseFaults(mtbf, mttr float64, policy, repairMode string, retransmitDelay
 	return out, nil
 }
 
-func runSolve(path string, seed uint64, simulate bool, solOut string, algs algorithms, improve bool, faults faultOptions, agenda nfvchain.AgendaKind) error {
+func runSolve(path string, seed uint64, simulate bool, solOut string, algs algorithms, improve bool, faults faultOptions, agenda nfvchain.AgendaKind, out output) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("open %s: %w", path, err)
@@ -209,12 +237,12 @@ func runSolve(path string, seed uint64, simulate bool, solOut string, algs algor
 	if err != nil {
 		return err
 	}
-	fmt.Printf("problem: %d VNFs, %d requests, %d nodes (from %s)\n",
+	fmt.Fprintf(out.report(), "problem: %d VNFs, %d requests, %d nodes (from %s)\n",
 		len(p.VNFs), len(p.Requests), len(p.Nodes), path)
-	return solveAndReport(p, seed, simulate, solOut, algs, improve, faults, agenda)
+	return solveAndReport(p, seed, simulate, solOut, algs, improve, faults, agenda, out)
 }
 
-func runDemo(seed uint64, vnfs, requests, nodes int, simulate bool, solOut string, algs algorithms, improve bool, faults faultOptions, agenda nfvchain.AgendaKind) error {
+func runDemo(seed uint64, vnfs, requests, nodes int, simulate bool, solOut string, algs algorithms, improve bool, faults faultOptions, agenda nfvchain.AgendaKind, out output) error {
 	cfg := nfvchain.DefaultWorkloadConfig()
 	cfg.Seed = seed
 	cfg.NumVNFs = vnfs
@@ -233,9 +261,9 @@ func runDemo(seed uint64, vnfs, requests, nodes int, simulate bool, solOut strin
 			p.VNFs[i].Demand *= scale
 		}
 	}
-	fmt.Printf("workload: %d VNFs, %d requests, %d nodes (seed %d)\n",
+	fmt.Fprintf(out.report(), "workload: %d VNFs, %d requests, %d nodes (seed %d)\n",
 		len(p.VNFs), len(p.Requests), len(p.Nodes), seed)
-	return solveAndReport(p, seed, simulate, solOut, algs, improve, faults, agenda)
+	return solveAndReport(p, seed, simulate, solOut, algs, improve, faults, agenda, out)
 }
 
 // algorithms bundles the user-selected pipeline strategies.
@@ -279,7 +307,8 @@ func chooseAlgorithms(placer, scheduler string, seed uint64) (algorithms, error)
 	return out, nil
 }
 
-func solveAndReport(p *model.Problem, seed uint64, simulate bool, solOut string, algs algorithms, improve bool, faults faultOptions, agenda nfvchain.AgendaKind) error {
+func solveAndReport(p *model.Problem, seed uint64, simulate bool, solOut string, algs algorithms, improve bool, faults faultOptions, agenda nfvchain.AgendaKind, out output) error {
+	rep := out.report()
 	sol, err := nfvchain.Optimize(p, nfvchain.Options{
 		Seed:      seed,
 		LinkDelay: 0.001,
@@ -304,17 +333,17 @@ func solveAndReport(p *model.Problem, seed uint64, simulate bool, solOut string,
 			}
 			sol.Schedule = sched
 		}
-		fmt.Println("applied local-search polish (placement + schedule)")
+		fmt.Fprintln(rep, "applied local-search polish (placement + schedule)")
 	}
 	ev, err := nfvchain.Evaluate(sol)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("placement (%s): %d nodes in service, avg utilization %.2f%%, %d iterations\n",
+	fmt.Fprintf(rep, "placement (%s): %d nodes in service, avg utilization %.2f%%, %d iterations\n",
 		algs.placer.Name(), ev.NodesInService, ev.AvgUtilization*100, sol.PlacementIterations)
-	fmt.Printf("scheduling (%s): mean W per instance %.6fs, rejected %d/%d requests (%.2f%%)\n",
+	fmt.Fprintf(rep, "scheduling (%s): mean W per instance %.6fs, rejected %d/%d requests (%.2f%%)\n",
 		algs.scheduler.Name(), ev.AvgResponseTime, len(sol.Rejected), len(p.Requests), sol.RejectionRate*100)
-	fmt.Printf("analytic mean request latency (Eq. 16): %.6fs\n", ev.MeanRequestLatency())
+	fmt.Fprintf(rep, "analytic mean request latency (Eq. 16): %.6fs\n", ev.MeanRequestLatency())
 
 	if solOut != "" {
 		f, err := os.Create(solOut)
@@ -327,7 +356,7 @@ func solveAndReport(p *model.Problem, seed uint64, simulate bool, solOut string,
 		if err := sol.WriteJSON(f); err != nil {
 			return err
 		}
-		fmt.Println("wrote", solOut)
+		fmt.Fprintln(rep, "wrote", solOut)
 	}
 
 	if !simulate {
@@ -357,6 +386,11 @@ func solveAndReport(p *model.Problem, seed uint64, simulate bool, solOut string,
 	if err != nil {
 		return err
 	}
+	if out.json {
+		// Machine-readable mode: stdout carries exactly the Results document
+		// the nfvd daemon serves (simulate.WriteJSON), nothing else.
+		return res.WriteJSON(out.stdout)
+	}
 	// No packet may complete inside [warmup, horizon] (short horizon, long
 	// warmup, or total buffer loss) — report "n/a" instead of panicking. One
 	// PercentilesOK call sorts the sample set once for all three quantiles.
@@ -364,18 +398,18 @@ func solveAndReport(p *model.Problem, seed uint64, simulate bool, solOut string,
 	if qs, ok := stats.PercentilesOK(res.LatencySamples, 50, 95, 99); ok {
 		tail = fmt.Sprintf("p50 %.6fs, p95 %.6fs, p99 %.6fs", qs[0], qs[1], qs[2])
 	}
-	fmt.Printf("simulated (agenda %s): %d packets delivered, %d retransmitted, mean latency %.6fs, %s\n",
+	fmt.Fprintf(rep, "simulated (agenda %s): %d packets delivered, %d retransmitted, mean latency %.6fs, %s\n",
 		res.Agenda, res.Delivered, res.Retransmissions, res.Latency.Mean(), tail)
 	if faults.mtbf > 0 {
 		var downtime float64
 		for _, dt := range res.Downtime {
 			downtime += dt
 		}
-		fmt.Printf("faults: availability %.4f, %d failure drops, %d failure retransmits, %.1f node-seconds of downtime across %d nodes\n",
+		fmt.Fprintf(rep, "faults: availability %.4f, %d failure drops, %d failure retransmits, %.1f node-seconds of downtime across %d nodes\n",
 			res.Availability, res.FailureDrops, res.FailRetransmits, downtime, len(res.Downtime))
 		if repairCtrl != nil {
 			st := repairCtrl.Stats()
-			fmt.Printf("repair (%s): %d failures handled, %d reschedules, %d replacements booted (%d infeasible, %.1fs setup paid)\n",
+			fmt.Fprintf(rep, "repair (%s): %d failures handled, %d reschedules, %d replacements booted (%d infeasible, %.1fs setup paid)\n",
 				faults.repair, st.NodeFailures, st.Reschedules, st.Replacements, st.ReplacementsFailed, st.SetupSecs)
 		}
 	}

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	nfvchain "nfvchain"
 )
 
 func TestRunList(t *testing.T) {
@@ -85,6 +88,35 @@ func TestRunDemoAgendaSelection(t *testing.T) {
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("agenda error %q missing %q", err, want)
 		}
+	}
+}
+
+// TestRunDemoSimulateJSON pins -json to emitting exactly the daemon's
+// Results wire format on stdout: parseable by ReadResultsJSON and free of
+// the human report lines.
+func TestRunDemoSimulateJSON(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{"-demo", "-simulate", "-json", "-requests", "20", "-vnfs", "6", "-nodes", "4"}
+	if err := runTo(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	res, err := nfvchain.ReadResultsJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("stdout is not a Results document: %v\n%s", err, buf.String())
+	}
+	if res.Delivered == 0 || res.Horizon != 60 {
+		t.Errorf("implausible simulation results: delivered=%d horizon=%v", res.Delivered, res.Horizon)
+	}
+	if strings.Contains(buf.String(), "workload:") {
+		t.Error("human report leaked onto stdout in -json mode")
+	}
+}
+
+// TestRunJSONRequiresSimulate pins the flag dependency.
+func TestRunJSONRequiresSimulate(t *testing.T) {
+	err := run([]string{"-demo", "-json", "-requests", "20"})
+	if err == nil || !strings.Contains(err.Error(), "-simulate") {
+		t.Errorf("got %v, want an error demanding -simulate", err)
 	}
 }
 

@@ -38,5 +38,8 @@
 //
 // The cmd/nfvsim binary regenerates every figure of the paper's evaluation;
 // see EXPERIMENTS.md for the paper-vs-measured record and DESIGN.md for the
-// architecture.
+// architecture. The cmd/nfvd binary serves the optimizer and simulator as a
+// long-running HTTP daemon (job queue, worker pool, content-addressed result
+// cache, cancellation) with a Go client in internal/service; served results
+// are bit-identical to the direct library calls at the same seed.
 package nfvchain

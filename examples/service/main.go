@@ -1,0 +1,113 @@
+// Service: embed the nfvd serving engine in-process, then drive it through
+// the Go client — submit a solve, simulate the solved chain placement, watch
+// a duplicate submission come back from the result cache, and read the
+// daemon's metrics. The same client speaks to a standalone `nfvd` daemon;
+// only the base URL changes.
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	nfvchain "nfvchain"
+	"nfvchain/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "service:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A small paper-style workload (Section V-A shape, scaled down).
+	cfg := nfvchain.DefaultWorkloadConfig()
+	cfg.Seed = 42
+	cfg.NumVNFs = 6
+	cfg.NumRequests = 40
+	cfg.NumNodes = 4
+	problem, err := nfvchain.GenerateWorkload(cfg)
+	if err != nil {
+		return err
+	}
+
+	// Boot the serving engine on a random local port. `nfvd` wraps exactly
+	// this server; embedding it keeps the example self-contained.
+	srv := service.New(service.Config{Workers: 2})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+		_ = srv.Shutdown(ctx)
+	}()
+
+	ctx := context.Background()
+	c := service.NewClient("http://" + ln.Addr().String())
+	if err := c.Healthy(ctx); err != nil {
+		return err
+	}
+	fmt.Printf("serving on %s\n", c.BaseURL)
+
+	// Solve: place the chains and schedule the requests.
+	solve := service.SolveRequest{
+		Problem: problem,
+		Options: service.SolveOptions{Seed: 42, LinkDelay: 0.0005},
+	}
+	st, err := c.Solve(ctx, solve)
+	if err != nil {
+		return err
+	}
+	if st, err = c.Wait(ctx, st.ID); err != nil {
+		return err
+	}
+	sol, err := c.SolveResult(ctx, st.ID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("solve %s: %s — rejected %.2f%% of requests\n", st.ID, st.State, sol.RejectionRate*100)
+
+	// Simulate the same problem end to end (solve + discrete-event run).
+	sim, err := c.Simulate(ctx, service.SimulateRequest{
+		Problem: problem,
+		Options: solve.Options,
+		Sim:     service.SimOptions{Horizon: 50, Warmup: 5, Seed: 7},
+	})
+	if err != nil {
+		return err
+	}
+	if sim, err = c.Wait(ctx, sim.ID); err != nil {
+		return err
+	}
+	res, err := c.SimulateResult(ctx, sim.ID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulate %s: %s — %d packets delivered, mean latency %.4fs\n",
+		sim.ID, sim.State, res.Delivered, res.Latency.Mean())
+
+	// An identical submission is answered from the content-addressed cache.
+	dup, err := c.Solve(ctx, solve)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("duplicate solve %s: state %s, cache hit: %v\n", dup.ID, dup.State, dup.CacheHit)
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("metrics: %d/%d queue, %d workers, cache %d hit / %d miss\n",
+		m.QueueDepth, m.QueueCapacity, m.Workers, m.Cache.Hits, m.Cache.Misses)
+	return nil
+}

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"nfvchain/internal/model"
@@ -126,7 +127,32 @@ type SimulationConfig struct {
 // Simulate runs the discrete-event simulator on a solution, wiring in its
 // placement, post-admission schedule and link delay.
 func Simulate(sol *Solution, cfg SimulationConfig) (*simulate.Results, error) {
-	return simulate.Run(simulate.Config{
+	return SimulateContext(context.Background(), sol, cfg)
+}
+
+// SimulateContext is Simulate with cancellation: the event loop polls ctx
+// every simulate.CtxCheckInterval events and aborts with ctx.Err() when it
+// fires. With a background context it is bit-identical to Simulate.
+func SimulateContext(ctx context.Context, sol *Solution, cfg SimulationConfig) (*simulate.Results, error) {
+	return simulate.RunContext(ctx, simConfig(sol, cfg))
+}
+
+// SimulateWith runs the simulation on a caller-provided reusable Simulator,
+// amortizing run-state allocation across runs (the serving daemon's worker
+// pool path). The returned Results aliases the simulator's buffers and is
+// only valid until its next Reset; outputs are bit-identical to Simulate
+// under the same config and seed.
+func SimulateWith(ctx context.Context, sim *simulate.Simulator, sol *Solution, cfg SimulationConfig) (*simulate.Results, error) {
+	if err := sim.Reset(simConfig(sol, cfg)); err != nil {
+		return nil, err
+	}
+	return sim.RunContext(ctx)
+}
+
+// simConfig wires a solution and the remaining knobs into the simulator's
+// config.
+func simConfig(sol *Solution, cfg SimulationConfig) simulate.Config {
+	return simulate.Config{
 		Problem:         sol.Problem,
 		Schedule:        sol.Schedule,
 		Placement:       sol.Placement,
@@ -143,5 +169,5 @@ func Simulate(sol *Solution, cfg SimulationConfig) (*simulate.Results, error) {
 		FaultPlan:       cfg.FaultPlan,
 		FailurePolicy:   cfg.FailurePolicy,
 		FaultHook:       cfg.FaultHook,
-	})
+	}
 }

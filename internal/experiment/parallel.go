@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -20,6 +21,15 @@ import (
 //
 // The first error wins; remaining workers drain without claiming new jobs.
 func forEachPointTrial[T any](points, trials int, fn func(point, trial int) (T, error)) ([][]T, error) {
+	return forEachPointTrialCtx(context.Background(), points, trials, fn)
+}
+
+// forEachPointTrialCtx is forEachPointTrial with cancellation: once ctx
+// fires no new (point, trial) cell is claimed — in-flight cells finish, so
+// the sweep stops within one cell per worker — and the sweep returns
+// ctx.Err(). First-error-wins semantics are preserved: an fn error observed
+// before the cancellation still wins over ctx.Err().
+func forEachPointTrialCtx[T any](ctx context.Context, points, trials int, fn func(point, trial int) (T, error)) ([][]T, error) {
 	results := make([][]T, points)
 	flat := make([]T, points*trials)
 	for p := range results {
@@ -42,7 +52,11 @@ func forEachPointTrial[T any](points, trials int, fn func(point, trial int) (T, 
 		firstErr error
 		next     int
 	)
+	done := ctx.Done()
 	claim := func() (int, bool) {
+		if done != nil && ctx.Err() != nil {
+			return 0, false
+		}
 		mu.Lock()
 		defer mu.Unlock()
 		if firstErr != nil || next >= jobs {
@@ -81,6 +95,9 @@ func forEachPointTrial[T any](points, trials int, fn func(point, trial int) (T, 
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return results, nil
 }

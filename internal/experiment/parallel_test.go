@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -200,6 +201,66 @@ func TestParallelExperimentsDeterministic(t *testing.T) {
 					t.Fatalf("%s: %s[%d] differs across runs: %v vs %v",
 						id, a.Series[si].Label, i, a.Series[si].Y[i], b.Series[si].Y[i])
 				}
+			}
+		}
+	}
+}
+
+// TestForEachPointTrialCtxCancel asserts a cancelled sweep stops claiming
+// new cells promptly and reports ctx.Err().
+func TestForEachPointTrialCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	var once sync.Once
+	_, err := forEachPointTrialCtx(ctx, 10, 100, func(point, trial int) (int, error) {
+		calls.Add(1)
+		once.Do(cancel) // cancel from inside the first claimed cell
+		return point*1000 + trial, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// After the cancellation, at most one in-flight cell per worker may
+	// still finish; nothing new is claimed.
+	if got := calls.Load(); got > int64(runtime.GOMAXPROCS(0)+1) {
+		t.Errorf("calls = %d after immediate cancel, want at most one per worker", got)
+	}
+}
+
+// TestForEachPointTrialCtxFirstErrorWins asserts an fn error observed before
+// the cancellation still wins over ctx.Err().
+func TestForEachPointTrialCtxFirstErrorWins(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("boom")
+	var once sync.Once
+	_, err := forEachPointTrialCtx(ctx, 1, 50, func(_, trial int) (int, error) {
+		var failed bool
+		once.Do(func() { failed = true })
+		if failed {
+			defer cancel()
+			return 0, boom
+		}
+		return trial, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom (first error wins over cancellation)", err)
+	}
+}
+
+// TestForEachPointTrialCtxBackground asserts the Background path is the
+// plain forEachPointTrial behavior.
+func TestForEachPointTrialCtxBackground(t *testing.T) {
+	got, err := forEachPointTrialCtx(context.Background(), 2, 3, func(point, trial int) (int, error) {
+		return point*10 + trial, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range got {
+		for tr, v := range got[p] {
+			if v != p*10+tr {
+				t.Fatalf("result[%d][%d] = %d", p, tr, v)
 			}
 		}
 	}

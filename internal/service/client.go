@@ -1,0 +1,219 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"nfvchain/internal/core"
+	"nfvchain/internal/simulate"
+)
+
+// Client is a minimal Go client for the nfvd HTTP API, backing the
+// end-to-end tests and examples/service.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// PollInterval paces Wait's status polling; 0 means 10ms.
+	PollInterval time.Duration
+}
+
+// NewClient returns a client for the server at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and decodes the JSON response; non-2xx statuses
+// (other than the expected ones) become errors carrying the server's error
+// envelope.
+func (c *Client) do(ctx context.Context, method, path string, body, out any, okCodes ...int) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return 0, fmt.Errorf("service client: encode request: %w", err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return 0, fmt.Errorf("service client: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("service client: %s %s: %w", method, path, err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	for _, code := range okCodes {
+		if resp.StatusCode == code {
+			if out != nil {
+				if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+					return resp.StatusCode, fmt.Errorf("service client: decode response: %w", err)
+				}
+			}
+			return resp.StatusCode, nil
+		}
+	}
+	var envelope errorBody
+	msg := resp.Status
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err == nil && envelope.Error != "" {
+		msg = envelope.Error
+	}
+	return resp.StatusCode, fmt.Errorf("service client: %s %s: %d: %s", method, path, resp.StatusCode, msg)
+}
+
+// Solve submits an optimization job. The returned status is either queued
+// (202) or done (200, a cache hit).
+func (c *Client) Solve(ctx context.Context, req SolveRequest) (*JobStatus, error) {
+	var st JobStatus
+	if _, err := c.do(ctx, http.MethodPost, "/v1/solve", &req, &st, http.StatusOK, http.StatusAccepted); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Simulate submits a solve+simulate (or simulate-a-solution) job.
+func (c *Client) Simulate(ctx context.Context, req SimulateRequest) (*JobStatus, error) {
+	var st JobStatus
+	if _, err := c.do(ctx, http.MethodPost, "/v1/simulate", &req, &st, http.StatusOK, http.StatusAccepted); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Job fetches a job's status.
+func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if _, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st, http.StatusOK); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Cancel requests a job's cancellation (idempotent on already-canceled
+// jobs; errors on done/failed ones).
+func (c *Client) Cancel(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if _, err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st, http.StatusOK); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Wait polls the job until it reaches a terminal state or ctx fires.
+func (c *Client) Wait(ctx context.Context, id string) (*JobStatus, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.State.terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(interval):
+		}
+	}
+}
+
+// ResultBytes fetches a completed job's raw result document (the Solution
+// or Results JSON exactly as the server rendered it).
+func (c *Client) ResultBytes(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, fmt.Errorf("service client: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("service client: fetch result: %w", err)
+	}
+	defer func() {
+		_ = resp.Body.Close()
+	}()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("service client: read result: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var envelope errorBody
+		msg := resp.Status
+		if err := json.Unmarshal(data, &envelope); err == nil && envelope.Error != "" {
+			msg = envelope.Error
+		}
+		return nil, fmt.Errorf("service client: result %s: %d: %s", id, resp.StatusCode, msg)
+	}
+	return data, nil
+}
+
+// SolveResult fetches and parses a completed solve job's Solution.
+func (c *Client) SolveResult(ctx context.Context, id string) (*core.Solution, error) {
+	data, err := c.ResultBytes(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	return core.ReadSolutionJSON(bytes.NewReader(data))
+}
+
+// SimulateResult fetches and parses a completed simulate job's Results.
+func (c *Client) SimulateResult(ctx context.Context, id string) (*simulate.Results, error) {
+	data, err := c.ResultBytes(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	return simulate.ReadResultsJSON(bytes.NewReader(data))
+}
+
+// Metrics fetches the server's metrics document.
+func (c *Client) Metrics(ctx context.Context) (*Metrics, error) {
+	var m Metrics
+	if _, err := c.do(ctx, http.MethodGet, "/metrics", nil, &m, http.StatusOK); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Healthy probes /healthz.
+func (c *Client) Healthy(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return fmt.Errorf("service client: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("service client: healthz: %w", err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("service client: healthz: %s", resp.Status)
+	}
+	return nil
+}

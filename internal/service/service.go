@@ -1,0 +1,598 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"nfvchain/internal/core"
+	"nfvchain/internal/simulate"
+	"nfvchain/internal/stats"
+)
+
+// Config parameterizes a Server. The zero value picks sensible defaults.
+type Config struct {
+	// Workers is the solver/simulator worker-pool size; 0 means
+	// GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the number of jobs waiting for a worker; a full
+	// queue answers 429 (backpressure, not OOM). 0 means 64.
+	QueueDepth int
+	// CacheEntries bounds the result cache (FIFO eviction). 0 means 256;
+	// negative disables caching.
+	CacheEntries int
+	// RetryAfter is the 429 Retry-After hint. 0 means 1s.
+	RetryAfter time.Duration
+	// LatencyWindow is the number of recent completed jobs feeding the
+	// /metrics latency percentiles. 0 means 1024.
+	LatencyWindow int
+	// MaxBodyBytes bounds request bodies. 0 means 32 MiB.
+	MaxBodyBytes int64
+}
+
+// withDefaults resolves zero values.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.LatencyWindow <= 0 {
+		c.LatencyWindow = 1024
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	return c
+}
+
+// job is one queued unit of work. The exec closure carries the parsed,
+// validated request; it runs on a worker goroutine with the job's context.
+type job struct {
+	id          string
+	kind        string
+	fingerprint string
+	state       JobState
+	cacheHit    bool
+	err         string
+	result      []byte
+
+	enqueued time.Time
+	cancel   context.CancelFunc // non-nil while running
+	canceled bool               // cancellation requested
+
+	exec func(ctx context.Context) ([]byte, error)
+}
+
+// status snapshots the job's wire form; the server's mutex must be held.
+func (j *job) status() JobStatus {
+	return JobStatus{ID: j.id, Kind: j.kind, State: j.state, CacheHit: j.cacheHit, Error: j.err}
+}
+
+// Server is the solver/simulator serving daemon: an http.Handler backed by
+// a bounded job queue and a worker pool. Create with New, expose via
+// Handler, stop with Shutdown.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	nextID   uint64
+	queue    chan *job
+	closed   bool // intake stopped (shutdown begun)
+	byState  map[JobState]int
+	busy     int
+	latRing  []float64 // enqueue-to-finish seconds, ring buffer
+	latNext  int
+	latCount int
+
+	cacheHits    int
+	cacheMisses  int
+	cacheOrder   []string
+	cacheEntries map[string][]byte
+
+	wg      sync.WaitGroup
+	simPool sync.Pool // *simulate.Simulator, reused across simulate jobs
+
+	// clock is stubbed in tests; wall time never influences job results.
+	clock func() time.Time
+}
+
+// New starts a server's worker pool and returns it.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:          cfg,
+		jobs:         make(map[string]*job),
+		queue:        make(chan *job, cfg.QueueDepth),
+		byState:      make(map[JobState]int),
+		latRing:      make([]float64, cfg.LatencyWindow),
+		cacheEntries: make(map[string][]byte),
+		clock:        time.Now,
+	}
+	s.simPool.New = func() any { return simulate.NewSimulator() }
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown stops intake (new submissions answer 503) and drains: workers
+// finish the queued and in-flight jobs. If ctx expires first, running jobs
+// are cancelled — they abort within one simulator ctx-check interval — and
+// Shutdown returns ctx.Err() once the pool exits.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			j.canceled = true
+			if j.cancel != nil {
+				j.cancel()
+			}
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// worker drains the job queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one dequeued job.
+func (s *Server) runJob(j *job) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	s.mu.Lock()
+	if j.canceled {
+		s.setStateLocked(j, StateCanceled)
+		s.mu.Unlock()
+		return
+	}
+	s.setStateLocked(j, StateRunning)
+	j.cancel = cancel
+	s.busy++
+	s.mu.Unlock()
+
+	result, err := j.exec(ctx)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.busy--
+	j.cancel = nil
+	switch {
+	case err == nil:
+		j.result = result
+		s.setStateLocked(j, StateDone)
+		s.cachePutLocked(j.fingerprint, result)
+		s.noteLatencyLocked(j)
+	case j.canceled && errors.Is(err, context.Canceled):
+		s.setStateLocked(j, StateCanceled)
+	default:
+		j.err = err.Error()
+		s.setStateLocked(j, StateFailed)
+		s.noteLatencyLocked(j)
+	}
+}
+
+// setStateLocked transitions a job's state, keeping the by-state counters
+// consistent. The server's mutex must be held.
+func (s *Server) setStateLocked(j *job, to JobState) {
+	if j.state != "" {
+		s.byState[j.state]--
+	}
+	j.state = to
+	s.byState[to]++
+}
+
+// noteLatencyLocked folds a finished job's enqueue-to-finish latency into
+// the metrics ring.
+func (s *Server) noteLatencyLocked(j *job) {
+	s.latRing[s.latNext] = s.clock().Sub(j.enqueued).Seconds()
+	s.latNext = (s.latNext + 1) % len(s.latRing)
+	if s.latCount < len(s.latRing) {
+		s.latCount++
+	}
+}
+
+// cacheGetLocked looks up a cached result, bumping the hit/miss counters.
+func (s *Server) cacheGetLocked(fp string) ([]byte, bool) {
+	if s.cfg.CacheEntries < 0 {
+		s.cacheMisses++
+		return nil, false
+	}
+	res, ok := s.cacheEntries[fp]
+	if ok {
+		s.cacheHits++
+	} else {
+		s.cacheMisses++
+	}
+	return res, ok
+}
+
+// cachePutLocked stores a result under its fingerprint, evicting the
+// oldest entry past the cap (FIFO: the cache serves dedupe, not working-set
+// tuning).
+func (s *Server) cachePutLocked(fp string, result []byte) {
+	if s.cfg.CacheEntries < 0 {
+		return
+	}
+	if _, ok := s.cacheEntries[fp]; ok {
+		return
+	}
+	for len(s.cacheOrder) >= s.cfg.CacheEntries {
+		oldest := s.cacheOrder[0]
+		s.cacheOrder = s.cacheOrder[1:]
+		delete(s.cacheEntries, oldest)
+	}
+	s.cacheEntries[fp] = result
+	s.cacheOrder = append(s.cacheOrder, fp)
+}
+
+// submit registers a job for the fingerprint and either answers it from the
+// cache (a completed job, instantly) or enqueues it. It writes the HTTP
+// response in every case.
+func (s *Server) submit(w http.ResponseWriter, kind, fp string, exec func(ctx context.Context) ([]byte, error)) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	s.nextID++
+	j := &job{
+		id:          "job-" + strconv.FormatUint(s.nextID, 10),
+		kind:        kind,
+		fingerprint: fp,
+		enqueued:    s.clock(),
+		exec:        exec,
+	}
+	s.jobs[j.id] = j
+	if cached, ok := s.cacheGetLocked(fp); ok {
+		j.result = cached
+		j.cacheHit = true
+		s.setStateLocked(j, StateDone)
+		status := j.status()
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, status)
+		return
+	}
+	select {
+	case s.queue <- j:
+		s.setStateLocked(j, StateQueued)
+		status := j.status()
+		s.mu.Unlock()
+		writeJSON(w, http.StatusAccepted, status)
+	default:
+		// Queue full: refuse the job entirely (it never existed) and tell
+		// the client when to retry.
+		delete(s.jobs, j.id)
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		writeError(w, http.StatusTooManyRequests, "job queue is full")
+	}
+}
+
+// handleSolve parses, validates and enqueues an optimization job.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Problem == nil {
+		writeError(w, http.StatusBadRequest, "missing problem")
+		return
+	}
+	if err := req.Problem.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	opts, err := req.Options.coreOptions()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	fp, err := fingerprint("solve", &req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	problem := req.Problem
+	s.submit(w, "solve", fp, func(ctx context.Context) ([]byte, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sol, err := core.Optimize(problem, opts)
+		if err != nil {
+			return nil, err
+		}
+		// Optimize is not interruptible mid-run; honor a cancellation that
+		// arrived while it computed rather than publishing the result.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := sol.WriteJSON(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+}
+
+// handleSimulate parses, validates and enqueues a solve+simulate (or
+// simulate-a-posted-solution) job.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if (req.Problem == nil) == (len(req.Solution) == 0) {
+		writeError(w, http.StatusBadRequest, "exactly one of problem or solution must be set")
+		return
+	}
+	simCfg, err := req.Sim.simConfig()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var (
+		opts     core.Options
+		solution *core.Solution
+	)
+	if req.Problem != nil {
+		if err := req.Problem.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if opts, err = req.Options.coreOptions(); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	} else {
+		if solution, err = core.ReadSolutionJSON(bytes.NewReader(req.Solution)); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	fp, err := fingerprint("simulate", &req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	problem := req.Problem
+	s.submit(w, "simulate", fp, func(ctx context.Context) ([]byte, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sol := solution
+		if sol == nil {
+			var err error
+			if sol, err = core.Optimize(problem, opts); err != nil {
+				return nil, err
+			}
+		}
+		sim := s.simPool.Get().(*simulate.Simulator)
+		defer s.simPool.Put(sim)
+		res, err := core.SimulateWith(ctx, sim, sol, simCfg)
+		if err != nil {
+			return nil, err
+		}
+		// Encode before the deferred Put: the Results aliases the pooled
+		// simulator's buffers and dies with its next Reset.
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+}
+
+// handleJob reports a job's status.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	status := j.status()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, status)
+}
+
+// handleResult serves a completed job's result document: 200 with the
+// Solution/Results JSON when done, 202 with the status while pending, 410
+// after a cancellation, 500 with the error after a failure.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	status := j.status()
+	result := j.result
+	s.mu.Unlock()
+	switch status.State {
+	case StateDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(result)
+	case StateCanceled:
+		writeError(w, http.StatusGone, "job "+status.ID+" was canceled")
+	case StateFailed:
+		writeError(w, http.StatusInternalServerError, status.Error)
+	default:
+		writeJSON(w, http.StatusAccepted, status)
+	}
+}
+
+// handleCancel cancels a queued or running job. Cancelling a queued job
+// unqueues it logically (the worker skips it); cancelling a running job
+// fires its context, aborting the simulator within one ctx-check interval.
+// Terminal jobs answer 409 (done/failed) or 200 (already canceled,
+// idempotent).
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	switch {
+	case j.state == StateCanceled:
+		// Idempotent.
+	case j.state.terminal():
+		status := j.status()
+		s.mu.Unlock()
+		writeJSON(w, http.StatusConflict, status)
+		return
+	default:
+		j.canceled = true
+		if j.cancel != nil {
+			j.cancel()
+		} else if j.state == StateQueued {
+			// The worker will observe canceled and skip; reflect the final
+			// state immediately so polling clients see it without racing.
+			s.setStateLocked(j, StateCanceled)
+		}
+	}
+	status := j.status()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, status)
+}
+
+// handleHealthz answers liveness probes.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+// handleMetrics reports queue, worker, cache and latency metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	m := Metrics{
+		QueueDepth:    len(s.queue),
+		QueueCapacity: s.cfg.QueueDepth,
+		Workers:       s.cfg.Workers,
+		BusyWorkers:   s.busy,
+		JobsByState:   make(map[JobState]int, len(s.byState)),
+		Cache: CacheMetrics{
+			Hits:    s.cacheHits,
+			Misses:  s.cacheMisses,
+			Entries: len(s.cacheEntries),
+		},
+	}
+	for st, n := range s.byState {
+		if n > 0 {
+			m.JobsByState[st] = n
+		}
+	}
+	if lookups := s.cacheHits + s.cacheMisses; lookups > 0 {
+		m.Cache.HitRate = float64(s.cacheHits) / float64(lookups)
+	}
+	m.WorkerUtilization = float64(s.busy) / float64(s.cfg.Workers)
+	lat := make([]float64, s.latCount)
+	copy(lat, s.latRing[:s.latCount])
+	s.mu.Unlock()
+
+	if qs, ok := stats.PercentilesOK(lat, 50, 95, 99); ok {
+		m.JobLatency = &LatencyMetrics{
+			Count: len(lat),
+			Mean:  stats.Mean(lat),
+			P50:   qs[0],
+			P95:   qs[1],
+			P99:   qs[2],
+		}
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+// lookup resolves the {id} path value, answering 404 itself on a miss.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job "+id)
+		return nil, false
+	}
+	return j, true
+}
+
+// decodeBody strictly decodes a JSON request body, answering 4xx itself on
+// failure.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, err.Error())
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decode request: %v", err))
+		return false
+	}
+	return true
+}
+
+// writeJSON writes an indented JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError writes the JSON error envelope.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg})
+}

@@ -1,6 +1,7 @@
 package simulate
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -481,6 +482,19 @@ func Run(cfg Config) (*Results, error) {
 	return sim.Run()
 }
 
+// RunContext is Run with cancellation: the event loop polls ctx every
+// CtxCheckInterval events and aborts with ctx.Err() when it fires. A
+// context.Background() run is bit-identical to Run — the check never
+// perturbs RNG streams or event order, it only decides whether to keep
+// going.
+func RunContext(ctx context.Context, cfg Config) (*Results, error) {
+	var sim Simulator
+	if err := sim.Reset(cfg); err != nil {
+		return nil, err
+	}
+	return sim.RunContext(ctx)
+}
+
 // Reset validates cfg and prepares the simulator for one run, reusing the
 // previous run's backing arrays. Any Results previously returned by Run is
 // invalidated.
@@ -587,6 +601,21 @@ func (sim *Simulator) Reset(cfg Config) error {
 // Run executes the run prepared by the preceding Reset. The returned Results
 // aliases the simulator's buffers and is valid until the next Reset.
 func (sim *Simulator) Run() (*Results, error) {
+	return sim.RunContext(context.Background())
+}
+
+// CtxCheckInterval is the number of events the loop processes between two
+// context polls in RunContext: a cancelled run stops within at most this
+// many events of the cancellation. The poll is amortized so heavily that it
+// is invisible in the event-loop benchmarks; contexts that can never be
+// cancelled (Done() == nil, e.g. context.Background()) skip it entirely.
+const CtxCheckInterval = 4096
+
+// RunContext executes the run prepared by the preceding Reset, aborting
+// with ctx.Err() if ctx is cancelled mid-run (the Results is then nil and
+// the simulator needs a fresh Reset). The returned Results aliases the
+// simulator's buffers and is valid until the next Reset.
+func (sim *Simulator) RunContext(ctx context.Context) (*Results, error) {
 	if !sim.ready {
 		return nil, errors.New("simulate: Run requires a successful Reset first")
 	}
@@ -594,7 +623,9 @@ func (sim *Simulator) Run() (*Results, error) {
 	s := &sim.s
 	s.seedArrivals()
 	s.seedFaults()
-	s.loop()
+	if err := s.loop(ctx); err != nil {
+		return nil, err
+	}
 	s.finalize()
 	return s.results, nil
 }
@@ -768,10 +799,23 @@ func (s *simulation) scheduleNextSource(i int32, t float64) {
 	s.agenda.push(event{time: next, kind: evSource, reqIndex: i})
 }
 
-// loop drains the agenda until the horizon.
-func (s *simulation) loop() {
+// loop drains the agenda until the horizon, or until ctx fires (checked
+// every CtxCheckInterval events; a non-cancellable ctx costs one perfectly
+// predicted branch per event).
+func (s *simulation) loop(ctx context.Context) error {
 	horizon := s.cfg.Horizon
+	done := ctx.Done()
+	check := CtxCheckInterval
 	for {
+		if done != nil {
+			check--
+			if check <= 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				check = CtxCheckInterval
+			}
+		}
 		e, ok := s.agenda.pop()
 		if !ok || e.time > horizon {
 			break
@@ -807,6 +851,7 @@ func (s *simulation) loop() {
 			s.scheduleNextSource(i, s.now)
 		}
 	}
+	return nil
 }
 
 // arrive delivers a packet to an instance's queue or service position. A

@@ -1,0 +1,46 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// summaryJSON is the stable wire form of a Summary. The internal Welford
+// state (n, mean, m2, min, max) is carried verbatim so a round trip is
+// exact: Merge, Variance and CI95 on a decoded Summary behave bit-for-bit
+// like on the original.
+type summaryJSON struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// MarshalJSON encodes the summary's Welford state.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(summaryJSON{N: s.n, Mean: s.mean, M2: s.m2, Min: s.min, Max: s.max})
+}
+
+// UnmarshalJSON decodes a summary written by MarshalJSON. Unknown fields are
+// rejected so wire-format drift fails loudly instead of silently zeroing
+// moments.
+func (s *Summary) UnmarshalJSON(data []byte) error {
+	var raw summaryJSON
+	if err := strictUnmarshal(data, &raw); err != nil {
+		return fmt.Errorf("stats: decode summary: %w", err)
+	}
+	if raw.N < 0 {
+		return fmt.Errorf("stats: decode summary: negative n %d", raw.N)
+	}
+	s.n, s.mean, s.m2, s.min, s.max = raw.N, raw.Mean, raw.M2, raw.Min, raw.Max
+	return nil
+}
+
+// strictUnmarshal is json.Unmarshal with DisallowUnknownFields.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}

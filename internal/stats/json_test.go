@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestSummaryJSONRoundTrip asserts the Welford state survives a round trip
+// exactly — merged and re-encoded summaries behave bit-for-bit like the
+// originals.
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{0.25, 1.5, -3.75, 42, 0.1} {
+		s.Add(x)
+	}
+	data, err := json.Marshal(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Errorf("round trip drifted: %v vs %v", &back, &s)
+	}
+	if back.Variance() != s.Variance() || back.CI95() != s.CI95() {
+		t.Errorf("derived moments drifted after round trip")
+	}
+	again, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Errorf("re-encoding unstable: %s vs %s", again, data)
+	}
+}
+
+// TestSummaryJSONZero round-trips the zero value.
+func TestSummaryJSONZero(t *testing.T) {
+	var s Summary
+	data, err := json.Marshal(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Errorf("zero round trip drifted: %v vs %v", &back, &s)
+	}
+}
+
+// TestSummaryJSONStrict rejects unknown fields and negative counts.
+func TestSummaryJSONStrict(t *testing.T) {
+	var s Summary
+	if err := json.Unmarshal([]byte(`{"n":1,"mean":2,"m2":0,"min":2,"max":2,"bogus":1}`), &s); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"n":-4,"mean":0,"m2":0,"min":0,"max":0}`), &s); err == nil {
+		t.Error("negative n accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package nfvchain
 
 import (
+	"context"
 	"io"
 
 	"nfvchain/internal/core"
@@ -192,6 +193,19 @@ func Evaluate(sol *Solution) (*Evaluation, error) {
 // Simulate runs the packet-level discrete-event simulator on a solution.
 func Simulate(sol *Solution, cfg SimulationConfig) (*SimulationResults, error) {
 	return core.Simulate(sol, cfg)
+}
+
+// SimulateContext is Simulate with cancellation: the simulator's event loop
+// polls ctx every few thousand events and aborts with ctx.Err() when it
+// fires. With a background context it is bit-identical to Simulate.
+func SimulateContext(ctx context.Context, sol *Solution, cfg SimulationConfig) (*SimulationResults, error) {
+	return core.SimulateContext(ctx, sol, cfg)
+}
+
+// ReadResultsJSON parses simulation results written with
+// SimulationResults.WriteJSON (or nfvsim -json / the nfvd daemon).
+func ReadResultsJSON(r io.Reader) (*SimulationResults, error) {
+	return simulate.ReadResultsJSON(r)
 }
 
 // GenerateWorkload synthesizes a problem instance from the config;

@@ -1,0 +1,82 @@
+#!/usr/bin/env sh
+# serve_smoke.sh — boot nfvd on a random port, probe /healthz, run one tiny
+# /v1/solve round-trip through curl, and shut the daemon down cleanly.
+# Exercises the real binary end to end (flags, listener, queue, worker pool,
+# graceful drain), complementing the in-process httptest suites.
+set -eu
+
+workdir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+        kill -INT "$daemon_pid" 2>/dev/null || true
+        wait "$daemon_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "serve-smoke: building nfvd"
+go build -o "$workdir/nfvd" ./cmd/nfvd
+
+"$workdir/nfvd" -addr 127.0.0.1:0 -workers 2 >"$workdir/nfvd.log" 2>&1 &
+daemon_pid=$!
+
+# The daemon prints "nfvd: listening on http://HOST:PORT" once ready.
+base_url=""
+for _ in $(seq 1 50); do
+    base_url=$(sed -n 's/^nfvd: listening on \(http:\/\/.*\)$/\1/p' "$workdir/nfvd.log")
+    [ -n "$base_url" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || { cat "$workdir/nfvd.log"; echo "serve-smoke: daemon died during startup" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$base_url" ] || { cat "$workdir/nfvd.log"; echo "serve-smoke: daemon never became ready" >&2; exit 1; }
+echo "serve-smoke: daemon at $base_url"
+
+curl -fsS "$base_url/healthz" >/dev/null
+echo "serve-smoke: healthz ok"
+
+cat >"$workdir/solve.json" <<'EOF'
+{
+  "problem": {
+    "nodes": [{"id": "n1", "capacity": 4}],
+    "vnfs": [{"id": "fw", "instances": 1, "demand": 1, "serviceRate": 50}],
+    "requests": [{"id": "r1", "chain": ["fw"], "rate": 5, "deliveryProb": 0.95}]
+  },
+  "options": {"seed": 42}
+}
+EOF
+
+job_id=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+    --data-binary @"$workdir/solve.json" "$base_url/v1/solve" |
+    sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+[ -n "$job_id" ] || { echo "serve-smoke: solve submission returned no job id" >&2; exit 1; }
+echo "serve-smoke: submitted $job_id"
+
+# Poll until the job leaves the queue (tiny problem: milliseconds).
+state=""
+for _ in $(seq 1 100); do
+    state=$(curl -fsS "$base_url/v1/jobs/$job_id" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p')
+    [ "$state" = "done" ] && break
+    case "$state" in failed|canceled) echo "serve-smoke: job ended $state" >&2; exit 1 ;; esac
+    sleep 0.1
+done
+[ "$state" = "done" ] || { echo "serve-smoke: job stuck in state '$state'" >&2; exit 1; }
+
+result=$(curl -fsS "$base_url/v1/jobs/$job_id/result")
+case "$result" in
+    *'"placement"'*'"schedule"'*) ;;
+    *) echo "serve-smoke: result is not a solution document:" >&2; echo "$result" >&2; exit 1 ;;
+esac
+echo "serve-smoke: solve round-trip ok"
+
+curl -fsS "$base_url/metrics" | grep -q '"queueCapacity"' ||
+    { echo "serve-smoke: metrics missing queueCapacity" >&2; exit 1; }
+echo "serve-smoke: metrics ok"
+
+kill -INT "$daemon_pid"
+wait "$daemon_pid"
+daemon_pid=""
+grep -q "nfvd: bye" "$workdir/nfvd.log" ||
+    { cat "$workdir/nfvd.log"; echo "serve-smoke: daemon did not shut down cleanly" >&2; exit 1; }
+echo "serve-smoke: graceful shutdown ok"
