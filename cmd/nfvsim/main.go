@@ -67,6 +67,11 @@ func runTo(args []string, stdout io.Writer) error {
 		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = fs.String("memprofile", "", "write a heap profile to this file on exit")
 
+		datacenters = fs.Int("datacenters", 1, "with -demo: partition the workload across N datacenters and co-simulate them under one global clock")
+		wanLatency  = fs.Float64("wan-latency", 0.005, "with -datacenters: inter-datacenter entry-hop latency in seconds")
+		routeStr    = fs.String("route", "locality", "with -datacenters: cross-datacenter routing policy: locality|least-loaded|weighted")
+		globalFrac  = fs.Float64("global-fraction", 0.25, "with -datacenters: fraction of requests promoted to cluster-level flows routed across datacenters")
+
 		mtbf       = fs.Float64("mtbf", 0, "with -simulate: mean time between node failures in seconds (0 disables fault injection)")
 		mttr       = fs.Float64("mttr", 5, "with -simulate -mtbf: mean time to repair a failed node in seconds")
 		failPolicy = fs.String("failurepolicy", "drop", "with -simulate -mtbf: fate of packets on failed nodes: drop|retransmit")
@@ -122,6 +127,25 @@ func runTo(args []string, stdout io.Writer) error {
 		agenda, err := nfvchain.ParseAgendaKind(*agendaStr)
 		if err != nil {
 			return err
+		}
+		if *datacenters > 1 {
+			if *jsonOut {
+				return fmt.Errorf("-json is not supported with -datacenters (cluster results are text-report only)")
+			}
+			if faults.mtbf > 0 {
+				return fmt.Errorf("-mtbf fault injection is not wired into cluster mode; drop -datacenters or -mtbf")
+			}
+			router, err := nfvchain.NewClusterRouter(*routeStr)
+			if err != nil {
+				return err
+			}
+			cc := clusterOptions{
+				datacenters: *datacenters,
+				wanLatency:  *wanLatency,
+				globalFrac:  *globalFrac,
+				router:      router,
+			}
+			return runClusterDemo(*seed, *vnfs, *requests, *nodes, *simulateIt, algs, agenda, cc, out)
 		}
 		return runDemo(*seed, *vnfs, *requests, *nodes, *simulateIt, *solOut, algs, *improve, faults, agenda, out)
 	case *fig != "":
@@ -264,6 +288,84 @@ func runDemo(seed uint64, vnfs, requests, nodes int, simulate bool, solOut strin
 	fmt.Fprintf(out.report(), "workload: %d VNFs, %d requests, %d nodes (seed %d)\n",
 		len(p.VNFs), len(p.Requests), len(p.Nodes), seed)
 	return solveAndReport(p, seed, simulate, solOut, algs, improve, faults, agenda, out)
+}
+
+// clusterOptions bundles the -datacenters/-wan-latency/-route/-global-fraction
+// flags for the multi-datacenter demo path.
+type clusterOptions struct {
+	datacenters int
+	wanLatency  float64
+	globalFrac  float64
+	router      nfvchain.ClusterRouter
+}
+
+// runClusterDemo partitions a generated workload across N datacenters, solves
+// each region with the two-phase pipeline, and (with -simulate) composes the
+// per-region simulators under one global clock with WAN entry-hop latency.
+func runClusterDemo(seed uint64, vnfs, requests, nodes int, simulate bool, algs algorithms, agenda nfvchain.AgendaKind, cc clusterOptions, out output) error {
+	rep := out.report()
+	cfg := nfvchain.DefaultWorkloadConfig()
+	cfg.Seed = seed
+	cfg.NumVNFs = vnfs
+	cfg.NumRequests = requests
+	cfg.NumNodes = nodes
+	p, err := nfvchain.GenerateWorkload(cfg)
+	if err != nil {
+		return err
+	}
+	// Same demand rescale as runDemo so placement quality is visible.
+	if total := p.TotalDemand(); total > 0 {
+		scale := 0.6 * p.TotalCapacity() / total
+		for i := range p.VNFs {
+			p.VNFs[i].Demand *= scale
+		}
+	}
+	fmt.Fprintf(rep, "workload: %d VNFs, %d requests, %d nodes per region, %d datacenters (seed %d)\n",
+		len(p.VNFs), len(p.Requests), len(p.Nodes), cc.datacenters, seed)
+	cs, err := nfvchain.OptimizeCluster(p, nfvchain.ClusterOptions{
+		Datacenters:    cc.datacenters,
+		GlobalFraction: cc.globalFrac,
+		Options: nfvchain.Options{
+			Seed:      seed,
+			LinkDelay: 0.001,
+			Placer:    algs.placer,
+			Scheduler: algs.scheduler,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(rep, "cluster: %d regions, %d global flows (%.0f%% promoted), routing %s, WAN hop %.1fms\n",
+		len(cs.Regions), len(cs.Global), cc.globalFrac*100, cc.router.Name(), cc.wanLatency*1e3)
+	for d, sol := range cs.Regions {
+		ev, err := nfvchain.Evaluate(sol)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(rep, "  %s: %d requests, %d nodes in service, avg utilization %.2f%%, rejected %d\n",
+			cs.Names[d], len(sol.Problem.Requests), ev.NodesInService, ev.AvgUtilization*100, len(sol.Rejected))
+	}
+	if !simulate {
+		return nil
+	}
+	res, err := nfvchain.SimulateCluster(cs, nfvchain.ClusterSimConfig{
+		Sim:        nfvchain.SimulationConfig{Horizon: 60, Warmup: 10, Seed: seed, Agenda: agenda},
+		WANLatency: cc.wanLatency,
+		Router:     cc.router,
+		Seed:       seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(rep, "simulated cluster: %d packets delivered, %d retransmitted, mean latency %.6fs, availability %.4f\n",
+		res.Delivered, res.Retransmissions, res.Latency.Mean(), res.Availability)
+	fmt.Fprintf(rep, "routing (%s): %d global arrivals served locally, %d WAN hops, %d rejected, %d truncated at horizon\n",
+		res.Router, res.RoutedLocal, res.WANHops, res.Rejected, res.Truncated)
+	for d, n := range res.RoutedByDC {
+		fmt.Fprintf(rep, "  %s: %d global arrivals, %d packets delivered\n",
+			res.Datacenters[d].Name, n, res.Datacenters[d].Results.Delivered)
+	}
+	return nil
 }
 
 // algorithms bundles the user-selected pipeline strategies.

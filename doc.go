@@ -36,6 +36,20 @@
 //	fmt.Printf("utilization %.1f%% over %d nodes, mean latency %.4fs\n",
 //	    eval.AvgUtilization*100, eval.NodesInService, eval.MeanRequestLatency())
 //
+// # Cluster mode
+//
+// Beyond the paper's single datacenter, OptimizeCluster partitions a
+// workload across N regions (a configurable fraction of requests promoted
+// to global flows any region can serve) and SimulateCluster composes the N
+// per-region simulators under one global clock: the underlying Simulator
+// exposes stepping primitives (HasPendingEvents, PeekNextEventTime,
+// ProcessNextEvent, Inject), and internal/cluster always advances the
+// datacenter with the earliest pending event, routing each global arrival
+// with a pluggable policy (NewClusterRouter: locality, least-loaded,
+// weighted) and charging a WAN entry hop for off-home service. A
+// 1-datacenter cluster at zero WAN latency is bit-identical to a plain
+// Simulate call at the same seed.
+//
 // The cmd/nfvsim binary regenerates every figure of the paper's evaluation;
 // see EXPERIMENTS.md for the paper-vs-measured record and DESIGN.md for the
 // architecture. The cmd/nfvd binary serves the optimizer and simulator as a

@@ -28,8 +28,8 @@ func runFig(t *testing.T, id string) *Table {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 18 {
-		t.Errorf("IDs() = %v, want 18 experiments", ids)
+	if len(ids) != 19 {
+		t.Errorf("IDs() = %v, want 19 experiments", ids)
 	}
 	for i := 1; i < len(ids); i++ {
 		if ids[i-1] >= ids[i] {
@@ -357,6 +357,50 @@ func TestHeadlineShape(t *testing.T) {
 	}
 	if len(tab.Notes) < 3 {
 		t.Errorf("headline notes = %v", tab.Notes)
+	}
+}
+
+func TestClusterShape(t *testing.T) {
+	cfg := testConfig()
+	cfg.PlacementTrials = 2 // each trial solves + simulates up to 8 regions × 3 policies
+	tab, err := Run("cluster", cfg)
+	if err != nil {
+		t.Fatalf("Run(cluster): %v", err)
+	}
+	if len(tab.Series) != 6 {
+		t.Fatalf("want 6 series (latency + local fraction × 3 policies), got %d", len(tab.Series))
+	}
+	locLat, ok1 := tab.SeriesByLabel("mean latency (locality)")
+	locFrac, ok2 := tab.SeriesByLabel("local fraction (locality)")
+	llFrac, ok3 := tab.SeriesByLabel("local fraction (least-loaded)")
+	wFrac, ok4 := tab.SeriesByLabel("local fraction (weighted)")
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		t.Fatalf("missing cluster series; have %v", tab.Series)
+	}
+	wantX := []float64{1, 2, 4, 8}
+	if len(locLat.X) != len(wantX) {
+		t.Fatalf("want %d region-count points, got %d", len(wantX), len(locLat.X))
+	}
+	for i, x := range wantX {
+		if locLat.X[i] != x {
+			t.Errorf("X[%d] = %v, want %v", i, locLat.X[i], x)
+		}
+		// Locality-first serves every global arrival at home by construction.
+		if locFrac.Y[i] != 1 {
+			t.Errorf("locality local fraction at N=%v: %v, want 1", x, locFrac.Y[i])
+		}
+		if locLat.Y[i] <= 0 {
+			t.Errorf("locality mean latency at N=%v: %v, want > 0", x, locLat.Y[i])
+		}
+	}
+	// At N=1 every policy routes home; past that the balancing policies pay
+	// WAN hops, so their local fraction must drop below locality's.
+	if llFrac.Y[0] != 1 || wFrac.Y[0] != 1 {
+		t.Errorf("single-DC local fractions: least-loaded %v, weighted %v, want 1", llFrac.Y[0], wFrac.Y[0])
+	}
+	last := len(wantX) - 1
+	if llFrac.Y[last] >= 1 || wFrac.Y[last] >= 1 {
+		t.Errorf("at N=8 balancing policies never left home: least-loaded %v, weighted %v", llFrac.Y[last], wFrac.Y[last])
 	}
 }
 

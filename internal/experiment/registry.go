@@ -35,6 +35,9 @@ var registry = map[string]Runner{
 
 	// Fault tolerance: availability under node failures × repair mode.
 	"availability": Availability,
+
+	// Region scale: N datacenters composed under one clock × routing policy.
+	"cluster": Cluster,
 }
 
 // IDs returns the known experiment ids, sorted.

@@ -536,13 +536,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if lookups := s.cacheHits + s.cacheMisses; lookups > 0 {
 		m.Cache.HitRate = float64(s.cacheHits) / float64(lookups)
 	}
-	m.WorkerUtilization = float64(s.busy) / float64(s.cfg.Workers)
+	// Config.withDefaults guarantees Workers >= 1, but guard anyway: a zero
+	// divisor would put NaN in the document and break strict JSON decoders.
+	if s.cfg.Workers > 0 {
+		m.WorkerUtilization = float64(s.busy) / float64(s.cfg.Workers)
+	}
 	lat := make([]float64, s.latCount)
 	copy(lat, s.latRing[:s.latCount])
 	s.mu.Unlock()
 
+	// JobLatency stays all-zero (not omitted) until the first job completes,
+	// so the document shape is identical on a fresh daemon.
 	if qs, ok := stats.PercentilesOK(lat, 50, 95, 99); ok {
-		m.JobLatency = &LatencyMetrics{
+		m.JobLatency = LatencyMetrics{
 			Count: len(lat),
 			Mean:  stats.Mean(lat),
 			P50:   qs[0],

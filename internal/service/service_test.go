@@ -492,7 +492,7 @@ func TestMetricsLatencyWindow(t *testing.T) {
 	if m.JobsByState[StateDone] != n {
 		t.Errorf("done census: got %d, want %d (byState %v)", m.JobsByState[StateDone], n, m.JobsByState)
 	}
-	if m.JobLatency == nil || m.JobLatency.Count != n {
+	if m.JobLatency.Count != n {
 		t.Fatalf("job latency summary: %+v", m.JobLatency)
 	}
 	if m.JobLatency.Mean < 0 || m.JobLatency.P50 > m.JobLatency.P99 {
@@ -500,6 +500,51 @@ func TestMetricsLatencyWindow(t *testing.T) {
 	}
 	if m.BusyWorkers != 0 || m.QueueDepth != 0 {
 		t.Errorf("idle server shows busy=%d depth=%d", m.BusyWorkers, m.QueueDepth)
+	}
+}
+
+// TestMetricsFreshDaemonStableJSON decodes /metrics from a daemon that has
+// never run a job: every field must be present with an explicit zero (no
+// omitted keys, no NaN — a NaN would abort encoding server-side and fail the
+// decode here), so the document shape is identical before and after traffic.
+func TestMetricsFreshDaemonStableJSON(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 2})
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics: %d %s", rec.Code, rec.Body.String())
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("metrics not valid JSON: %v\n%s", err, rec.Body.String())
+	}
+	for _, key := range []string{
+		"queueDepth", "queueCapacity", "workers", "busyWorkers",
+		"workerUtilization", "jobsByState", "cache", "jobLatency",
+	} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("fresh /metrics omits %q: %s", key, rec.Body.String())
+		}
+	}
+	if got, ok := doc["workerUtilization"].(float64); !ok || got != 0 {
+		t.Errorf("fresh workerUtilization: got %v, want explicit 0", doc["workerUtilization"])
+	}
+	lat, ok := doc["jobLatency"].(map[string]any)
+	if !ok {
+		t.Fatalf("fresh jobLatency: got %v, want a zero-valued object", doc["jobLatency"])
+	}
+	for _, k := range []string{"count", "mean", "p50", "p95", "p99"} {
+		if v, ok := lat[k].(float64); !ok || v != 0 {
+			t.Errorf("fresh jobLatency.%s: got %v, want explicit 0", k, lat[k])
+		}
+	}
+	cache, ok := doc["cache"].(map[string]any)
+	if !ok {
+		t.Fatalf("fresh cache: got %v, want an object", doc["cache"])
+	}
+	if v, ok := cache["hitRate"].(float64); !ok || v != 0 {
+		t.Errorf("fresh cache.hitRate: got %v, want explicit 0", cache["hitRate"])
 	}
 }
 

@@ -217,8 +217,9 @@ type Metrics struct {
 	JobsByState map[JobState]int `json:"jobsByState"`
 	Cache       CacheMetrics     `json:"cache"`
 	// JobLatency summarizes enqueue-to-finish latency (seconds) over the
-	// most recent completed jobs; nil until a job completes.
-	JobLatency *LatencyMetrics `json:"jobLatency,omitempty"`
+	// most recent completed jobs. Always present so the document shape is
+	// stable: all-zero until the first job completes, never NaN.
+	JobLatency LatencyMetrics `json:"jobLatency"`
 }
 
 // CacheMetrics counts result-cache traffic.

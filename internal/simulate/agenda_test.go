@@ -17,8 +17,8 @@ func TestAgendaDifferentialRandom(t *testing.T) {
 	st := rng.New(42)
 	var h, l agenda
 	for trial := 0; trial < 60; trial++ {
-		h.reset(AgendaHeap)
-		l.reset(AgendaLadder)
+		h.reset(AgendaHeap, false)
+		l.reset(AgendaLadder, false)
 		pending := 0
 		last := 0.0
 		for i := 0; i < 3000; i++ {

@@ -91,14 +91,24 @@ const (
 )
 
 // agendaAutoThreshold is the expected-event count above which AgendaAuto
-// selects the ladder queue. The threshold is deliberately high: with the
-// lazy-hole optimization the heap's sift is so cheap that the ladder only
-// reaches parity around ~10k simultaneously pending events (measured on the
-// wide-fleet workload), and expected TOTAL events overstate the pending
-// population by orders of magnitude on steady-state queueing runs. The
-// ladder's O(1)-amortized bound is insurance for extreme backlogs, not the
-// common case.
+// selects the ladder queue up front. The threshold is deliberately high:
+// with the lazy-hole optimization the heap's sift is so cheap that the
+// ladder only reaches parity around ~10k simultaneously pending events
+// (measured on the wide-fleet workload), and expected TOTAL events overstate
+// the pending population by orders of magnitude on steady-state queueing
+// runs. The ladder's O(1)-amortized bound is insurance for extreme backlogs
+// — and because the static estimate cannot see the actual backlog, an
+// AgendaAuto agenda ALSO watches the live pending population and migrates
+// heap→ladder at runtime when it crosses agendaAdaptivePending.
 const agendaAutoThreshold = 1 << 24
+
+// agendaAdaptivePending is the observed pending-event population at which an
+// adaptive (AgendaAuto) agenda migrates from the heap to the ladder mid-run.
+// It sits above the measured ~10k crossover so the migration only fires when
+// the ladder is clearly ahead; migration preserves every event's (time, seq)
+// stamp, so the pop order — and therefore every Result — is bit-identical to
+// a run that never switched.
+const agendaAdaptivePending = 1 << 14
 
 // String returns the flag spelling of the kind.
 func (k AgendaKind) String() string {
@@ -152,21 +162,25 @@ func ParseAgendaKind(s string) (AgendaKind, error) {
 // pops refresh both — which is what lets the dominant FIFO pop decide the
 // race against the backend with two scalar compares and no backend call.
 type agenda struct {
-	seq     uint64
-	kind    AgendaKind // resolved backend: AgendaHeap or AgendaLadder
-	now     []event    // due-now FIFO
-	nhead   int
-	nowTime float64
-	backMin float64 // backend head time, +Inf when the backend is empty
-	backSeq uint64  // backend head seq
-	heap    heapAgenda
-	ladder  ladderAgenda
+	seq      uint64
+	kind     AgendaKind // resolved backend: AgendaHeap or AgendaLadder
+	adaptive bool       // AgendaAuto run: may migrate heap→ladder at runtime
+	now      []event    // due-now FIFO
+	nhead    int
+	nowTime  float64
+	backMin  float64 // backend head time, +Inf when the backend is empty
+	backSeq  uint64  // backend head seq
+	heap     heapAgenda
+	ladder   ladderAgenda
 }
 
-// reset empties the agenda for kind, retaining every backing array.
-func (a *agenda) reset(kind AgendaKind) {
+// reset empties the agenda for kind, retaining every backing array. adaptive
+// marks an AgendaAuto run, allowing a runtime heap→ladder migration once the
+// pending population crosses agendaAdaptivePending.
+func (a *agenda) reset(kind AgendaKind, adaptive bool) {
 	a.seq = 0
 	a.kind = kind
+	a.adaptive = adaptive && kind == AgendaHeap
 	a.now = a.now[:0]
 	a.nhead = 0
 	a.nowTime = math.NaN()
@@ -189,9 +203,43 @@ func (a *agenda) push(e event) {
 	}
 	if a.kind == AgendaLadder {
 		a.ladder.push(e)
+		return
+	}
+	a.heap.push(e)
+	if a.adaptive && len(a.heap.events) >= agendaAdaptivePending {
+		a.migrateToLadder()
+	}
+}
+
+// migrateToLadder moves every pending heap event into the ladder and flips
+// the backend — the adaptive AgendaAuto escape hatch for runs whose actual
+// backlog dwarfs the static estimate. Seq stamps are preserved, so the pop
+// sequence (the only observable) is identical to never having switched; the
+// cached head key stays valid because the event set is unchanged.
+func (a *agenda) migrateToLadder() {
+	a.heap.fill() // discard any holed (already-popped) root first
+	for _, e := range a.heap.events {
+		a.ladder.push(e)
+	}
+	a.heap.reset()
+	a.kind = AgendaLadder
+	a.adaptive = false
+}
+
+// unpop returns e — the most recently popped event, still the global
+// minimum — to the backend with its original (time, seq) stamp intact. The
+// cluster scheduler uses this to reinsert a peeked event when a cross-
+// datacenter injection must run first. e re-enters the backend rather than
+// the FIFO (its seq predates the FIFO's remaining entries, which the pop
+// tie-break resolves through the exact-peek path), and the cached head key
+// is simply e's own: e precedes everything else pending.
+func (a *agenda) unpop(e event) {
+	if a.kind == AgendaLadder {
+		a.ladder.push(e)
 	} else {
 		a.heap.push(e)
 	}
+	a.backMin, a.backSeq = e.time, e.seq
 }
 
 // pop removes and returns the minimum event; ok is false when empty.
@@ -255,12 +303,13 @@ func (a *agenda) pop() (event, bool) {
 	if a.kind == AgendaLadder {
 		l := &a.ladder
 		// Bottom-run fast path: while at least two sorted events remain,
-		// pop and read the next head without the popOK/head call pair
-		// (each of which re-walks ensureBottom).
-		if l.bhead+1 < len(l.bottom) {
-			e := l.bottom[l.bhead]
-			l.bhead++
-			nxt := &l.bottom[l.bhead]
+		// pop (a truncation off the descending array's end) and read the
+		// next head without the popOK/head call pair (each of which
+		// re-walks ensureBottom).
+		if n := len(l.bottom); n >= 2 {
+			e := l.bottom[n-1]
+			l.bottom = l.bottom[:n-1]
+			nxt := &l.bottom[n-2]
 			a.backMin, a.backSeq = nxt.time, nxt.seq
 			a.nowTime = e.time
 			return e, true

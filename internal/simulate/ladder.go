@@ -13,16 +13,23 @@ import "math"
 //     when the current ladder generation was spawned, so top only ever
 //     receives events at or beyond everything already in the ladder.
 //   - rungs: a stack of bucket arrays. Rung 0 spans the timestamps top held
-//     at spawn time, divided into ~one bucket per event; each deeper rung
-//     lazily subdivides the single bucket its parent is currently consuming,
-//     and only buckets that turn out crowded (> ladderThresh events) are
-//     subdivided at all. A push below topStart lands in the first rung
-//     bucket that is still ahead of the consumption point — again O(1).
-//   - bottom: the sorted head of the queue, holding the contents of the
-//     deepest rung's current bucket (<= ladderThresh events, sorted once on
-//     transfer). Pops read it in order; pushes that undercut every rung are
-//     insertion-sorted into it, and if such pushes pile up, bottom itself is
-//     re-bucketized into a new rung (ladderBottomMax).
+//     at spawn time, divided into ~one bucket per half-threshold of events;
+//     each deeper rung lazily subdivides the single bucket its parent is
+//     currently consuming, and only buckets that turn out crowded
+//     (> ladderThresh events) are subdivided at all. A push below topStart
+//     lands in the first rung bucket that is still ahead of the consumption
+//     point — again O(1). Small event masses (a top or bucket of at most
+//     ladderThresh events) skip the rung machinery entirely and are sorted
+//     wholesale — bucketizing a few dozen events costs more than sorting
+//     them, which is what made the ladder lose to the heap on workloads
+//     whose pending population stays small.
+//   - bottom: the sorted head of the queue, kept in DESCENDING (time, seq)
+//     order so the next event to pop is the LAST element. Pops are an O(1)
+//     truncation; pushes that undercut every rung are insertion-sorted in,
+//     and because such pushes are due soon they land near the end of the
+//     array, where the insertion memmove is a few events instead of half
+//     the bottom. If undercutting pushes pile bottom up past
+//     ladderBottomMax, bottom is re-bucketized into a new rung.
 //
 // Every event is appended O(1) on push, moved O(1) times between rungs in
 // expectation, and sorted once inside a bounded bucket — O(1) amortized per
@@ -42,15 +49,16 @@ type ladderAgenda struct {
 
 	rungs []rung
 
-	bottom []event // sorted ascending by (time, seq)
-	bhead  int
+	bottom []event // sorted DESCENDING by (time, seq); next pop is the last element
 }
 
-// Sizing constants. ladderThresh bounds the bucket size sorted directly into
-// bottom (and thereby bottom's usual length); ladderBottomMax triggers
-// re-bucketizing a bottom that pushes keep undercutting; ladderMaxRungs
-// bounds subdivision depth (equal-timestamp masses cannot be subdivided and
-// are sorted wholesale instead); ladderMaxBuckets caps one rung's width.
+// Sizing constants. ladderThresh bounds the event mass sorted directly into
+// bottom (and thereby bottom's usual length) — masses above it are
+// bucketized, masses at or below it are sorted wholesale; ladderBottomMax
+// triggers re-bucketizing a bottom that pushes keep undercutting;
+// ladderMaxRungs bounds subdivision depth (equal-timestamp masses cannot be
+// subdivided and are sorted wholesale instead); ladderMaxBuckets caps one
+// rung's width.
 const (
 	ladderThresh     = 48
 	ladderBottomMax  = 192
@@ -101,7 +109,6 @@ func (l *ladderAgenda) reset() {
 	l.topStart = math.Inf(-1)
 	l.rungs = l.rungs[:0]
 	l.bottom = l.bottom[:0]
-	l.bhead = 0
 }
 
 // push enqueues an already seq-stamped event.
@@ -133,22 +140,7 @@ func (l *ladderAgenda) peek() *event {
 	if !l.ensureBottom() {
 		return nil
 	}
-	return &l.bottom[l.bhead]
-}
-
-// pop removes and returns the minimum event; the caller checks non-empty
-// (via peek).
-func (l *ladderAgenda) pop() event {
-	if !l.ensureBottom() {
-		return event{}
-	}
-	e := l.bottom[l.bhead]
-	l.bhead++
-	if l.bhead == len(l.bottom) {
-		l.bottom = l.bottom[:0]
-		l.bhead = 0
-	}
-	return e
+	return &l.bottom[len(l.bottom)-1]
 }
 
 // popOK removes and returns the minimum event; ok is false when empty.
@@ -156,13 +148,17 @@ func (l *ladderAgenda) popOK() (event, bool) {
 	if !l.ensureBottom() {
 		return event{}, false
 	}
-	e := l.bottom[l.bhead]
-	l.bhead++
-	if l.bhead == len(l.bottom) {
-		l.bottom = l.bottom[:0]
-		l.bhead = 0
-	}
+	n := len(l.bottom) - 1
+	e := l.bottom[n]
+	l.bottom = l.bottom[:n]
 	return e, true
+}
+
+// pop removes and returns the minimum event; the caller checks non-empty
+// (via peek).
+func (l *ladderAgenda) pop() event {
+	e, _ := l.popOK()
+	return e
 }
 
 // head returns the minimum event's (time, seq) key, (+Inf, 0) when empty.
@@ -170,16 +166,14 @@ func (l *ladderAgenda) head() (float64, uint64) {
 	if !l.ensureBottom() {
 		return math.Inf(1), 0
 	}
-	e := &l.bottom[l.bhead]
+	e := &l.bottom[len(l.bottom)-1]
 	return e.time, e.seq
 }
 
 // ensureBottom refills bottom from the ladder until it holds the global
 // minimum; false means the whole queue is empty.
 func (l *ladderAgenda) ensureBottom() bool {
-	for l.bhead >= len(l.bottom) {
-		l.bottom = l.bottom[:0]
-		l.bhead = 0
+	for len(l.bottom) == 0 {
 		if n := len(l.rungs); n > 0 {
 			r := &l.rungs[n-1]
 			nxt := r.cur + 1
@@ -200,21 +194,23 @@ func (l *ladderAgenda) ensureBottom() bool {
 				continue
 			}
 			sortEvents(b)
-			l.bottom = append(l.bottom, b...)
+			l.bottom = appendReversed(l.bottom, b)
 			r.buckets[nxt] = b[:0]
 			continue
 		}
 		if len(l.top) > 0 {
-			if len(l.rungs) < ladderMaxRungs && l.spawnRung(l.top) {
+			// Small tops (and degenerate ones: all equal timestamps, or rungs
+			// exhausted) are sorted wholesale — spawning a rung for a few
+			// dozen events costs more than one bounded sort. Equal-time
+			// events arrive in seq order, so the degenerate path is
+			// near-linear.
+			if len(l.top) > ladderThresh && len(l.rungs) < ladderMaxRungs && l.spawnRung(l.top) {
 				l.topStart = l.topMax
 				l.top = l.top[:0]
 				continue
 			}
-			// Degenerate top (all equal timestamps, or rungs exhausted):
-			// sort it wholesale. Equal-time events arrive in seq order, so
-			// this path is near-linear.
 			sortEvents(l.top)
-			l.bottom = append(l.bottom, l.top...)
+			l.bottom = appendReversed(l.bottom, l.top)
 			l.topStart = l.topMax
 			l.top = l.top[:0]
 			continue
@@ -222,6 +218,20 @@ func (l *ladderAgenda) ensureBottom() bool {
 		return false
 	}
 	return true
+}
+
+// appendReversed appends src (sorted ascending) onto dst in reverse, keeping
+// dst's descending pop order.
+func appendReversed(dst, src []event) []event {
+	if n := len(dst) + len(src); n > cap(dst) {
+		grown := make([]event, len(dst), max(n, 2*cap(dst)))
+		copy(grown, dst)
+		dst = grown
+	}
+	for i := len(src) - 1; i >= 0; i-- {
+		dst = append(dst, src[i])
+	}
+	return dst
 }
 
 // spawnRung subdivides the events of b into a new deepest rung sized so
@@ -267,27 +277,28 @@ func (l *ladderAgenda) spawnRung(b []event) bool {
 	return true
 }
 
-// insertBottom insertion-sorts an event into bottom — the path for pushes
-// that undercut every rung. When such pushes pile bottom up past
+// insertBottom insertion-sorts an event into the descending bottom — the
+// path for pushes that undercut every rung. Such events are due soon, so
+// their slot is near the end of the array and the memmove shifts only the
+// few events due even sooner. When undercutting pushes pile bottom up past
 // ladderBottomMax, bottom is re-bucketized into a new deepest rung so the
-// per-push memmove stays bounded.
+// per-push cost stays bounded.
 func (l *ladderAgenda) insertBottom(e event) {
-	lo, hi := l.bhead, len(l.bottom)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if eventBefore(&l.bottom[mid], &e) {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
+	// Single backward pass fusing the position search with the shift: walk
+	// from the end (the earliest events) toward the front, sliding events
+	// that precede e one slot right until e's slot appears. Undercutting
+	// pushes are due soon, so the walk usually stops within a few events.
 	l.bottom = append(l.bottom, event{})
-	copy(l.bottom[lo+1:], l.bottom[lo:])
-	l.bottom[lo] = e
-	if len(l.bottom)-l.bhead > ladderBottomMax && len(l.rungs) < ladderMaxRungs {
-		if l.spawnRung(l.bottom[l.bhead:]) {
+	b := l.bottom
+	i := len(b) - 1
+	for i > 0 && eventBefore(&b[i-1], &e) {
+		b[i] = b[i-1]
+		i--
+	}
+	b[i] = e
+	if len(l.bottom) > ladderBottomMax && len(l.rungs) < ladderMaxRungs {
+		if l.spawnRung(l.bottom) {
 			l.bottom = l.bottom[:0]
-			l.bhead = 0
 		}
 	}
 }

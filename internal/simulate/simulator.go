@@ -56,6 +56,17 @@ type Config struct {
 	// generating Poisson arrivals online.
 	Trace *workload.Trace
 
+	// InjectOnly lists requests whose external arrivals are supplied by the
+	// caller through Simulator.Inject instead of being generated from Rate
+	// (or read from Trace). The requests still participate in scheduling and
+	// admission exactly like any other — only their arrival source changes.
+	// This is how a ClusterSimulator drives cross-datacenter traffic: every
+	// datacenter provisions for the global requests it might serve, and the
+	// cluster scheduler injects each global packet into the datacenter its
+	// routing policy picked. IDs absent from the problem (or removed by
+	// admission) are ignored.
+	InjectOnly []model.RequestID
+
 	// FaultPlan injects node failures (random MTBF/MTTR chains and/or
 	// scheduled outages). nil disables fault injection entirely, leaving
 	// every event and RNG stream bit-identical to historical runs. A
@@ -90,25 +101,37 @@ type Config struct {
 
 // expectedEvents estimates the run's total event count from the offered
 // load: per admitted packet, one source event, one arrival plus one service
-// completion per chain stage, and one delivery check.
+// completion per chain stage, and one delivery check. Trace-mode runs weight
+// each request's per-packet cost by its actual share of the trace — a trace
+// skewed toward long-chain requests generates correspondingly more events —
+// rather than assuming arrivals divide uniformly across requests; arrivals
+// naming unknown requests are skipped at seeding time and count nothing.
 func (cfg *Config) expectedEvents() float64 {
-	var perPacket, total float64
-	for _, r := range cfg.Problem.Requests {
-		perPacket += float64(2*len(r.Chain) + 2)
-		total += r.Rate * cfg.Horizon * float64(2*len(r.Chain)+2)
-	}
 	if cfg.Trace != nil {
-		if len(cfg.Problem.Requests) == 0 {
-			return 0
+		cost := make(map[model.RequestID]float64, len(cfg.Problem.Requests))
+		for _, r := range cfg.Problem.Requests {
+			cost[r.ID] = float64(2*len(r.Chain) + 2)
 		}
-		return float64(len(cfg.Trace.Arrivals)) * perPacket / float64(len(cfg.Problem.Requests))
+		var total float64
+		for _, a := range cfg.Trace.Arrivals {
+			total += cost[a.Request]
+		}
+		return total
+	}
+	var total float64
+	for _, r := range cfg.Problem.Requests {
+		total += r.Rate * cfg.Horizon * float64(2*len(r.Chain)+2)
 	}
 	return total
 }
 
-// resolveAgenda returns the concrete backend for the run: the configured
-// kind, or — for AgendaAuto — the 4-ary heap on small runs and the ladder
-// queue once the expected event count clears agendaAutoThreshold.
+// resolveAgenda returns the concrete backend the run starts on: the
+// configured kind, or — for AgendaAuto — the 4-ary heap on small runs and
+// the ladder queue once the expected event count clears agendaAutoThreshold.
+// An AgendaAuto run that starts on the heap additionally migrates to the
+// ladder at runtime if its observed pending population crosses
+// agendaAdaptivePending (see agenda.migrateToLadder); Results.Agenda reports
+// the backend the run finished on.
 func (cfg *Config) resolveAgenda() AgendaKind {
 	if cfg.Agenda != AgendaAuto {
 		return cfg.Agenda
@@ -370,6 +393,20 @@ type simulation struct {
 	// dropped; finalize publishes it as Results.InFlight.
 	live int
 
+	// Stepping state. started records that seedArrivals/seedFaults ran (the
+	// primitives and Run both trigger it lazily, exactly once per Reset).
+	// staged holds an event popped by HasPendingEvents/PeekNextEventTime but
+	// not yet processed; it is always the global minimum of the pending set.
+	started   bool
+	staged    event
+	hasStaged bool
+
+	// injectOnly[i] marks request i as externally driven (Config.InjectOnly):
+	// seedArrivals generates no traffic for it. injectIndex resolves request
+	// IDs for Simulator.Inject, built lazily on first use.
+	injectOnly  []bool
+	injectIndex map[model.RequestID]int32
+
 	// packets is the flat packet arena; packetFree recycles indices. The
 	// simulation is single-goroutine, so a plain slice beats sync.Pool: no
 	// synchronization, and recycling order is deterministic.
@@ -566,7 +603,9 @@ func (sim *Simulator) Reset(cfg Config) error {
 	s.cfg = cfg
 	s.now = 0
 	s.live = 0
-	s.agenda.reset(cfg.resolveAgenda())
+	s.started = false
+	s.hasStaged = false
+	s.agenda.reset(cfg.resolveAgenda(), cfg.Agenda == AgendaAuto)
 	s.packets = s.packets[:0]
 	s.packetFree = s.packetFree[:0]
 	s.requests = s.requests[:0]
@@ -576,6 +615,10 @@ func (sim *Simulator) Reset(cfg Config) error {
 	s.arrivalStreams = s.arrivalStreams[:0]
 	s.deliveryStreams = s.deliveryStreams[:0]
 	s.perReq = s.perReq[:0]
+	s.injectOnly = s.injectOnly[:0]
+	if s.injectIndex != nil {
+		clear(s.injectIndex)
+	}
 	// Fault state is truncated, not dropped: buildFaults recycles the node
 	// table (and each node's instances slice) and the maps below, so
 	// failure-churn sweeps reuse memory like the packet arena does.
@@ -615,19 +658,217 @@ const CtxCheckInterval = 4096
 // with ctx.Err() if ctx is cancelled mid-run (the Results is then nil and
 // the simulator needs a fresh Reset). The returned Results aliases the
 // simulator's buffers and is valid until the next Reset.
+//
+// RunContext is built on the stepping primitives' machinery (start, peel,
+// dispatch), so a run that was partially advanced with ProcessNextEvent may
+// be finished with RunContext — the remaining events process identically.
 func (sim *Simulator) RunContext(ctx context.Context) (*Results, error) {
 	if !sim.ready {
 		return nil, errors.New("simulate: Run requires a successful Reset first")
 	}
 	sim.ready = false
 	s := &sim.s
-	s.seedArrivals()
-	s.seedFaults()
+	s.start()
 	if err := s.loop(ctx); err != nil {
 		return nil, err
 	}
 	s.finalize()
 	return s.results, nil
+}
+
+// HasPendingEvents reports whether at least one event remains at or before
+// the horizon — whether ProcessNextEvent would do work. Stepping primitive
+// for external schedulers (see internal/cluster): the idiomatic drive loop
+//
+//	for sim.HasPendingEvents() {
+//		sim.ProcessNextEvent()
+//	}
+//	res, err := sim.Finalize()
+//
+// is event-for-event identical to Run. The first primitive called after
+// Reset seeds the initial arrivals and faults.
+func (sim *Simulator) HasPendingEvents() bool {
+	if !sim.ready {
+		return false
+	}
+	s := &sim.s
+	s.start()
+	return s.stage() && s.staged.time <= s.cfg.Horizon
+}
+
+// PeekNextEventTime returns the simulated time of the next pending event
+// without processing it, or +Inf when nothing remains at or before the
+// horizon. This is what a ClusterSimulator compares across datacenters to
+// advance the composition in global-time order.
+func (sim *Simulator) PeekNextEventTime() float64 {
+	if !sim.ready {
+		return math.Inf(1)
+	}
+	s := &sim.s
+	s.start()
+	if !s.stage() || s.staged.time > s.cfg.Horizon {
+		return math.Inf(1)
+	}
+	return s.staged.time
+}
+
+// ProcessNextEvent processes exactly one event, advancing the simulated
+// clock to its time; it reports false (and does nothing) when no event
+// remains at or before the horizon.
+func (sim *Simulator) ProcessNextEvent() bool {
+	if !sim.ready {
+		return false
+	}
+	s := &sim.s
+	s.start()
+	if !s.stage() || s.staged.time > s.cfg.Horizon {
+		return false
+	}
+	e := s.staged
+	s.hasStaged = false
+	s.now = e.time
+	s.dispatch(e)
+	return true
+}
+
+// Finalize ends a stepped run, publishing its measurements: the counterpart
+// of Run's implicit finalization for drive loops built on the stepping
+// primitives. Like Run, the returned Results aliases the simulator's buffers
+// (valid until the next Reset), and the simulator needs a fresh Reset before
+// it can run again. Finalizing before the agenda is drained is legal and
+// simply measures the truncated run.
+func (sim *Simulator) Finalize() (*Results, error) {
+	if !sim.ready {
+		return nil, errors.New("simulate: Finalize requires a successful Reset first")
+	}
+	sim.ready = false
+	s := &sim.s
+	s.start() // a never-stepped run still admits its seeded arrivals
+	s.finalize()
+	return s.results, nil
+}
+
+// Inject admits one external packet of request id arriving at time at. The
+// packet's measured latency runs from birth, letting a caller account for
+// upstream delay already incurred (a ClusterSimulator charges the WAN entry
+// hop this way: arrival at t+WAN with birth t); use birth == at when there
+// is none. Inject reports false with a nil error when at is past the
+// horizon — the packet is simply not admitted, mirroring how seeded traffic
+// past the horizon is cut off. The injection must not be in the simulator's
+// past (at >= the last processed event time), and id must name a scheduled
+// request. Events already peeked via PeekNextEventTime remain correctly
+// ordered: an injected arrival earlier than the staged event is re-queued
+// ahead of it.
+func (sim *Simulator) Inject(at, birth float64, id model.RequestID) (bool, error) {
+	if !sim.ready {
+		return false, errors.New("simulate: Inject requires a successful Reset first")
+	}
+	s := &sim.s
+	s.start()
+	ri, ok := s.requestIndexOf(id)
+	if !ok {
+		return false, fmt.Errorf("simulate: Inject: request %q is not scheduled in this simulation", id)
+	}
+	if !(at >= s.now) || math.IsInf(at, 1) {
+		return false, fmt.Errorf("simulate: Inject at %v outside [now=%v, +Inf)", at, s.now)
+	}
+	if !(birth <= at) || math.IsNaN(birth) {
+		return false, fmt.Errorf("simulate: Inject birth %v must not exceed arrival time %v", birth, at)
+	}
+	if at >= s.cfg.Horizon {
+		return false, nil
+	}
+	// If a peeked event is staged and the injection precedes it, the staged
+	// event goes back to the agenda (original seq intact) so the next pop
+	// returns the earlier of the two.
+	if s.hasStaged && at < s.staged.time {
+		s.agenda.unpop(s.staged)
+		s.hasStaged = false
+	}
+	s.results.Generated++
+	s.live++
+	pid := s.newPacket(ri, birth)
+	s.agenda.push(event{
+		time: at,
+		kind: evArrival,
+		pkt:  pid,
+		inst: s.routeFlat[s.chainOff[ri]],
+	})
+	return true, nil
+}
+
+// CanServe reports whether id is scheduled in this simulation — whether
+// Inject would accept it. Routing policies use it to skip datacenters that
+// never provisioned a request.
+func (sim *Simulator) CanServe(id model.RequestID) bool {
+	if !sim.ready {
+		return false
+	}
+	_, ok := sim.s.requestIndexOf(id)
+	return ok
+}
+
+// PendingPackets returns the number of admitted packets currently in flight
+// (not yet delivered or permanently lost) — the live-load signal the
+// cluster's least-loaded routing policy observes.
+func (sim *Simulator) PendingPackets() int {
+	return sim.s.live
+}
+
+// requestIndexOf resolves a request ID to its index, building the lookup
+// lazily on first use (pure Run/Reset cycles never pay for it).
+func (s *simulation) requestIndexOf(id model.RequestID) (int32, bool) {
+	if s.injectIndex == nil {
+		s.injectIndex = make(map[model.RequestID]int32, len(s.requests))
+	}
+	if len(s.injectIndex) != len(s.requests) {
+		clear(s.injectIndex)
+		for i := range s.requests {
+			s.injectIndex[s.requests[i].ID] = int32(i)
+		}
+	}
+	ri, ok := s.injectIndex[id]
+	return ri, ok
+}
+
+// start seeds the initial arrivals and faults exactly once per Reset; every
+// entry point into the event loop (Run, the stepping primitives, Inject)
+// triggers it lazily.
+func (s *simulation) start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.seedArrivals()
+	s.seedFaults()
+}
+
+// stage ensures the next pending event (in (time, seq) order) is staged,
+// reporting false when the agenda is drained. Staging is transparent to
+// event order: handlers only push events during dispatch, when nothing is
+// staged, except Inject — which explicitly re-queues a staged event it
+// undercuts.
+func (s *simulation) stage() bool {
+	if s.hasStaged {
+		return true
+	}
+	e, ok := s.agenda.pop()
+	if !ok {
+		return false
+	}
+	s.staged = e
+	s.hasStaged = true
+	return true
+}
+
+// peel returns the next event in (time, seq) order, consuming the staged
+// event when one is present.
+func (s *simulation) peel() (event, bool) {
+	if s.hasStaged {
+		s.hasStaged = false
+		return s.staged, true
+	}
+	return s.agenda.pop()
 }
 
 // resetResults clears the reused Results, retaining its maps and the
@@ -696,6 +937,14 @@ func (s *simulation) build() error {
 			continue
 		}
 		s.requests = append(s.requests, r)
+		s.injectOnly = append(s.injectOnly, false)
+	}
+	for _, id := range s.cfg.InjectOnly {
+		for i := range s.requests {
+			if s.requests[i].ID == id {
+				s.injectOnly[i] = true
+			}
+		}
 	}
 
 	for _, r := range s.requests {
@@ -770,7 +1019,7 @@ func (s *simulation) seedArrivals() {
 		}
 		for _, a := range s.cfg.Trace.Arrivals {
 			i, ok := index[a.Request]
-			if !ok || a.Time >= s.cfg.Horizon {
+			if !ok || a.Time >= s.cfg.Horizon || s.injectOnly[i] {
 				continue
 			}
 			s.results.Generated++
@@ -786,6 +1035,9 @@ func (s *simulation) seedArrivals() {
 		return
 	}
 	for i := range s.requests {
+		if s.injectOnly[i] {
+			continue
+		}
 		s.scheduleNextSource(int32(i), 0)
 	}
 }
@@ -816,42 +1068,49 @@ func (s *simulation) loop(ctx context.Context) error {
 				check = CtxCheckInterval
 			}
 		}
-		e, ok := s.agenda.pop()
+		e, ok := s.peel()
 		if !ok || e.time > horizon {
 			break
 		}
 		s.now = e.time
-		// evService leads: with due-now arrivals dispatched directly, service
-		// completions are the bulk of what still flows through the agenda.
-		switch e.kind {
-		case evService:
-			s.complete(e.inst, e.reqIndex)
-		case evArrival:
-			s.arrive(e.pkt, e.inst)
-		case evNodeDown:
-			s.nodeDown(e.inst, e.reqIndex == 1)
-		case evNodeUp:
-			s.nodeUp(e.inst, e.reqIndex == 1)
-		case evInstanceReady:
-			s.instanceReady(e.inst)
-		case evSource:
-			i := e.reqIndex
-			s.results.Generated++
-			s.live++
-			pid := s.newPacket(i, s.now)
-			first := s.routeFlat[s.chainOff[i]]
-			// A fresh packet enters its first stage at the current time; with
-			// the due-now FIFO drained that arrival is the next pop, so call
-			// the handler directly and skip the agenda round-trip.
-			if s.agenda.fifoEmpty() {
-				s.arrive(pid, first)
-			} else {
-				s.agenda.push(event{time: s.now, kind: evArrival, pkt: pid, inst: first})
-			}
-			s.scheduleNextSource(i, s.now)
-		}
+		s.dispatch(e)
 	}
 	return nil
+}
+
+// dispatch runs one event's handler; s.now has already been advanced to the
+// event's time. This is the single dispatch point shared by loop and
+// ProcessNextEvent.
+func (s *simulation) dispatch(e event) {
+	// evService leads: with due-now arrivals dispatched directly, service
+	// completions are the bulk of what still flows through the agenda.
+	switch e.kind {
+	case evService:
+		s.complete(e.inst, e.reqIndex)
+	case evArrival:
+		s.arrive(e.pkt, e.inst)
+	case evNodeDown:
+		s.nodeDown(e.inst, e.reqIndex == 1)
+	case evNodeUp:
+		s.nodeUp(e.inst, e.reqIndex == 1)
+	case evInstanceReady:
+		s.instanceReady(e.inst)
+	case evSource:
+		i := e.reqIndex
+		s.results.Generated++
+		s.live++
+		pid := s.newPacket(i, s.now)
+		first := s.routeFlat[s.chainOff[i]]
+		// A fresh packet enters its first stage at the current time; with
+		// the due-now FIFO drained that arrival is the next pop, so call
+		// the handler directly and skip the agenda round-trip.
+		if s.agenda.fifoEmpty() {
+			s.arrive(pid, first)
+		} else {
+			s.agenda.push(event{time: s.now, kind: evArrival, pkt: pid, inst: first})
+		}
+		s.scheduleNextSource(i, s.now)
+	}
 }
 
 // arrive delivers a packet to an instance's queue or service position. A
@@ -980,6 +1239,9 @@ func (s *simulation) advance(pid int32) {
 // finalize folds in-flight busy time, normalizes utilizations, and publishes
 // the per-instance and per-request aggregates kept out of the hot loop.
 func (s *simulation) finalize() {
+	// Re-read the agenda kind: an adaptive AgendaAuto run may have migrated
+	// heap→ladder mid-run (Results.Agenda reports the final backend).
+	s.results.Agenda = s.agenda.kind
 	s.results.InFlight = s.live
 	span := s.cfg.Horizon - s.cfg.Warmup
 	for i := range s.instances {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"io"
 
+	"nfvchain/internal/cluster"
 	"nfvchain/internal/core"
 	"nfvchain/internal/dynamic"
 	"nfvchain/internal/experiment"
@@ -95,6 +96,64 @@ const (
 	// SimulationConfig.RetransmitDelay (NACK loss feedback).
 	DropRetransmit = simulate.DropRetransmit
 )
+
+// Cluster mode: N datacenter simulators composed under one global clock,
+// re-exported from internal/cluster and internal/core.
+type (
+	// ClusterOptions configures the multi-datacenter pipeline: region count,
+	// the fraction of requests promoted to cluster-level flows, and the
+	// per-region pipeline Options.
+	ClusterOptions = core.ClusterOptions
+	// ClusterSolution is the per-region output of OptimizeCluster plus the
+	// shared global flow list.
+	ClusterSolution = core.ClusterSolution
+	// ClusterSimConfig carries the cluster-level simulation knobs (WAN
+	// latency, routing policy, cluster seed) on top of the per-region
+	// SimulationConfig.
+	ClusterSimConfig = core.ClusterSimConfig
+	// ClusterResults aggregates one cluster run: per-datacenter results plus
+	// cluster-wide sums and routing accounting (WAN hops, per-DC shares).
+	ClusterResults = cluster.Results
+	// ClusterRouter is a pluggable cross-datacenter routing/admission
+	// policy observing live per-datacenter state.
+	ClusterRouter = cluster.Router
+	// ClusterDCState is the live per-datacenter view a ClusterRouter
+	// observes for each routing decision.
+	ClusterDCState = cluster.DCState
+	// GlobalRequest is a cluster-level flow routed across datacenters per
+	// arrival.
+	GlobalRequest = cluster.GlobalRequest
+)
+
+// OptimizeCluster partitions the problem into regions (requests dealt
+// round-robin, every region keeping the full node template) and runs the
+// two-phase pipeline per region; a GlobalFraction share of requests becomes
+// cluster-level flows provisioned in every region.
+func OptimizeCluster(base *Problem, opts ClusterOptions) (*ClusterSolution, error) {
+	return core.OptimizeCluster(base, opts)
+}
+
+// SimulateCluster composes one Simulator per region under a single global
+// clock — advancing whichever datacenter holds the earliest pending event —
+// with global arrivals routed per the configured policy and charged a WAN
+// entry hop when served away from home.
+func SimulateCluster(cs *ClusterSolution, cfg ClusterSimConfig) (*ClusterResults, error) {
+	return core.SimulateCluster(cs, cfg)
+}
+
+// SimulateClusterContext is SimulateCluster with cancellation.
+func SimulateClusterContext(ctx context.Context, cs *ClusterSolution, cfg ClusterSimConfig) (*ClusterResults, error) {
+	return core.SimulateClusterContext(ctx, cs, cfg)
+}
+
+// NewClusterRouter parses a routing policy name
+// (locality|least-loaded|weighted) into its ClusterRouter.
+func NewClusterRouter(policy string) (ClusterRouter, error) {
+	return cluster.ParseRoutePolicy(policy)
+}
+
+// ClusterRoutePolicies lists the built-in routing policy names.
+func ClusterRoutePolicies() []string { return cluster.RoutePolicies() }
 
 // Fault injection and self-healing, re-exported.
 type (
