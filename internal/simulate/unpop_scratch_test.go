@@ -1,0 +1,21 @@
+package simulate
+
+import "testing"
+
+func TestScratchUnpopTieAtTopBoundary(t *testing.T) {
+	var a agenda
+	a.reset(AgendaLadder, false)
+	// Three events at the same time; seq stamps 1,2,3 assigned by push.
+	a.push(event{time: 5})
+	a.push(event{time: 5})
+	a.push(event{time: 5})
+	e1, ok := a.pop()
+	if !ok || e1.seq != 1 {
+		t.Fatalf("first pop = %+v ok=%v, want seq 1", e1, ok)
+	}
+	a.unpop(e1)
+	e, ok := a.pop()
+	if !ok || e.seq != 1 {
+		t.Fatalf("pop after unpop = seq %d ok=%v, want seq 1 (time %v)", e.seq, ok, e.time)
+	}
+}
