@@ -9,8 +9,10 @@ package nfvchain
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
+	"nfvchain/internal/cluster"
 	"nfvchain/internal/dynamic"
 	"nfvchain/internal/experiment"
 	"nfvchain/internal/model"
@@ -336,6 +338,60 @@ func BenchmarkSimulatorDropRetransmit(b *testing.B) {
 			Problem: prob, Schedule: sched, Horizon: 30, Warmup: 2, Seed: uint64(i),
 			BufferSize: 3, DropPolicy: simulate.DropRetransmit, RetransmitDelay: 0.005,
 		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorClusterParallel composes 8 datacenter simulators under
+// the conservative-window cluster driver with the worker pool sized to the
+// machine (workers = GOMAXPROCS): sparse global traffic against steady local
+// load, so windows carry enough events for the pool to engage. CI runs one
+// iteration as a smoke test of the parallel path; the trajectory numbers
+// live in results/BENCH.json (Simulator/cluster-parallel).
+func BenchmarkSimulatorClusterParallel(b *testing.B) {
+	prob := &model.Problem{
+		Nodes: []model.Node{{ID: "n", Capacity: 1000}},
+		VNFs: []model.VNF{
+			{ID: "f1", Instances: 1, Demand: 1, ServiceRate: 500},
+			{ID: "f2", Instances: 1, Demand: 1, ServiceRate: 600},
+		},
+		Requests: []model.Request{
+			{ID: "local", Chain: []model.VNFID{"f1", "f2"}, Rate: 150, DeliveryProb: 0.98},
+			{ID: "global", Chain: []model.VNFID{"f1", "f2"}, Rate: 150, DeliveryProb: 0.98},
+		},
+	}
+	sched := model.NewSchedule()
+	for _, r := range prob.Requests {
+		for _, f := range prob.VNFs {
+			sched.Assign(r.ID, f.ID, 0)
+		}
+	}
+	const dcs = 8
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := cluster.Config{
+			WANLatency: 0.005,
+			Router:     cluster.LeastLoaded{},
+			Global:     []cluster.GlobalRequest{{ID: "global", Rate: 4, Home: 0}},
+			Seed:       uint64(i),
+			Workers:    runtime.GOMAXPROCS(0),
+		}
+		for d := 0; d < dcs; d++ {
+			cfg.Datacenters = append(cfg.Datacenters, cluster.Datacenter{
+				Name: fmt.Sprintf("dc%d", d),
+				Sim: simulate.Config{
+					Problem: prob, Schedule: sched, Horizon: 10, Warmup: 1,
+					Seed: uint64(i)*dcs + uint64(d),
+				},
+			})
+		}
+		c, err := cluster.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Run(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -43,6 +43,11 @@ type benchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// GOMAXPROCS pins the parallelism the scenario ran under. Parallel
+	// scenarios (the windowed cluster driver) scale with it, so -compare
+	// refuses to diff entries whose GOMAXPROCS differ. 0 in old baselines
+	// means unrecorded and compares permissively.
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
 }
 
 // benchEnv pins the machine state a measurement was taken under, so a
@@ -100,13 +105,17 @@ func run(args []string) error {
 		runFilter = fs.String("run", "", "only run scenarios whose name contains this substring")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		mutexProf = fs.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
+		blockProf = fs.String("blockprofile", "", "write a blocking profile to this file on exit")
 		compare   = fs.String("compare", "", "compare against a baseline BENCH.json instead of writing a report; exits non-zero on regression")
 		nsTol     = fs.Float64("ns-tolerance", 0.15, "fractional ns/op regression tolerated by -compare (allocs/op is always strict)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	stopProf, err := profiling.Start(profiling.Profiles{
+		CPU: *cpuProf, Mem: *memProf, Mutex: *mutexProf, Block: *blockProf,
+	})
 	if err != nil {
 		return err
 	}
@@ -142,6 +151,7 @@ func run(args []string) error {
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		}
 		fmt.Fprintf(os.Stderr, " %12.0f ns/op %8d allocs/op\n", res.NsPerOp, res.AllocsPerOp)
 		doc.Benchmarks = append(doc.Benchmarks, res)
@@ -195,6 +205,15 @@ func compareBaseline(path string, got []benchResult, tol float64) error {
 		if !ok {
 			fmt.Printf("%-34s %14.0f ns/op %8d allocs/op   (no baseline entry)\n",
 				g.Name, g.NsPerOp, g.AllocsPerOp)
+			continue
+		}
+		// ns/op of parallel scenarios scales with the core count they ran
+		// under; diffing across machines with different GOMAXPROCS would
+		// flag phantom regressions. 0 means an old baseline that never
+		// recorded it — compare permissively.
+		if b.GOMAXPROCS != 0 && g.GOMAXPROCS != 0 && b.GOMAXPROCS != g.GOMAXPROCS {
+			fmt.Printf("%-34s skipped: GOMAXPROCS %d (baseline) vs %d (now)\n",
+				g.Name, b.GOMAXPROCS, g.GOMAXPROCS)
 			continue
 		}
 		compared++
@@ -253,6 +272,8 @@ func scenarios() []scenario {
 		{"Simulator/drop-retransmit", simulatorDropRetransmit},
 		{"Simulator/failure-churn", simulatorFailureChurn},
 		{"Simulator/cluster", simulatorCluster},
+		{"Simulator/cluster-sequential", func(b *testing.B) { simulatorClusterWindowAB(b, 0) }},
+		{"Simulator/cluster-parallel", func(b *testing.B) { simulatorClusterWindowAB(b, runtime.GOMAXPROCS(0)) }},
 	}
 	for _, n := range []int{250, 1000, 2000} {
 		n := n
@@ -449,6 +470,44 @@ func simulatorCluster(b *testing.B) {
 				Name: fmt.Sprintf("dc%d", d),
 				Sim: simulate.Config{
 					Problem: prob, Schedule: sched, Horizon: 10, Warmup: 1,
+					Seed: uint64(i)*dcs + uint64(d),
+				},
+			})
+		}
+		c, err := cluster.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// simulatorClusterWindowAB is the sequential-vs-windowed A/B behind the
+// Config.Workers knob: the same 8-datacenter composition as
+// Simulator/cluster but with sparse global traffic (4 arrivals/s against
+// ~300 pps of local load per datacenter), so each conservative window
+// carries thousands of drainable events. workers = 0 measures the
+// event-interleaved sequential driver, workers = GOMAXPROCS the windowed
+// driver with the pool sized to the machine. Results are bit-identical; the
+// scenarios differ only in driver overhead.
+func simulatorClusterWindowAB(b *testing.B, workers int) {
+	prob, sched := clusterFixture()
+	const dcs = 8
+	for i := 0; i < b.N; i++ {
+		cfg := cluster.Config{
+			WANLatency: 0.005,
+			Router:     cluster.LeastLoaded{},
+			Global:     []cluster.GlobalRequest{{ID: "global", Rate: 4, Home: 0}},
+			Seed:       uint64(i),
+			Workers:    workers,
+		}
+		for d := 0; d < dcs; d++ {
+			cfg.Datacenters = append(cfg.Datacenters, cluster.Datacenter{
+				Name: fmt.Sprintf("dc%d", d),
+				Sim: simulate.Config{
+					Problem: prob, Schedule: sched, Horizon: 25, Warmup: 1,
 					Seed: uint64(i)*dcs + uint64(d),
 				},
 			})

@@ -66,11 +66,14 @@ func runTo(args []string, stdout io.Writer) error {
 		nodes      = fs.Int("nodes", 10, "with -demo: number of nodes")
 		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		mutexProf  = fs.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
+		blockProf  = fs.String("blockprofile", "", "write a blocking profile to this file on exit")
 
 		datacenters = fs.Int("datacenters", 1, "with -demo: partition the workload across N datacenters and co-simulate them under one global clock")
 		wanLatency  = fs.Float64("wan-latency", 0.005, "with -datacenters: inter-datacenter entry-hop latency in seconds")
 		routeStr    = fs.String("route", "locality", "with -datacenters: cross-datacenter routing policy: locality|least-loaded|weighted")
 		globalFrac  = fs.Float64("global-fraction", 0.25, "with -datacenters: fraction of requests promoted to cluster-level flows routed across datacenters")
+		clusterWork = fs.Int("cluster-workers", 0, "with -datacenters: cluster execution driver: 0 = sequential event interleaving, >= 1 = conservative-window driver draining datacenters between routing barriers (in parallel on that many goroutines when > 1); results are bit-identical")
 
 		mtbf       = fs.Float64("mtbf", 0, "with -simulate: mean time between node failures in seconds (0 disables fault injection)")
 		mttr       = fs.Float64("mttr", 5, "with -simulate -mtbf: mean time to repair a failed node in seconds")
@@ -85,7 +88,9 @@ func runTo(args []string, stdout io.Writer) error {
 		return fmt.Errorf("-json requires -simulate (it emits the simulation Results document)")
 	}
 	out := output{stdout: stdout, json: *jsonOut}
-	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	stopProf, err := profiling.Start(profiling.Profiles{
+		CPU: *cpuProf, Mem: *memProf, Mutex: *mutexProf, Block: *blockProf,
+	})
 	if err != nil {
 		return err
 	}
@@ -139,11 +144,15 @@ func runTo(args []string, stdout io.Writer) error {
 			if err != nil {
 				return err
 			}
+			if *clusterWork < 0 {
+				return fmt.Errorf("-cluster-workers %d must be >= 0", *clusterWork)
+			}
 			cc := clusterOptions{
 				datacenters: *datacenters,
 				wanLatency:  *wanLatency,
 				globalFrac:  *globalFrac,
 				router:      router,
+				workers:     *clusterWork,
 			}
 			return runClusterDemo(*seed, *vnfs, *requests, *nodes, *simulateIt, algs, agenda, cc, out)
 		}
@@ -297,6 +306,7 @@ type clusterOptions struct {
 	wanLatency  float64
 	globalFrac  float64
 	router      nfvchain.ClusterRouter
+	workers     int
 }
 
 // runClusterDemo partitions a generated workload across N datacenters, solves
@@ -353,6 +363,7 @@ func runClusterDemo(seed uint64, vnfs, requests, nodes int, simulate bool, algs 
 		WANLatency: cc.wanLatency,
 		Router:     cc.router,
 		Seed:       seed,
+		Workers:    cc.workers,
 	})
 	if err != nil {
 		return err

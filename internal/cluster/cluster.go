@@ -59,6 +59,20 @@ type Config struct {
 	// Seed drives the cluster-level arrival streams (derived per request;
 	// independent of every datacenter seed).
 	Seed uint64
+	// Workers selects the cluster execution driver. 0 (the default) keeps
+	// the event-interleaved sequential driver: one global event at a time in
+	// exact (time, seq) order. Workers >= 1 switches to the conservative-
+	// window driver: datacenters only interact at global arrival instants,
+	// so between consecutive arrivals each datacenter drains its own agenda
+	// to the barrier in one batch (simulate.Simulator.DrainUntil) — inline
+	// when Workers == 1, fanned out across min(Workers, N) goroutines when a
+	// window carries enough events to pay for the handoff. Results are
+	// bit-identical across every Workers value; like AgendaKind this is
+	// purely a performance knob. The windowed driver assumes routing
+	// policies read DCState.Pending only for datacenters with CanServe —
+	// every built-in policy does — because datacenters no global flow can
+	// reach are drained ahead of the barrier.
+	Workers int
 }
 
 // DCResults pairs a datacenter's name with its standalone measurements.
@@ -124,6 +138,11 @@ type ClusterSimulator struct {
 	capacity []float64
 	states   []DCState
 
+	// dcIdx and arrIdx are the sequential driver's incremental argmin
+	// structures over times and next (see timeindex.go).
+	dcIdx  timeIndex
+	arrIdx timeIndex
+
 	res *Results
 	ran bool
 }
@@ -137,6 +156,9 @@ func New(cfg Config) (*ClusterSimulator, error) {
 	}
 	if !(cfg.WANLatency >= 0) || math.IsInf(cfg.WANLatency, 1) {
 		return nil, fmt.Errorf("cluster: WAN latency %v must be non-negative and finite", cfg.WANLatency)
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("cluster: negative worker count %d", cfg.Workers)
 	}
 	horizon := cfg.Datacenters[0].Sim.Horizon
 	warmup := cfg.Datacenters[0].Sim.Warmup
@@ -231,8 +253,10 @@ func (c *ClusterSimulator) Run() (*Results, error) {
 	return c.RunContext(context.Background())
 }
 
-// RunContext is Run with cancellation, polled every
-// simulate.CtxCheckInterval global steps.
+// RunContext is Run with cancellation (polled every
+// simulate.CtxCheckInterval events). Config.Workers selects the driver:
+// 0 runs the event-interleaved sequential loop, >= 1 the conservative-window
+// loop (see windowed.go); both produce bit-identical results.
 func (c *ClusterSimulator) RunContext(ctx context.Context) (*Results, error) {
 	if c.ran {
 		return nil, errors.New("cluster: a ClusterSimulator runs once; construct a new one")
@@ -241,6 +265,28 @@ func (c *ClusterSimulator) RunContext(ctx context.Context) (*Results, error) {
 	for d, sim := range c.sims {
 		c.times[d] = sim.PeekNextEventTime()
 	}
+	var err error
+	if c.cfg.Workers >= 1 {
+		err = c.runWindowed(ctx, c.cfg.Workers)
+	} else {
+		err = c.runSequential(ctx)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return c.finalizeAll()
+}
+
+// runSequential advances the composition one event at a time: the globally
+// earliest pending occurrence — a datacenter event or a cluster-level
+// arrival — is processed next. Ties go to datacenter events: an arrival
+// injected at time t enters strictly after events already scheduled at t,
+// matching the simulator's FIFO seq order. The argmin over datacenters and
+// arrival streams comes from incrementally maintained index heaps, so one
+// step costs O(log N) instead of the O(N) rescan the loop used to pay.
+func (c *ClusterSimulator) runSequential(ctx context.Context) error {
+	c.dcIdx.init(c.times)
+	c.arrIdx.init(c.next)
 	done := ctx.Done()
 	check := simulate.CtxCheckInterval
 	for {
@@ -248,42 +294,37 @@ func (c *ClusterSimulator) RunContext(ctx context.Context) (*Results, error) {
 			check--
 			if check <= 0 {
 				if err := ctx.Err(); err != nil {
-					return nil, err
+					return err
 				}
 				check = simulate.CtxCheckInterval
 			}
 		}
-		// The globally earliest pending occurrence: a datacenter event or a
-		// cluster-level arrival. Ties go to datacenter events — an arrival
-		// injected at time t enters strictly after events already scheduled
-		// at t, matching the simulator's FIFO seq order.
-		minDC, minT := -1, math.Inf(1)
-		for d, t := range c.times {
-			if t < minT {
-				minDC, minT = d, t
-			}
-		}
-		minA, arrT := -1, math.Inf(1)
-		for i, t := range c.next {
-			if t < arrT {
-				minA, arrT = i, t
-			}
-		}
+		minDC, minT := c.dcIdx.min()
+		minA, arrT := c.arrIdx.min()
 		if minDC < 0 && minA < 0 {
-			break
+			return nil
 		}
 		if minA >= 0 && arrT < minT {
-			c.routeArrival(minA, arrT)
+			if target := c.routeArrival(minA, arrT); target >= 0 {
+				c.dcIdx.update(target, c.times[target])
+			}
 			g := &c.cfg.Global[minA]
 			c.next[minA] = arrT + c.streams[minA].Exp(g.Rate)
 			if c.next[minA] >= c.res.Horizon {
 				c.next[minA] = math.Inf(1)
 			}
+			c.arrIdx.update(minA, c.next[minA])
 			continue
 		}
 		c.sims[minDC].ProcessNextEvent()
 		c.times[minDC] = c.sims[minDC].PeekNextEventTime()
+		c.dcIdx.update(minDC, c.times[minDC])
 	}
+}
+
+// finalizeAll publishes every datacenter's measurements and the cluster-wide
+// aggregates once a driver has drained the composition.
+func (c *ClusterSimulator) finalizeAll() (*Results, error) {
 	for d, sim := range c.sims {
 		res, err := sim.Finalize()
 		if err != nil {
@@ -305,8 +346,11 @@ func (c *ClusterSimulator) RunContext(ctx context.Context) (*Results, error) {
 }
 
 // routeArrival asks the policy to place one arrival of global request i at
-// time t and injects it into the chosen datacenter.
-func (c *ClusterSimulator) routeArrival(i int, t float64) {
+// time t and injects it into the chosen datacenter. It returns the index of
+// the datacenter that admitted the packet (its cached next-event time in
+// c.times has been refreshed — injections can pull it earlier), or -1 when
+// the arrival was rejected or truncated.
+func (c *ClusterSimulator) routeArrival(i int, t float64) int {
 	g := &c.cfg.Global[i]
 	for d := range c.states {
 		c.states[d] = DCState{
@@ -321,7 +365,7 @@ func (c *ClusterSimulator) routeArrival(i int, t float64) {
 	target := c.router.Route(g, c.states)
 	if target < 0 || target >= len(c.sims) || !c.canServe[i][target] {
 		c.res.Rejected++
-		return
+		return -1
 	}
 	at := t
 	if target != g.Home {
@@ -333,11 +377,11 @@ func (c *ClusterSimulator) routeArrival(i int, t float64) {
 		// injection error would mean a policy bug — count it as a rejection
 		// rather than abort a long run.
 		c.res.Rejected++
-		return
+		return -1
 	}
 	if !ok {
 		c.res.Truncated++
-		return
+		return -1
 	}
 	c.res.RoutedByDC[target]++
 	if target != g.Home {
@@ -346,4 +390,5 @@ func (c *ClusterSimulator) routeArrival(i int, t float64) {
 		c.res.RoutedLocal++
 	}
 	c.times[target] = c.sims[target].PeekNextEventTime()
+	return target
 }

@@ -39,6 +39,18 @@ type Router interface {
 	Route(req *GlobalRequest, dcs []DCState) int
 }
 
+// LoadOblivious is an optional Router refinement: a policy whose
+// LoadOblivious method returns true promises its decisions never read the
+// live DCState.Pending field (only static fields and its own counters). The
+// conservative-window driver uses this to extend per-datacenter lookahead —
+// when routing can't observe live load, non-target datacenters may drain
+// past the routing barrier by the WAN entry latency without changing any
+// decision. Routers that don't implement the interface are treated as
+// load-observing.
+type LoadOblivious interface {
+	LoadOblivious() bool
+}
+
 // LocalityFirst routes every arrival to its home datacenter when the home
 // can serve it, avoiding the WAN entry hop; otherwise it falls back to the
 // least-loaded serving datacenter. This is the latency-first baseline.
@@ -92,6 +104,10 @@ type Weighted struct{}
 
 // Name implements Router.
 func (Weighted) Name() string { return "weighted" }
+
+// LoadOblivious implements LoadOblivious: the policy reads only Routed and
+// Capacity, never live Pending.
+func (Weighted) LoadOblivious() bool { return true }
 
 // Route implements Router.
 func (Weighted) Route(req *GlobalRequest, dcs []DCState) int {

@@ -1,0 +1,104 @@
+package cluster
+
+import "math"
+
+// timeIndex is a small indexed binary min-heap over (key, id): it tracks the
+// next pending time of every member (datacenter or global arrival stream)
+// and answers argmin in O(1), replacing the per-event O(N) rescans the
+// sequential cluster driver used to pay. Keys move in either direction
+// through update — processing pushes a datacenter's next-event time later,
+// while an injection can pull it earlier — and equal keys break toward the
+// smaller id, matching the member order a linear scan would have picked.
+type timeIndex struct {
+	heap []int32   // heap of member ids ordered by (key, id)
+	pos  []int32   // member id -> position in heap
+	key  []float64 // member id -> current key
+}
+
+// init (re)builds the index over a copy of keys.
+func (x *timeIndex) init(keys []float64) {
+	n := len(keys)
+	x.key = append(x.key[:0], keys...)
+	x.heap = x.heap[:0]
+	x.pos = x.pos[:0]
+	for i := 0; i < n; i++ {
+		x.heap = append(x.heap, int32(i))
+		x.pos = append(x.pos, int32(i))
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		x.siftDown(i)
+	}
+}
+
+// less orders member ids by (key, id).
+func (x *timeIndex) less(a, b int32) bool {
+	ka, kb := x.key[a], x.key[b]
+	return ka < kb || (ka == kb && a < b)
+}
+
+// min returns the member with the smallest key and that key; (-1, +Inf) when
+// the index is empty or every member is exhausted (key +Inf).
+func (x *timeIndex) min() (int, float64) {
+	if len(x.heap) == 0 {
+		return -1, math.Inf(1)
+	}
+	id := x.heap[0]
+	k := x.key[id]
+	if math.IsInf(k, 1) {
+		return -1, k
+	}
+	return int(id), k
+}
+
+// update sets id's key and restores heap order with a single sift.
+func (x *timeIndex) update(id int, key float64) {
+	old := x.key[id]
+	if key == old {
+		return
+	}
+	x.key[id] = key
+	if i := int(x.pos[id]); key < old {
+		x.siftUp(i)
+	} else {
+		x.siftDown(i)
+	}
+}
+
+func (x *timeIndex) siftUp(i int) {
+	id := x.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := x.heap[parent]
+		if !x.less(id, p) {
+			break
+		}
+		x.heap[i] = p
+		x.pos[p] = int32(i)
+		i = parent
+	}
+	x.heap[i] = id
+	x.pos[id] = int32(i)
+}
+
+func (x *timeIndex) siftDown(i int) {
+	id := x.heap[i]
+	n := len(x.heap)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && x.less(x.heap[r], x.heap[child]) {
+			child = r
+		}
+		c := x.heap[child]
+		if !x.less(c, id) {
+			break
+		}
+		x.heap[i] = c
+		x.pos[c] = int32(i)
+		i = child
+	}
+	x.heap[i] = id
+	x.pos[id] = int32(i)
+}

@@ -122,6 +122,11 @@ type ClusterSimConfig struct {
 	Router cluster.Router
 	// Seed drives the cluster-level global arrival streams.
 	Seed uint64
+	// Workers selects the cluster execution driver (see cluster.Config): 0
+	// runs the event-interleaved sequential loop, >= 1 the conservative-
+	// window loop, draining datacenters between routing barriers in parallel
+	// when Workers > 1. Results are bit-identical across all values.
+	Workers int
 }
 
 // SimulateCluster runs the composed region-scale simulation on an optimized
@@ -140,6 +145,7 @@ func SimulateClusterContext(ctx context.Context, cs *ClusterSolution, cfg Cluste
 		Router:     cfg.Router,
 		Global:     cs.Global,
 		Seed:       cfg.Seed,
+		Workers:    cfg.Workers,
 	}
 	for d, sol := range cs.Regions {
 		regionSim := cfg.Sim

@@ -1,7 +1,9 @@
 // Package profiling wires the standard pprof file profiles into the
-// repository's commands (-cpuprofile / -memprofile on nfvsim and nfvbench),
-// so optimization PRs can demonstrate their wins with before/after flame
-// graphs next to the BENCH.json trajectory (see EXPERIMENTS.md).
+// repository's commands (-cpuprofile / -memprofile / -mutexprofile /
+// -blockprofile on nfvsim and nfvbench), so optimization PRs can demonstrate
+// their wins with before/after flame graphs next to the BENCH.json
+// trajectory (see EXPERIMENTS.md). Mutex and block profiles exist for
+// contention debugging of the parallel cluster driver's worker pool.
 package profiling
 
 import (
@@ -11,14 +13,29 @@ import (
 	"runtime/pprof"
 )
 
-// Start begins CPU profiling to cpuPath (when non-empty) and returns a stop
-// function that ends the CPU profile and writes a heap profile to memPath
-// (when non-empty). Either path may be empty to skip that profile; the stop
-// function is always non-nil and must be called exactly once.
-func Start(cpuPath, memPath string) (stop func() error, err error) {
+// Profiles names the output file for each supported profile; an empty path
+// skips that profile.
+type Profiles struct {
+	// CPU receives a CPU profile covering Start..stop.
+	CPU string
+	// Mem receives a heap profile (live objects after a forced GC) at stop.
+	Mem string
+	// Mutex receives a mutex-contention profile at stop; enabling it sets
+	// runtime mutex profiling (fraction 1) for the whole run.
+	Mutex string
+	// Block receives a blocking profile at stop; enabling it sets the
+	// runtime block profile rate to 1 for the whole run.
+	Block string
+}
+
+// Start begins the requested profiles and returns a stop function that ends
+// the CPU profile and writes the end-of-run profiles. Every path may be
+// empty to skip that profile; the stop function is always non-nil and must
+// be called exactly once.
+func Start(p Profiles) (stop func() error, err error) {
 	var cpuFile *os.File
-	if cpuPath != "" {
-		cpuFile, err = os.Create(cpuPath)
+	if p.CPU != "" {
+		cpuFile, err = os.Create(p.CPU)
 		if err != nil {
 			return nil, fmt.Errorf("create cpu profile: %w", err)
 		}
@@ -27,6 +44,14 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 			return nil, fmt.Errorf("start cpu profile: %w", err)
 		}
 	}
+	// Contention profiling must be switched on before the workload runs; the
+	// profiles themselves are snapshotted at stop.
+	if p.Mutex != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	if p.Block != "" {
+		runtime.SetBlockProfileRate(1)
+	}
 	return func() error {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
@@ -34,8 +59,8 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 				return fmt.Errorf("close cpu profile: %w", err)
 			}
 		}
-		if memPath != "" {
-			f, err := os.Create(memPath)
+		if p.Mem != "" {
+			f, err := os.Create(p.Mem)
 			if err != nil {
 				return fmt.Errorf("create mem profile: %w", err)
 			}
@@ -47,6 +72,35 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 				return fmt.Errorf("write mem profile: %w", err)
 			}
 		}
+		if p.Mutex != "" {
+			if err := writeLookup("mutex", p.Mutex); err != nil {
+				return err
+			}
+			runtime.SetMutexProfileFraction(0)
+		}
+		if p.Block != "" {
+			if err := writeLookup("block", p.Block); err != nil {
+				return err
+			}
+			runtime.SetBlockProfileRate(0)
+		}
 		return nil
 	}, nil
+}
+
+// writeLookup snapshots a named runtime profile to path.
+func writeLookup(name, path string) error {
+	prof := pprof.Lookup(name)
+	if prof == nil {
+		return fmt.Errorf("runtime profile %q not found", name)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s profile: %w", name, err)
+	}
+	defer f.Close()
+	if err := prof.WriteTo(f, 0); err != nil {
+		return fmt.Errorf("write %s profile: %w", name, err)
+	}
+	return nil
 }

@@ -1,0 +1,65 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestStartWritesAllProfiles enables every profile, generates a little
+// contention so the mutex/block profiles have something to record, and
+// checks each output file materializes.
+func TestStartWritesAllProfiles(t *testing.T) {
+	dir := t.TempDir()
+	p := Profiles{
+		CPU:   filepath.Join(dir, "cpu.pprof"),
+		Mem:   filepath.Join(dir, "mem.pprof"),
+		Mutex: filepath.Join(dir, "mutex.pprof"),
+		Block: filepath.Join(dir, "block.pprof"),
+	}
+	stop, err := Start(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				mu.Lock()
+				mu.Unlock() //nolint:staticcheck // intentional contention
+			}
+		}()
+	}
+	wg.Wait()
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for name, path := range map[string]string{
+		"cpu": p.CPU, "mem": p.Mem, "mutex": p.Mutex, "block": p.Block,
+	} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("%s profile missing: %v", name, err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s profile is empty", name)
+		}
+	}
+}
+
+// TestStartEmpty asserts the all-empty Profiles request is a no-op with a
+// working stop function.
+func TestStartEmpty(t *testing.T) {
+	stop, err := Start(Profiles{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}

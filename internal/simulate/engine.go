@@ -235,7 +235,7 @@ func (a *agenda) migrateToLadder() {
 // is simply e's own: e precedes everything else pending.
 func (a *agenda) unpop(e event) {
 	if a.kind == AgendaLadder {
-		a.ladder.push(e)
+		a.ladder.unpop(e)
 	} else {
 		a.heap.push(e)
 	}

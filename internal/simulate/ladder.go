@@ -134,6 +134,16 @@ func (l *ladderAgenda) push(e event) {
 	l.insertBottom(e)
 }
 
+// unpop returns the most recently popped event — by the caller's contract
+// still the global minimum — to the queue. It must bypass push's routing: a
+// time exactly at topStart would land in top and be held back until bottom
+// drains, popping after equal-time events whose seq it precedes. Since e
+// precedes everything pending, appending it to the descending bottom keeps
+// the array sorted.
+func (l *ladderAgenda) unpop(e event) {
+	l.bottom = append(l.bottom, e)
+}
+
 // peek returns the minimum event without removing it, nil when empty. The
 // pointer is invalidated by the next push or pop.
 func (l *ladderAgenda) peek() *event {

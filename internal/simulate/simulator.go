@@ -731,6 +731,63 @@ func (sim *Simulator) ProcessNextEvent() bool {
 	return true
 }
 
+// DrainUntil processes every pending event with time <= t (capped at the
+// horizon) in one tight loop and returns the number of events processed.
+// It is the batch counterpart of ProcessNextEvent for window-based external
+// schedulers (see internal/cluster's conservative-window driver): draining a
+// datacenter to a barrier costs one call — no per-event staging round-trips,
+// no exported-method dispatch in the hot loop — while popping the exact same
+// (time, seq) event order as a ProcessNextEvent loop would.
+//
+// max > 0 bounds how many events this call may process, so a driver can
+// interleave cancellation checks between chunks; max <= 0 drains without
+// bound. A return value equal to max means the drain may be incomplete —
+// call again; any smaller value means every remaining event is later than t
+// (the first of them stays staged, so a following PeekNextEventTime is O(1)).
+func (sim *Simulator) DrainUntil(t float64, max int) int {
+	if !sim.ready {
+		return 0
+	}
+	s := &sim.s
+	s.start()
+	if h := s.cfg.Horizon; t > h {
+		t = h
+	}
+	if max <= 0 {
+		max = math.MaxInt
+	}
+	n := 0
+	// Consume any staged (peeked) event up front so the hot loop below pops
+	// the agenda directly — one call layer and one event copy fewer per
+	// event than going through peel.
+	if s.hasStaged {
+		e := s.staged
+		if e.time > t {
+			return 0
+		}
+		s.hasStaged = false
+		s.now = e.time
+		s.dispatch(e)
+		n++
+	}
+	a := &s.agenda
+	for n < max {
+		e, ok := a.pop()
+		if !ok {
+			return n
+		}
+		if e.time > t {
+			s.staged = e
+			s.hasStaged = true
+			return n
+		}
+		s.now = e.time
+		s.dispatch(e)
+		n++
+	}
+	return n
+}
+
 // Finalize ends a stepped run, publishing its measurements: the counterpart
 // of Run's implicit finalization for drive loops built on the stepping
 // primitives. Like Run, the returned Results aliases the simulator's buffers

@@ -82,6 +82,81 @@ func TestSteppingDifferential(t *testing.T) {
 	}
 }
 
+// TestDrainUntilDifferential drives a full run as a sequence of DrainUntil
+// windows — unbounded and chunked — and asserts bit-identity with Run: the
+// batch-step primitive the windowed cluster driver drains datacenters with
+// must process exactly the events an event-at-a-time loop would.
+func TestDrainUntilDifferential(t *testing.T) {
+	p, sched := steppingFixture(t)
+	cfg := Config{Problem: p, Schedule: sched, Horizon: 20, Warmup: 2, Seed: 7}
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, maxPerCall := range []int{0, 7} {
+		var sim Simulator
+		if err := sim.Reset(cfg); err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for barrier := 0.5; sim.HasPendingEvents(); barrier += 0.5 {
+			for {
+				n := sim.DrainUntil(barrier, maxPerCall)
+				total += n
+				if maxPerCall <= 0 || n < maxPerCall {
+					break
+				}
+			}
+			// Inclusive barrier: nothing at or before it may remain pending.
+			if pt := sim.PeekNextEventTime(); pt <= barrier {
+				t.Fatalf("max=%d: event at %v still pending after DrainUntil(%v)", maxPerCall, pt, barrier)
+			}
+		}
+		if total == 0 {
+			t.Fatalf("max=%d: drained no events", maxPerCall)
+		}
+		got, err := sim.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fg, fw := fingerprintResults(got), fingerprintResults(want); fg != fw {
+			t.Errorf("max=%d: drained run fingerprint %#x != Run fingerprint %#x", maxPerCall, fg, fw)
+		}
+	}
+}
+
+// TestDrainUntilBounds covers DrainUntil's edges: the max cap is honored, a
+// barrier before the first event drains nothing, draining past the horizon
+// clamps to it, and an unready simulator reports zero.
+func TestDrainUntilBounds(t *testing.T) {
+	p, sched := steppingFixture(t)
+	cfg := Config{Problem: p, Schedule: sched, Horizon: 20, Warmup: 2, Seed: 7}
+	var sim Simulator
+	if err := sim.Reset(cfg); err != nil {
+		t.Fatal(err)
+	}
+	first := sim.PeekNextEventTime()
+	if n := sim.DrainUntil(first/2, 0); n != 0 {
+		t.Errorf("DrainUntil before the first event drained %d events", n)
+	}
+	if n := sim.DrainUntil(20, 3); n != 3 {
+		t.Errorf("DrainUntil(max=3) drained %d events, want exactly 3", n)
+	}
+	if n := sim.DrainUntil(math.Inf(1), 0); n == 0 {
+		t.Error("DrainUntil(+Inf) drained nothing on a pending simulator")
+	}
+	if sim.HasPendingEvents() {
+		t.Error("events pending after draining to +Inf (horizon clamp failed)")
+	}
+	if _, err := sim.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	var unready Simulator
+	if n := unready.DrainUntil(10, 0); n != 0 {
+		t.Errorf("unready DrainUntil drained %d events", n)
+	}
+}
+
 // TestSteppingMixedWithRun steps part of a run manually and finishes it with
 // RunContext — both halves must compose into the exact Run result.
 func TestSteppingMixedWithRun(t *testing.T) {
