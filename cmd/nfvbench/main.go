@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"nfvchain/internal/cluster"
+	"nfvchain/internal/control"
 	"nfvchain/internal/dynamic"
 	"nfvchain/internal/model"
 	"nfvchain/internal/profiling"
@@ -271,6 +272,7 @@ func scenarios() []scenario {
 		{"Simulator/agenda-ab/ladder", func(b *testing.B) { simulatorAgendaAB(b, simulate.AgendaLadder) }},
 		{"Simulator/drop-retransmit", simulatorDropRetransmit},
 		{"Simulator/failure-churn", simulatorFailureChurn},
+		{"Simulator/preemption-churn", simulatorPreemptionChurn},
 		{"Simulator/cluster", simulatorCluster},
 		{"Simulator/cluster-sequential", func(b *testing.B) { simulatorClusterWindowAB(b, 0) }},
 		{"Simulator/cluster-parallel", func(b *testing.B) { simulatorClusterWindowAB(b, runtime.GOMAXPROCS(0)) }},
@@ -610,6 +612,51 @@ func simulatorFailureChurn(b *testing.B) {
 			FailurePolicy:   simulate.FailRetransmit,
 			RetransmitDelay: 0.01,
 			FaultHook:       ctrl,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// simulatorPreemptionChurn: the churn fixture under correlated preemption —
+// two-node groups lost together about four times per run, each announced
+// 0.4 s ahead — managed by the autoscale+migrate control plane ticking every
+// 0.5 s. Measures the full online-control path: preemption notices and
+// ahead-of-loss evacuations, windowed utilization observation, autoscaling
+// with ClickOS boot costs, live migration and deterministic admission
+// shedding, all on top of the repair controller's fault handling.
+func simulatorPreemptionChurn(b *testing.B) {
+	prob, sched, pl := churnFixture()
+	const horizon = 30.0
+	ctrl, err := control.New(control.Config{
+		Problem:       prob,
+		Placement:     pl,
+		Schedule:      sched,
+		Policy:        control.PolicyAutoscaleMigrate,
+		SetupCost:     dynamic.SetupCostClickOS,
+		MigrationCost: dynamic.SetupCostClickOS,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := simulate.NewSimulator()
+	plan := &simulate.FaultPlan{Preemption: &simulate.PreemptionPlan{
+		MeanInterval: horizon / 4, GroupSize: 2, Recovery: 2, LeadTime: 0.4,
+	}}
+	warmed(b, func(seed uint64) {
+		ctrl.Reset(seed)
+		if err := sim.Reset(simulate.Config{
+			Problem: prob, Schedule: sched, Placement: pl, LinkDelay: 0.001,
+			Horizon: horizon, Warmup: 2, Seed: seed,
+			FaultPlan:       plan,
+			FailurePolicy:   simulate.FailRetransmit,
+			RetransmitDelay: 0.01,
+			FaultHook:       ctrl,
+			Control:         ctrl,
+			ControlInterval: 0.5,
 		}); err != nil {
 			b.Fatal(err)
 		}

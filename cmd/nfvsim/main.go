@@ -80,6 +80,13 @@ func runTo(args []string, stdout io.Writer) error {
 		failPolicy = fs.String("failurepolicy", "drop", "with -simulate -mtbf: fate of packets on failed nodes: drop|retransmit")
 		repairMode = fs.String("repair", "none", "with -simulate -mtbf: self-healing mode: none|reschedule|replace")
 		retrDelay  = fs.Float64("retransmit-delay", 0.005, "NACK round-trip before a dropped/failed packet is re-injected (seconds)")
+
+		controlStr   = fs.String("control", "none", "with -simulate: online control plane policy: none|repair|autoscale|autoscale+migrate (subsumes -repair)")
+		controlInt   = fs.Float64("control-interval", 1, "with -control: controller tick period in simulated seconds")
+		preemptInt   = fs.Float64("preempt-interval", 0, "with -simulate: mean time between correlated preemption events in seconds (0 disables preemption)")
+		preemptGroup = fs.Int("preempt-group", 2, "with -preempt-interval: nodes taken down together per preemption event")
+		preemptRec   = fs.Float64("preempt-recovery", 5, "with -preempt-interval: seconds until a preempted group returns to service")
+		preemptLead  = fs.Float64("preempt-lead", 0, "with -preempt-interval: advance-notice window before each preemption (0 disables notices)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -115,17 +122,25 @@ func runTo(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
+		ctrl, err := chooseControl(*controlStr, *controlInt, *preemptInt, *preemptGroup, *preemptRec, *preemptLead, faults)
+		if err != nil {
+			return err
+		}
 		agenda, err := nfvchain.ParseAgendaKind(*agendaStr)
 		if err != nil {
 			return err
 		}
-		return runSolve(*solve, *seed, *simulateIt, *solOut, algs, *improve, faults, agenda, out)
+		return runSolve(*solve, *seed, *simulateIt, *solOut, algs, *improve, faults, ctrl, agenda, out)
 	case *demo:
 		algs, err := chooseAlgorithms(*placer, *scheduler, *seed)
 		if err != nil {
 			return err
 		}
 		faults, err := chooseFaults(*mtbf, *mttr, *failPolicy, *repairMode, *retrDelay)
+		if err != nil {
+			return err
+		}
+		ctrl, err := chooseControl(*controlStr, *controlInt, *preemptInt, *preemptGroup, *preemptRec, *preemptLead, faults)
 		if err != nil {
 			return err
 		}
@@ -139,6 +154,9 @@ func runTo(args []string, stdout io.Writer) error {
 			}
 			if faults.mtbf > 0 {
 				return fmt.Errorf("-mtbf fault injection is not wired into cluster mode; drop -datacenters or -mtbf")
+			}
+			if ctrl.enabled() {
+				return fmt.Errorf("-control/-preempt-interval are not wired into cluster mode from the CLI; drop -datacenters (the library supports per-region hooks via ClusterSimConfig.FaultPlans/FaultHooks)")
 			}
 			router, err := nfvchain.NewClusterRouter(*routeStr)
 			if err != nil {
@@ -156,7 +174,7 @@ func runTo(args []string, stdout io.Writer) error {
 			}
 			return runClusterDemo(*seed, *vnfs, *requests, *nodes, *simulateIt, algs, agenda, cc, out)
 		}
-		return runDemo(*seed, *vnfs, *requests, *nodes, *simulateIt, *solOut, algs, *improve, faults, agenda, out)
+		return runDemo(*seed, *vnfs, *requests, *nodes, *simulateIt, *solOut, algs, *improve, faults, ctrl, agenda, out)
 	case *fig != "":
 		cfg := experiment.DefaultConfig()
 		if *fast {
@@ -258,7 +276,42 @@ func chooseFaults(mtbf, mttr float64, policy, repairMode string, retransmitDelay
 	return out, nil
 }
 
-func runSolve(path string, seed uint64, simulate bool, solOut string, algs algorithms, improve bool, faults faultOptions, agenda nfvchain.AgendaKind, out output) error {
+// controlOptions bundles the online-control-plane flags: the -control policy
+// plus the correlated-preemption knobs. policy == ControlNone and preempt ==
+// nil leave the simulation exactly as before.
+type controlOptions struct {
+	policy   nfvchain.ControlPolicy
+	interval float64
+	preempt  *nfvchain.PreemptionPlan
+}
+
+// enabled reports whether any control-plane or preemption machinery is on.
+func (c controlOptions) enabled() bool {
+	return c.policy != nfvchain.ControlNone || c.preempt != nil
+}
+
+func chooseControl(policyStr string, interval, preemptInterval float64, group int, recovery, lead float64, faults faultOptions) (controlOptions, error) {
+	out := controlOptions{interval: interval}
+	policy, err := nfvchain.ParseControlPolicy(policyStr)
+	if err != nil {
+		return out, err
+	}
+	out.policy = policy
+	if policy != nfvchain.ControlNone && faults.repair != nfvchain.RepairNone {
+		return out, fmt.Errorf("-control %s subsumes -repair %s; drop one of them", policy, faults.repair)
+	}
+	if preemptInterval > 0 {
+		out.preempt = &nfvchain.PreemptionPlan{
+			MeanInterval: preemptInterval,
+			GroupSize:    group,
+			Recovery:     recovery,
+			LeadTime:     lead,
+		}
+	}
+	return out, nil
+}
+
+func runSolve(path string, seed uint64, simulate bool, solOut string, algs algorithms, improve bool, faults faultOptions, ctrl controlOptions, agenda nfvchain.AgendaKind, out output) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("open %s: %w", path, err)
@@ -272,10 +325,10 @@ func runSolve(path string, seed uint64, simulate bool, solOut string, algs algor
 	}
 	fmt.Fprintf(out.report(), "problem: %d VNFs, %d requests, %d nodes (from %s)\n",
 		len(p.VNFs), len(p.Requests), len(p.Nodes), path)
-	return solveAndReport(p, seed, simulate, solOut, algs, improve, faults, agenda, out)
+	return solveAndReport(p, seed, simulate, solOut, algs, improve, faults, ctrl, agenda, out)
 }
 
-func runDemo(seed uint64, vnfs, requests, nodes int, simulate bool, solOut string, algs algorithms, improve bool, faults faultOptions, agenda nfvchain.AgendaKind, out output) error {
+func runDemo(seed uint64, vnfs, requests, nodes int, simulate bool, solOut string, algs algorithms, improve bool, faults faultOptions, ctrl controlOptions, agenda nfvchain.AgendaKind, out output) error {
 	cfg := nfvchain.DefaultWorkloadConfig()
 	cfg.Seed = seed
 	cfg.NumVNFs = vnfs
@@ -296,7 +349,7 @@ func runDemo(seed uint64, vnfs, requests, nodes int, simulate bool, solOut strin
 	}
 	fmt.Fprintf(out.report(), "workload: %d VNFs, %d requests, %d nodes (seed %d)\n",
 		len(p.VNFs), len(p.Requests), len(p.Nodes), seed)
-	return solveAndReport(p, seed, simulate, solOut, algs, improve, faults, agenda, out)
+	return solveAndReport(p, seed, simulate, solOut, algs, improve, faults, ctrl, agenda, out)
 }
 
 // clusterOptions bundles the -datacenters/-wan-latency/-route/-global-fraction
@@ -420,7 +473,7 @@ func chooseAlgorithms(placer, scheduler string, seed uint64) (algorithms, error)
 	return out, nil
 }
 
-func solveAndReport(p *model.Problem, seed uint64, simulate bool, solOut string, algs algorithms, improve bool, faults faultOptions, agenda nfvchain.AgendaKind, out output) error {
+func solveAndReport(p *model.Problem, seed uint64, simulate bool, solOut string, algs algorithms, improve bool, faults faultOptions, ctrl controlOptions, agenda nfvchain.AgendaKind, out output) error {
 	rep := out.report()
 	sol, err := nfvchain.Optimize(p, nfvchain.Options{
 		Seed:      seed,
@@ -495,6 +548,32 @@ func solveAndReport(p *model.Problem, seed uint64, simulate bool, solOut string,
 			simCfg.FaultHook = repairCtrl
 		}
 	}
+	if ctrl.preempt != nil {
+		if simCfg.FaultPlan == nil {
+			simCfg.FaultPlan = &nfvchain.FaultPlan{}
+		}
+		simCfg.FaultPlan.Preemption = ctrl.preempt
+		simCfg.FailurePolicy = faults.policy
+		simCfg.RetransmitDelay = faults.retransmitDelay
+	}
+	var poolCtrl *nfvchain.Controller
+	if ctrl.policy != nfvchain.ControlNone {
+		poolCtrl, err = nfvchain.NewController(nfvchain.ControlConfig{
+			Problem:   sol.Problem,
+			Placement: sol.Placement,
+			Schedule:  sol.Schedule,
+			Policy:    ctrl.policy,
+			Seed:      seed,
+		})
+		if err != nil {
+			return err
+		}
+		// The controller owns both hook slots: node transitions (FaultHook)
+		// and the periodic tick loop (Control).
+		simCfg.FaultHook = poolCtrl
+		simCfg.Control = poolCtrl
+		simCfg.ControlInterval = ctrl.interval
+	}
 	res, err := nfvchain.Simulate(sol, simCfg)
 	if err != nil {
 		return err
@@ -513,7 +592,7 @@ func solveAndReport(p *model.Problem, seed uint64, simulate bool, solOut string,
 	}
 	fmt.Fprintf(rep, "simulated (agenda %s): %d packets delivered, %d retransmitted, mean latency %.6fs, %s\n",
 		res.Agenda, res.Delivered, res.Retransmissions, res.Latency.Mean(), tail)
-	if faults.mtbf > 0 {
+	if faults.mtbf > 0 || ctrl.preempt != nil {
 		var downtime float64
 		for _, dt := range res.Downtime {
 			downtime += dt
@@ -525,6 +604,11 @@ func solveAndReport(p *model.Problem, seed uint64, simulate bool, solOut string,
 			fmt.Fprintf(rep, "repair (%s): %d failures handled, %d reschedules, %d replacements booted (%d infeasible, %.1fs setup paid)\n",
 				faults.repair, st.NodeFailures, st.Reschedules, st.Replacements, st.ReplacementsFailed, st.SetupSecs)
 		}
+	}
+	if poolCtrl != nil {
+		st := poolCtrl.StatsAt(simCfg.Horizon)
+		fmt.Fprintf(rep, "control (%s): %d ticks, %d scale-ups, %d scale-downs, %d migrations, %d evacuations, %d admissions shed, %.1f node-seconds in service\n",
+			ctrl.policy, st.Ticks, st.ScaleUps, st.ScaleDowns, st.Migrations, st.Evacuations, res.Shed, st.NodeSeconds)
 	}
 	return nil
 }

@@ -50,6 +50,20 @@
 // 1-datacenter cluster at zero WAN latency is bit-identical to a plain
 // Simulate call at the same seed.
 //
+// # Online control plane
+//
+// The simulator's deployment need not stay static: NewController builds a
+// pool manager that attaches as both SimulationConfig.FaultHook and
+// SimulationConfig.Control (ticking every ControlInterval simulated
+// seconds) and, by ControlPolicy, autoscales each VNF's instance pool
+// against observed utilization, migrates instances off failed/hot/doomed
+// nodes for an explicit cost, and sheds uncoverable admissions
+// deterministically (Results.Shed). FaultPlan.Preemption adds correlated
+// node-group losses with optional advance notice the controller evacuates
+// ahead of. Control == nil and Preemption == nil keep every run
+// bit-identical to historical ones; per-region controllers compose into
+// cluster mode via ClusterSimConfig.FaultPlans and FaultHooks.
+//
 // The cmd/nfvsim binary regenerates every figure of the paper's evaluation;
 // see EXPERIMENTS.md for the paper-vs-measured record and DESIGN.md for the
 // architecture. The cmd/nfvd binary serves the optimizer and simulator as a

@@ -6,6 +6,7 @@ import (
 
 	"nfvchain/internal/cluster"
 	"nfvchain/internal/model"
+	"nfvchain/internal/simulate"
 )
 
 // ClusterOptions configures PartitionRegions/OptimizeCluster: the multi-
@@ -127,6 +128,17 @@ type ClusterSimConfig struct {
 	// window loop, draining datacenters between routing barriers in parallel
 	// when Workers > 1. Results are bit-identical across all values.
 	Workers int
+	// FaultPlans optionally injects per-datacenter fault plans: entry d
+	// overrides Sim.FaultPlan for region d, so each datacenter can face its
+	// own outage schedule or preemption regime. Length must be zero or match
+	// the region count.
+	FaultPlans []*simulate.FaultPlan
+	// FaultHooks optionally attaches one repair/control hook per datacenter
+	// (entry d overrides Sim.FaultHook for region d). Hooks must not be
+	// shared across regions: under the parallel windowed driver each region
+	// runs on its own goroutine, so give every datacenter its own controller.
+	// Length must be zero or match the region count.
+	FaultHooks []simulate.FaultHook
 }
 
 // SimulateCluster runs the composed region-scale simulation on an optimized
@@ -140,6 +152,14 @@ func SimulateClusterContext(ctx context.Context, cs *ClusterSolution, cfg Cluste
 	if len(cs.Regions) == 0 {
 		return nil, fmt.Errorf("core: cluster solution has no regions")
 	}
+	if len(cfg.FaultPlans) != 0 && len(cfg.FaultPlans) != len(cs.Regions) {
+		return nil, fmt.Errorf("core: %d fault plans for %d regions (want 0 or %d)",
+			len(cfg.FaultPlans), len(cs.Regions), len(cs.Regions))
+	}
+	if len(cfg.FaultHooks) != 0 && len(cfg.FaultHooks) != len(cs.Regions) {
+		return nil, fmt.Errorf("core: %d fault hooks for %d regions (want 0 or %d)",
+			len(cfg.FaultHooks), len(cs.Regions), len(cs.Regions))
+	}
 	ccfg := cluster.Config{
 		WANLatency: cfg.WANLatency,
 		Router:     cfg.Router,
@@ -150,6 +170,12 @@ func SimulateClusterContext(ctx context.Context, cs *ClusterSolution, cfg Cluste
 	for d, sol := range cs.Regions {
 		regionSim := cfg.Sim
 		regionSim.Seed = cfg.Sim.Seed + uint64(d)
+		if len(cfg.FaultPlans) > 0 {
+			regionSim.FaultPlan = cfg.FaultPlans[d]
+		}
+		if len(cfg.FaultHooks) > 0 {
+			regionSim.FaultHook = cfg.FaultHooks[d]
+		}
 		name := fmt.Sprintf("region%d", d)
 		if d < len(cs.Names) && cs.Names[d] != "" {
 			name = cs.Names[d]

@@ -122,6 +122,13 @@ type SimulationConfig struct {
 	// FaultHook observes node transitions and may repair the run mid-
 	// flight (e.g. a repair.Controller). Ignored without a FaultPlan.
 	FaultHook simulate.FaultHook
+
+	// Control attaches a periodic control plane (e.g. a control.Controller):
+	// it ticks every ControlInterval simulated seconds and may autoscale,
+	// migrate and shed. nil (the zero value) keeps runs bit-identical to
+	// historical ones; ControlInterval must be positive and finite when set.
+	Control         simulate.ControlHook
+	ControlInterval float64
 }
 
 // Simulate runs the discrete-event simulator on a solution, wiring in its
@@ -169,5 +176,7 @@ func simConfig(sol *Solution, cfg SimulationConfig) simulate.Config {
 		FaultPlan:       cfg.FaultPlan,
 		FailurePolicy:   cfg.FailurePolicy,
 		FaultHook:       cfg.FaultHook,
+		Control:         cfg.Control,
+		ControlInterval: cfg.ControlInterval,
 	}
 }

@@ -1,0 +1,79 @@
+package experiment
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestControlShape pins the cost-vs-SLO frontier property: at the worst
+// preemption intensity, autoscale+migrate must strictly beat the unmitigated
+// baseline on both p99 latency and availability at the same seed, and the
+// autoscale policies must engage the shedding valve somewhere in the sweep.
+func TestControlShape(t *testing.T) {
+	tab := runFig(t, "control")
+	worst := func(label string) float64 {
+		s, ok := tab.SeriesByLabel(label)
+		if !ok {
+			t.Fatalf("missing series %s", label)
+		}
+		return s.Y[len(s.Y)-1]
+	}
+	if mig, none := worst("p99 latency (autoscale+migrate)"), worst("p99 latency (none)"); mig >= none {
+		t.Errorf("autoscale+migrate p99 %.4f not strictly below none %.4f at worst preemption", mig, none)
+	}
+	// Under FailRetransmit nothing is abandoned, so availability differences
+	// reduce to horizon-end backlog; the policies must not lose ground.
+	if mig, none := worst("availability (autoscale+migrate)"), worst("availability (none)"); mig < none-1e-3 {
+		t.Errorf("autoscale+migrate availability %.4f below none %.4f at worst preemption", mig, none)
+	}
+	if rep, none := worst("availability (repair)"), worst("availability (none)"); rep < none-1e-3 {
+		t.Errorf("repair availability %.4f below none %.4f", rep, none)
+	}
+	// The baseline never sheds; the shed series must exist and stay zero.
+	if s, ok := tab.SeriesByLabel("shed fraction (none)"); !ok {
+		t.Fatal("missing shed series")
+	} else {
+		for _, y := range s.Y {
+			if y != 0 {
+				t.Errorf("baseline shed fraction %v, want 0", y)
+			}
+		}
+	}
+	// Without preemption the policies agree the deployment is healthy: no
+	// availability gap at intensity 0.
+	for _, label := range []string{"availability (none)", "availability (autoscale+migrate)"} {
+		s, _ := tab.SeriesByLabel(label)
+		if s.Y[0] < 0.99 {
+			t.Errorf("%s = %.4f at zero preemption, want ≈ 1", label, s.Y[0])
+		}
+	}
+}
+
+// TestControlParallelismInvariant asserts the control experiment's aggregates
+// are bit-identical whether the sweep pool ran on one core or eight — the
+// controller instances are per-cell, so no shared mutable state leaks across
+// workers.
+func TestControlParallelismInvariant(t *testing.T) {
+	cfg := Config{Seed: 3, PlacementTrials: 3, SchedulingTrials: 12}
+	run := func(procs int) *Table {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		tab, err := Run("control", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	serial, wide := run(1), run(8)
+	if len(serial.Series) != len(wide.Series) {
+		t.Fatalf("series count differs: %d vs %d", len(serial.Series), len(wide.Series))
+	}
+	for si := range serial.Series {
+		for i := range serial.Series[si].Y {
+			if serial.Series[si].Y[i] != wide.Series[si].Y[i] {
+				t.Fatalf("%s[%d]: GOMAXPROCS(1) gives %v, GOMAXPROCS(8) gives %v",
+					serial.Series[si].Label, i, serial.Series[si].Y[i], wide.Series[si].Y[i])
+			}
+		}
+	}
+}

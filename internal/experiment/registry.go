@@ -38,6 +38,10 @@ var registry = map[string]Runner{
 
 	// Region scale: N datacenters composed under one clock × routing policy.
 	"cluster": Cluster,
+
+	// Online control plane: cost-vs-SLO frontier under correlated
+	// preemption × control policy.
+	"control": Control,
 }
 
 // IDs returns the known experiment ids, sorted.

@@ -257,6 +257,10 @@ func (c *Controller) extrasOf(n model.NodeID) []float64 {
 // Stats returns the controller's accumulated repair activity.
 func (c *Controller) Stats() Stats { return c.stats }
 
+// SetupCost returns the effective boot cost replacements pay (after the
+// zero-value default is applied by New).
+func (c *Controller) SetupCost() float64 { return c.cfg.SetupCost }
+
 // NodeDown implements simulate.FaultHook: rebalance each affected VNF over
 // its surviving instances, first booting replacements when none survive.
 func (c *Controller) NodeDown(now float64, node model.NodeID, ctrl *simulate.RepairControl) {
@@ -311,15 +315,129 @@ func (c *Controller) affectedVNFs(node model.NodeID) []model.VNFID {
 // survivors returns the instance indices of f hosted on up nodes, ascending.
 // The returned slice is scratch, valid until the next call.
 func (c *Controller) survivors(f model.VNFID, ctrl *simulate.RepairControl) []int {
+	return c.Survivors(f, ctrl.NodeIsUp)
+}
+
+// Survivors returns the instance indices of f hosted on nodes the predicate
+// accepts, ascending. The returned slice is scratch, valid until the next
+// Survivors call — pool-manager controllers (internal/control) use it with
+// richer predicates than node-is-up (e.g. excluding preemption-noticed
+// nodes). The scratch is shared with the internal repair paths.
+func (c *Controller) Survivors(f model.VNFID, keep func(model.NodeID) bool) []int {
 	out := c.surv[:0]
 	for k, n := range c.instances[f] {
-		if ctrl.NodeIsUp(n) {
+		if keep(n) {
 			out = append(out, k)
 		}
 	}
 	slices.Sort(out)
 	c.surv = out
 	return out
+}
+
+// InstanceHost is one (instance index, hosting node) entry of a VNF's
+// inventory.
+type InstanceHost struct {
+	Instance int
+	Node     model.NodeID
+}
+
+// InstancesOf appends f's current inventory — base instances plus every
+// repair- or control-time addition not yet forgotten — to buf, sorted by
+// instance index, and returns it.
+func (c *Controller) InstancesOf(f model.VNFID, buf []InstanceHost) []InstanceHost {
+	start := len(buf)
+	for k, n := range c.instances[f] {
+		buf = append(buf, InstanceHost{Instance: k, Node: n})
+	}
+	slices.SortFunc(buf[start:], func(a, b InstanceHost) int { return a.Instance - b.Instance })
+	return buf
+}
+
+// OfferedLoad returns the aggregate effective arrival rate of the scheduled
+// requests that traverse f — the demand the VNF's instance pool must cover.
+func (c *Controller) OfferedLoad(f model.VNFID) float64 {
+	var load float64
+	for _, r := range c.reqsOf[f] {
+		load += r.EffectiveRate()
+	}
+	return load
+}
+
+// PickNode selects a host for one additional replica of f: BFDSU over the
+// residual capacities of the nodes the predicate accepts, exactly the draw
+// the replace path uses (each call advances the controller's decision
+// counter, keeping picks deterministic for a given seed and call sequence).
+// ok is false when no accepted node fits the replica.
+func (c *Controller) PickNode(f model.VNFID, keep func(model.NodeID) bool) (model.NodeID, bool) {
+	vnf, found := c.cfg.Problem.VNF(f)
+	if !found {
+		return "", false
+	}
+	c.seq++
+	return c.placeReplica(vnf, keep)
+}
+
+// RecordInstance registers instance k of f as hosted on node in the
+// controller's inventory, committing its demand against the node — the
+// bookkeeping side of a simulate AddInstance performed by an external
+// controller.
+func (c *Controller) RecordInstance(f model.VNFID, k int, node model.NodeID) {
+	vnf, ok := c.cfg.Problem.VNF(f)
+	if !ok {
+		return
+	}
+	hosts := c.instances[f]
+	if hosts == nil {
+		hosts = make(map[int]model.NodeID)
+		c.instances[f] = hosts
+	}
+	if _, dup := hosts[k]; dup {
+		return
+	}
+	hosts[k] = node
+	c.usage[node] += vnf.Demand
+	for d, e := range vnf.Extras {
+		c.extrasOf(node)[d] += e
+	}
+}
+
+// ForgetInstance removes instance k of f from the inventory, releasing its
+// demand — the bookkeeping side of a scale-down retirement.
+func (c *Controller) ForgetInstance(f model.VNFID, k int) {
+	hosts := c.instances[f]
+	node, ok := hosts[k]
+	if !ok {
+		return
+	}
+	delete(hosts, k)
+	vnf, found := c.cfg.Problem.VNF(f)
+	if !found {
+		return
+	}
+	c.usage[node] -= vnf.Demand
+	for d, e := range vnf.Extras {
+		c.extrasOf(node)[d] -= e
+	}
+}
+
+// MoveInstance rehosts instance k of f onto node in the inventory — the
+// bookkeeping side of a simulate MigrateInstance.
+func (c *Controller) MoveInstance(f model.VNFID, k int, node model.NodeID) {
+	c.ForgetInstance(f, k)
+	c.RecordInstance(f, k, node)
+}
+
+// Rebalance re-partitions f's scheduled requests across the given instance
+// indices of f (all of which must be live in the simulation) and reroutes
+// them — the exported form of the post-transition rebalancing the hook paths
+// run, for external controllers reshaping the pool mid-run. No-op on an
+// empty instance set.
+func (c *Controller) Rebalance(f model.VNFID, instances []int, ctrl *simulate.RepairControl) {
+	if len(instances) == 0 {
+		return
+	}
+	c.rebalance(f, instances, ctrl)
 }
 
 // replace boots count replacement instances of f on surviving nodes, one
@@ -333,7 +451,7 @@ func (c *Controller) replace(f model.VNFID, count int, now float64, ctrl *simula
 	}
 	for i := 0; i < count; i++ {
 		c.seq++
-		node, ok := c.placeReplica(vnf, ctrl)
+		node, ok := c.placeReplica(vnf, ctrl.NodeIsUp)
 		if !ok {
 			c.stats.ReplacementsFailed++
 			continue
@@ -353,11 +471,12 @@ func (c *Controller) replace(f model.VNFID, count int, now float64, ctrl *simula
 	}
 }
 
-// placeReplica runs BFDSU over the up nodes' residual capacities for a
-// single-instance replica of vnf and returns the chosen host. The candidate
-// sub-problem is rebuilt into retained scratch (subProblem, extrasBuf), so
-// repeated replacements only pay for the placement itself.
-func (c *Controller) placeReplica(vnf model.VNF, ctrl *simulate.RepairControl) (model.NodeID, bool) {
+// placeReplica runs BFDSU over the residual capacities of the nodes the
+// predicate accepts for a single-instance replica of vnf and returns the
+// chosen host. The candidate sub-problem is rebuilt into retained scratch
+// (subProblem, extrasBuf), so repeated replacements only pay for the
+// placement itself.
+func (c *Controller) placeReplica(vnf model.VNF, keep func(model.NodeID) bool) (model.NodeID, bool) {
 	dims := c.cfg.Problem.ExtraResources()
 	sub := &c.subProblem
 	sub.Nodes = sub.Nodes[:0]
@@ -367,7 +486,7 @@ func (c *Controller) placeReplica(vnf model.VNF, ctrl *simulate.RepairControl) (
 	}
 	c.extrasBuf = c.extrasBuf[:0]
 	for _, n := range c.cfg.Problem.Nodes {
-		if !ctrl.NodeIsUp(n.ID) {
+		if !keep(n.ID) {
 			continue
 		}
 		residual := n.Capacity - c.usage[n.ID]

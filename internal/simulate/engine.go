@@ -41,6 +41,9 @@ const (
 	evNodeDown                           // a node (and every instance on it) fails
 	evNodeUp                             // a node returns to service
 	evInstanceReady                      // a replacement instance finishes booting
+	evControlTick                        // periodic controller tick (Config.Control)
+	evPreempt                            // a correlated-preemption group goes down
+	evPreemptNotice                      // advance notice ahead of a preemption
 )
 
 // event is one scheduled occurrence. seq breaks time ties deterministically.

@@ -33,6 +33,11 @@ type FaultPlan struct {
 	// Outages is an optional deterministic list of scheduled node outages,
 	// for reproducible failure scenarios independent of any RNG.
 	Outages []Outage
+	// Preemption optionally adds spot-style correlated capacity loss:
+	// events on a dedicated RNG stream each take down a drawn group of
+	// nodes at once (see PreemptionPlan). nil keeps the plan's sample paths
+	// bit-identical to historical runs.
+	Preemption *PreemptionPlan
 }
 
 // Outage is one scheduled node outage: the node fails at DownAt and
@@ -68,6 +73,11 @@ func (fp *FaultPlan) validate(p *model.Problem) error {
 		}
 		if math.IsNaN(o.UpAt) || o.UpAt <= o.DownAt {
 			return fmt.Errorf("simulate: outage %d up time %v must exceed down time %v", i, o.UpAt, o.DownAt)
+		}
+	}
+	if fp.Preemption != nil {
+		if err := fp.Preemption.validate(); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -189,6 +199,9 @@ func (s *simulation) seedFaults() {
 		s.agenda.push(event{time: o.DownAt, kind: evNodeDown, inst: nid})
 		s.agenda.push(event{time: o.UpAt, kind: evNodeUp, inst: nid})
 	}
+	if fp.Preemption != nil {
+		s.seedPreemption()
+	}
 }
 
 // nodeDown processes one down edge: on the first overlapping interval the
@@ -247,6 +260,9 @@ func (s *simulation) failInstance(iid int32) {
 	removed := 0
 	if inst.busy >= 0 {
 		inst.busyTime += overlap(inst.serviceStart, s.now, s.cfg.Warmup, s.cfg.Horizon)
+		if s.ctrlOn {
+			inst.ctrlBusy += s.now - inst.serviceStart
+		}
 		inst.epoch++
 		pid := inst.busy
 		inst.busy = -1

@@ -3,25 +3,43 @@ package simulate
 import (
 	"math"
 	"testing"
+
+	"nfvchain/internal/model"
 )
 
 // FuzzConfigValidate throws adversarial numeric knobs — negative, NaN, ±Inf
 // — at Reset and asserts the contract: every configuration either fails
 // validation with an error or produces a runnable simulation; nothing
-// panics. Runs are only attempted for configurations Reset accepted AND
+// panics. The sweep covers the fault plan (random faults, overlapping and
+// zero-length outages, correlated preemption with arbitrary group sizes and
+// lead times) and the control plane (tick interval, shedding, live
+// migration). Runs are only attempted for configurations Reset accepted AND
 // whose timing knobs cannot livelock the event loop (a pathologically tiny
-// retransmit delay or MTTR is valid but makes the agenda grind through
-// billions of events, which a fuzzer must not wait on).
+// retransmit delay, MTTR, preemption interval or control interval is valid
+// but makes the agenda grind through billions of events, which a fuzzer must
+// not wait on).
 func FuzzConfigValidate(f *testing.F) {
-	f.Add(10.0, 1.0, 0.001, 0.005, 20.0, 4.0, 0, 0, 0, false)
-	f.Add(-1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0, 0, 0, false)
-	f.Add(math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN(), 1, 1, 4, true)
-	f.Add(math.Inf(1), 0.0, 0.0, 0.0, math.Inf(1), 1.0, 0, 1, 0, true)
-	f.Add(5.0, -2.0, -0.5, 1e-12, -3.0, math.Inf(-1), 2, -1, -7, true)
-	f.Add(50.0, 5.0, 0.002, 0.01, math.Inf(1), 2.0, 1, 0, 2, true)
+	f.Add(10.0, 1.0, 0.001, 0.005, 20.0, 4.0, 0, 0, 0, false,
+		5.0, 1.0, 0.5, 1.0, 2.0, 3.0, 1, false, false, false)
+	f.Add(-1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0, 0, 0, false,
+		0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0, false, false, false)
+	f.Add(math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN(), 1, 1, 4, true,
+		math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN(), -1, true, true, true)
+	f.Add(math.Inf(1), 0.0, 0.0, 0.0, math.Inf(1), 1.0, 0, 1, 0, true,
+		math.Inf(1), math.Inf(-1), 0.0, math.Inf(1), 0.0, math.Inf(1), 99, true, false, true)
+	f.Add(5.0, -2.0, -0.5, 1e-12, -3.0, math.Inf(-1), 2, -1, -7, true,
+		1e-12, 1e-12, -1.0, 1e-12, -2.0, 0.0, 0, true, true, false)
+	f.Add(50.0, 5.0, 0.002, 0.01, math.Inf(1), 2.0, 1, 0, 2, true,
+		4.0, 0.5, 0.25, 0.5, 1.0, 0.0, 2, true, true, true)
+	// Overlapping outages on the same node plus full-cluster preemption under
+	// an actively migrating control plane.
+	f.Add(20.0, 1.0, 0.001, 0.01, 0.0, 0.0, 0, 0, 0, true,
+		3.0, 0.8, 0.3, 0.7, 2.0, 4.0, 8, true, true, true)
 
 	f.Fuzz(func(t *testing.T, horizon, warmup, linkDelay, retransmitDelay,
-		mtbf, mttr float64, dropPolicy, failPolicy, bufferSize int, withFaults bool) {
+		mtbf, mttr float64, dropPolicy, failPolicy, bufferSize int, withFaults bool,
+		preemptInterval, recovery, leadTime, controlInterval, outDown, outLen float64,
+		groupSize int, withPreempt, withControl, withOutages bool) {
 		prob, sched, pl := faultProblem(40, 100)
 		cfg := Config{
 			Problem:         prob,
@@ -36,8 +54,45 @@ func FuzzConfigValidate(f *testing.F) {
 			RetransmitDelay: retransmitDelay,
 			Seed:            1,
 		}
-		if withFaults {
-			cfg.FaultPlan = &FaultPlan{MTBF: mtbf, MTTR: mttr}
+		if withFaults || withPreempt || withOutages {
+			cfg.FaultPlan = &FaultPlan{}
+			if withFaults {
+				cfg.FaultPlan.MTBF, cfg.FaultPlan.MTTR = mtbf, mttr
+			}
+			if withPreempt {
+				cfg.FaultPlan.Preemption = &PreemptionPlan{
+					MeanInterval: preemptInterval,
+					GroupSize:    groupSize,
+					Recovery:     recovery,
+					LeadTime:     leadTime,
+				}
+			}
+			if withOutages {
+				// Overlapping intervals on one node (zero-length when outLen
+				// is 0 — validation must reject those cleanly) plus a second
+				// node's outage.
+				cfg.FaultPlan.Outages = []Outage{
+					{Node: "a", DownAt: outDown, UpAt: outDown + outLen},
+					{Node: "a", DownAt: outDown + outLen/2, UpAt: outDown + 1.5*outLen},
+					{Node: "b", DownAt: outDown, UpAt: outDown + outLen},
+				}
+			}
+		}
+		if withControl {
+			// A live hook: shed a quarter of admissions and bounce f's first
+			// instance between the two nodes — deterministic, and exercising
+			// the migration freeze/resume machinery under every fault mix.
+			tick := 0
+			cfg.Control = tickHook(func(now float64, cp *ControlPlane) {
+				_ = cp.SetShedFraction(0.25)
+				target := model.NodeID("a")
+				if tick%2 == 0 {
+					target = "b"
+				}
+				tick++
+				_ = cp.MigrateInstance("f", 0, target, now+0.01)
+			})
+			cfg.ControlInterval = controlInterval
 		}
 		sim := NewSimulator()
 		if err := sim.Reset(cfg); err != nil {
@@ -56,6 +111,12 @@ func FuzzConfigValidate(f *testing.F) {
 		if cfg.FaultPlan != nil && cfg.FaultPlan.randomFaults() && (mtbf < 1e-3 || mttr < 1e-3) {
 			return
 		}
+		if withPreempt && preemptInterval < 1e-2 {
+			return
+		}
+		if withControl && controlInterval < 1e-2 {
+			return
+		}
 		res, err := sim.Run()
 		if err != nil {
 			t.Fatalf("Reset accepted config but Run failed: %v", err)
@@ -63,7 +124,7 @@ func FuzzConfigValidate(f *testing.F) {
 		if res.Availability < 0 || res.Availability > 1 || math.IsNaN(res.Availability) {
 			t.Fatalf("availability %v out of [0,1]", res.Availability)
 		}
-		lost := res.FailureDrops
+		lost := res.FailureDrops + res.Shed
 		if cfg.DropPolicy == DropDiscard {
 			lost += res.Dropped
 		}

@@ -30,6 +30,9 @@ type resultsJSON struct {
 	DroppedByInstance []instanceCountJSON `json:"droppedByInstance,omitempty"`
 	DropRetransmits   int                 `json:"dropRetransmits"`
 	InFlight          int                 `json:"inFlight"`
+	// Shed is omitted when zero so control-free results keep the historical
+	// byte encoding (the golden fixture and result cache pin it).
+	Shed int `json:"shed,omitempty"`
 
 	FailureDrops           int                 `json:"failureDrops"`
 	FailureDropsByInstance []instanceCountJSON `json:"failureDropsByInstance,omitempty"`
@@ -129,6 +132,7 @@ func (r *Results) WriteJSON(w io.Writer) error {
 		DroppedByInstance:      flattenCounts(r.DroppedByInstance),
 		DropRetransmits:        r.DropRetransmits,
 		InFlight:               r.InFlight,
+		Shed:                   r.Shed,
 		FailureDrops:           r.FailureDrops,
 		FailureDropsByInstance: flattenCounts(r.FailureDropsByInstance),
 		FailRetransmits:        r.FailRetransmits,
@@ -184,6 +188,7 @@ func ReadResultsJSON(r io.Reader) (*Results, error) {
 		DroppedByInstance:      make(map[InstanceKey]int, len(raw.DroppedByInstance)),
 		DropRetransmits:        raw.DropRetransmits,
 		InFlight:               raw.InFlight,
+		Shed:                   raw.Shed,
 		FailureDrops:           raw.FailureDrops,
 		FailureDropsByInstance: make(map[InstanceKey]int, len(raw.FailureDropsByInstance)),
 		FailRetransmits:        raw.FailRetransmits,

@@ -80,8 +80,22 @@ type Config struct {
 
 	// FaultHook, if non-nil, is notified of node transitions mid-run and
 	// may repair the routing via the RepairControl it receives. Ignored
-	// without a FaultPlan.
+	// without a FaultPlan. A hook additionally implementing
+	// PreemptionNoticeHook receives advance notice of correlated
+	// preemptions (see PreemptionPlan.LeadTime).
 	FaultHook FaultHook
+
+	// Control, if non-nil, receives a controller tick every ControlInterval
+	// simulated seconds and may reshape the deployment through the
+	// ControlPlane it is handed — the online control-plane entry point (see
+	// internal/control). Requires a Placement and a positive finite
+	// ControlInterval. nil keeps every event and RNG stream bit-identical
+	// to historical runs.
+	Control ControlHook
+
+	// ControlInterval is the controller tick period (simulated seconds).
+	// Required (positive, finite) when Control is set; ignored otherwise.
+	ControlInterval float64
 
 	// ServiceDist selects the per-packet service-time distribution; the
 	// zero value means ServiceExponential (the paper's model assumption).
@@ -234,10 +248,16 @@ type Results struct {
 	DropRetransmits int
 	// InFlight counts packets admitted before the horizon that had neither
 	// completed delivery nor been permanently lost when the run ended, so
-	// Generated = Delivered + InFlight + discarded drops + FailureDrops
-	// always holds (buffer drops are permanent only under DropDiscard;
+	// Generated = Delivered + InFlight + discarded drops + FailureDrops +
+	// Shed always holds (buffer drops are permanent only under DropDiscard;
 	// failure drops only under FailDrop).
 	InFlight int
+
+	// Shed counts external arrivals turned away by the control plane's
+	// deterministic admission shedding (RepairControl.SetShedFraction):
+	// offered — they count toward Generated and depress Availability — but
+	// never admitted into the network. Always zero without a ControlHook.
+	Shed int
 
 	// FailureDrops counts packets permanently lost to node failures under
 	// FailDrop — in service or queued at a failing instance, or arriving
@@ -317,6 +337,17 @@ type instance struct {
 	down      bool
 	epoch     int32
 	bootUntil float64
+	// retired marks an instance removed by RemoveInstance: it drains its
+	// residual work but receives no new routes. Observational only.
+	retired bool
+
+	// Control-plane utilization window (maintained only when Config.Control
+	// is set, see simulation.ctrlOn): ctrlBusy accumulates raw busy time —
+	// unclipped by warmup/horizon, unlike busyTime — and ctrlMark snapshots
+	// it at each tick, so a tick's window utilization is their difference
+	// over the window length.
+	ctrlBusy float64
+	ctrlMark float64
 
 	// Time-averaged population bookkeeping (∫N dt over [warmup, horizon]).
 	population int
@@ -351,6 +382,23 @@ func (inst *instance) enqueue(pid int32) {
 		inst.qhead = 0
 	}
 	inst.q[(inst.qhead+inst.qlen)&(len(inst.q)-1)] = pid
+	inst.qlen++
+}
+
+// requeueFront pushes a packet index back onto the head of the ring buffer
+// — the migration freeze path returns an interrupted in-service packet to
+// the front so its position in line is preserved.
+func (inst *instance) requeueFront(pid int32) {
+	if inst.qlen == len(inst.q) {
+		grown := make([]int32, max(2*len(inst.q), 8))
+		for i := 0; i < inst.qlen; i++ {
+			grown[i] = inst.q[(inst.qhead+i)&(len(inst.q)-1)]
+		}
+		inst.q = grown
+		inst.qhead = 0
+	}
+	inst.qhead = (inst.qhead - 1) & (len(inst.q) - 1)
+	inst.q[inst.qhead] = pid
 	inst.qlen++
 }
 
@@ -420,6 +468,24 @@ type simulation struct {
 	// nextInst tracks the next free instance index per VNF for
 	// RepairControl.AddInstance (base indices [0, M_f) are reserved).
 	nextInst map[model.VNFID]int
+
+	// Control-plane state, inert unless cfg.Control is set (ctrlOn) or a
+	// hook enables shedding. lastTick anchors the per-tick observation
+	// window; shedFrac/shedAcc implement deterministic fractional admission
+	// shedding (see shedNext).
+	ctrlOn   bool
+	lastTick float64
+	shedFrac float64
+	shedAcc  float64
+
+	// Correlated-preemption state (cfg.FaultPlan.Preemption): the dedicated
+	// stream, the pending event's drawn group and time, and draw/notice
+	// scratch. At most one preemption is pending at a time.
+	preemptStream *rng.Stream
+	preemptGroup  []int32
+	preemptPerm   []int32
+	preemptAt     float64
+	noticeIDs     []model.NodeID
 
 	// streams caches derived RNG streams by label: Reset rewinds a cached
 	// stream in place (rng.Stream.Reseed) instead of re-deriving it, which
@@ -588,6 +654,14 @@ func (sim *Simulator) Reset(cfg Config) error {
 			return err
 		}
 	}
+	if cfg.Control != nil {
+		if cfg.Placement == nil {
+			return errors.New("simulate: Control requires a Placement (the control plane acts per node)")
+		}
+		if !(cfg.ControlInterval > 0) || math.IsInf(cfg.ControlInterval, 1) {
+			return fmt.Errorf("simulate: Control requires a positive finite ControlInterval, got %v", cfg.ControlInterval)
+		}
+	}
 	// Partial validation: requests absent from the schedule were rejected by
 	// admission control and simply generate no traffic.
 	if err := cfg.Schedule.ValidatePartial(cfg.Problem); err != nil {
@@ -605,6 +679,13 @@ func (sim *Simulator) Reset(cfg Config) error {
 	s.live = 0
 	s.started = false
 	s.hasStaged = false
+	s.ctrlOn = cfg.Control != nil
+	s.lastTick = 0
+	s.shedFrac = 0
+	s.shedAcc = 0
+	s.preemptStream = nil
+	s.preemptGroup = s.preemptGroup[:0]
+	s.preemptAt = 0
 	s.agenda.reset(cfg.resolveAgenda(), cfg.Agenda == AgendaAuto)
 	s.packets = s.packets[:0]
 	s.packetFree = s.packetFree[:0]
@@ -835,6 +916,12 @@ func (sim *Simulator) Inject(at, birth float64, id model.RequestID) (bool, error
 	if at >= s.cfg.Horizon {
 		return false, nil
 	}
+	if s.shedFrac > 0 && s.shedNext() {
+		// Admission shed: the injection is offered but turned away.
+		s.results.Generated++
+		s.results.Shed++
+		return true, nil
+	}
 	// If a peeked event is staged and the injection precedes it, the staged
 	// event goes back to the agenda (original seq intact) so the next pop
 	// returns the earlier of the two.
@@ -898,6 +985,9 @@ func (s *simulation) start() {
 	s.started = true
 	s.seedArrivals()
 	s.seedFaults()
+	if s.cfg.Control != nil && s.cfg.ControlInterval < s.cfg.Horizon {
+		s.agenda.push(event{time: s.cfg.ControlInterval, kind: evControlTick})
+	}
 }
 
 // stage ensures the next pending event (in (time, seq) order) is staged,
@@ -1034,7 +1124,9 @@ func (s *simulation) build() error {
 			s.hopFlat = append(s.hopFlat, hop)
 		}
 	}
-	if s.cfg.FaultPlan != nil {
+	// The node table serves both fault injection and the control plane
+	// (migration and scaling act per node).
+	if s.cfg.FaultPlan != nil || s.cfg.Control != nil {
 		if err := s.buildFaults(); err != nil {
 			return err
 		}
@@ -1152,9 +1244,22 @@ func (s *simulation) dispatch(e event) {
 		s.nodeUp(e.inst, e.reqIndex == 1)
 	case evInstanceReady:
 		s.instanceReady(e.inst)
+	case evControlTick:
+		s.controlTick()
+	case evPreempt:
+		s.preemptFire()
+	case evPreemptNotice:
+		s.preemptNotice()
 	case evSource:
 		i := e.reqIndex
 		s.results.Generated++
+		if s.shedFrac > 0 && s.shedNext() {
+			// Admission shed: offered but never admitted. The next arrival
+			// is still drawn, so the source stream is unperturbed.
+			s.results.Shed++
+			s.scheduleNextSource(i, s.now)
+			return
+		}
 		s.live++
 		pid := s.newPacket(i, s.now)
 		first := s.routeFlat[s.chainOff[i]]
@@ -1236,6 +1341,9 @@ func (s *simulation) complete(iid int32, epoch int32) {
 	}
 	pid := inst.busy
 	inst.busyTime += overlap(inst.serviceStart, s.now, s.cfg.Warmup, s.cfg.Horizon)
+	if s.ctrlOn {
+		inst.ctrlBusy += s.now - inst.serviceStart
+	}
 	inst.notePopulation(s.now, s.cfg.Warmup, s.cfg.Horizon, -1)
 	if s.packets[pid].visitStart >= s.cfg.Warmup {
 		inst.visits.Add(s.now - s.packets[pid].visitStart)
@@ -1327,7 +1435,7 @@ func (s *simulation) finalize() {
 		*sum = s.perReq[i]
 		s.results.PerRequest[s.requests[i].ID] = sum
 	}
-	if s.cfg.FaultPlan != nil {
+	if len(s.nodes) > 0 {
 		s.finalizeFaults()
 	}
 	s.results.Availability = 1

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"nfvchain/internal/cluster"
+	"nfvchain/internal/control"
 	"nfvchain/internal/core"
 	"nfvchain/internal/dynamic"
 	"nfvchain/internal/experiment"
@@ -210,6 +211,56 @@ func NewRepairController(cfg RepairConfig) (*RepairController, error) {
 
 // ParseRepairMode parses a textual repair mode (none|reschedule|replace).
 func ParseRepairMode(s string) (RepairMode, error) { return repair.ParseMode(s) }
+
+// Online control plane, re-exported.
+type (
+	// ControlHook receives periodic controller ticks when wired in via
+	// SimulationConfig.Control (+ ControlInterval).
+	ControlHook = simulate.ControlHook
+	// ControlPlane is the observation-and-actuation handle a ControlHook
+	// receives at each tick.
+	ControlPlane = simulate.ControlPlane
+	// InstanceObs is one instance's control-plane observation at a tick.
+	InstanceObs = simulate.InstanceObs
+	// PreemptionPlan extends a FaultPlan with spot-style correlated capacity
+	// loss: drawn node groups go down together, with optional advance notice.
+	PreemptionPlan = simulate.PreemptionPlan
+	// PreemptionNoticeHook is optionally implemented by a FaultHook to
+	// receive advance notice of correlated preemptions.
+	PreemptionNoticeHook = simulate.PreemptionNoticeHook
+	// ControlConfig parameterizes the pool-manager controller.
+	ControlConfig = control.Config
+	// Controller is the online pool manager: autoscaling, migration and
+	// graceful degradation on top of the repair machinery. Wire one value in
+	// as both SimulationConfig.FaultHook and SimulationConfig.Control.
+	Controller = control.Controller
+	// ControlPolicy selects how much of the control plane is active.
+	ControlPolicy = control.Policy
+	// ControlStats counts one run's control-plane activity.
+	ControlStats = control.Stats
+)
+
+// Control policies for ControlConfig.Policy, ordered by escalation.
+const (
+	// ControlNone disables the control plane (the baseline).
+	ControlNone = control.PolicyNone
+	// ControlRepair reacts to node transitions like a repair controller.
+	ControlRepair = control.PolicyRepair
+	// ControlAutoscale adds utilization-driven scaling and admission
+	// shedding at each tick.
+	ControlAutoscale = control.PolicyAutoscale
+	// ControlAutoscaleMigrate additionally migrates instances off failed,
+	// hot, and about-to-be-preempted nodes.
+	ControlAutoscaleMigrate = control.PolicyAutoscaleMigrate
+)
+
+// NewController builds an online pool-manager controller for one simulation
+// run; wire it in via SimulationConfig.FaultHook and SimulationConfig.Control.
+func NewController(cfg ControlConfig) (*Controller, error) { return control.New(cfg) }
+
+// ParseControlPolicy parses a textual control policy
+// (none|repair|autoscale|autoscale+migrate).
+func ParseControlPolicy(s string) (ControlPolicy, error) { return control.ParsePolicy(s) }
 
 // Algorithm interfaces re-exported for callers supplying their own
 // strategies via Options.
