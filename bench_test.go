@@ -314,6 +314,37 @@ func BenchmarkSimulatorDeepHorizon(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulatorStreamReplay runs the fleet workload through the
+// streaming arrival path: per-request renewal sources superposed by a
+// MergedStream feed Config.TraceStream one row at a time, with the
+// ExpectedArrivals hint sizing the agenda up front. Same event volume as
+// BenchmarkSimulatorLargeHorizon, but the simulator holds one staged
+// arrival per cursor instead of the whole trace. CI runs one iteration as
+// a smoke test of the pull-based path; the trajectory numbers live in
+// results/BENCH.json (Simulator/stream-replay).
+func BenchmarkSimulatorStreamReplay(b *testing.B) {
+	prob, sched := largeHorizonFixture()
+	sim := simulate.NewSimulator()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srcs, err := workload.TraceSources(prob, workload.InterArrivalExponential, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sim.Reset(simulate.Config{
+			Problem: prob, Schedule: sched, Horizon: 30, Warmup: 2, Seed: uint64(i),
+			TraceStream:      workload.NewMergedStream(srcs),
+			ExpectedArrivals: 45_000, // ~1500 pps × 30 s
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSimulatorDropRetransmit measures the NACK loss-feedback path: a
 // stable M/M/1/4 queue (ρ = 0.8) whose blocking losses are re-injected from
 // the source. The system must stay stable — an overloaded queue with

@@ -35,6 +35,7 @@ import (
 	"nfvchain/internal/rng"
 	"nfvchain/internal/scheduling"
 	"nfvchain/internal/simulate"
+	"nfvchain/internal/workload"
 )
 
 // benchResult is one scenario's measurement in BENCH.json.
@@ -270,6 +271,8 @@ func scenarios() []scenario {
 		{"Simulator/deep-horizon", simulatorDeepHorizon},
 		{"Simulator/agenda-ab/heap", func(b *testing.B) { simulatorAgendaAB(b, simulate.AgendaHeap) }},
 		{"Simulator/agenda-ab/ladder", func(b *testing.B) { simulatorAgendaAB(b, simulate.AgendaLadder) }},
+		{"Simulator/stream-replay", simulatorStreamReplay},
+		{"Simulator/bursty-classes", simulatorBurstyClasses},
 		{"Simulator/drop-retransmit", simulatorDropRetransmit},
 		{"Simulator/failure-churn", simulatorFailureChurn},
 		{"Simulator/preemption-churn", simulatorPreemptionChurn},
@@ -421,6 +424,61 @@ func simulatorAgendaAB(b *testing.B, kind simulate.AgendaKind) {
 		if err := sim.Reset(simulate.Config{
 			Problem: prob, Schedule: sched, Horizon: 300, Warmup: 2, Seed: seed,
 			Agenda: kind,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// simulatorStreamReplay is the large-horizon fleet workload arriving through
+// the streaming trace cursor: per-request Poisson sources superposed by a
+// MergedStream feed Config.TraceStream one row at a time, with the
+// ExpectedArrivals hint standing in for the exact trace length a CSV replay
+// would have learned from its analysis pass. Measures the pull-based arrival
+// path (one staged event per cursor) against the push-everything baseline of
+// Simulator/large-horizon-reuse.
+func simulatorStreamReplay(b *testing.B) {
+	prob, sched := fleetFixture()
+	sim := simulate.NewSimulator()
+	warmed(b, func(seed uint64) {
+		srcs, err := workload.TraceSources(prob, workload.InterArrivalExponential, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sim.Reset(simulate.Config{
+			Problem: prob, Schedule: sched, Horizon: 30, Warmup: 2, Seed: seed,
+			TraceStream:      workload.NewMergedStream(srcs),
+			ExpectedArrivals: 45_000, // ~1500 pps × 30 s
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// simulatorBurstyClasses drives the fleet with the heavy-traffic client-class
+// mix (steady/diurnal/bursty) through Config.Sources — the generator tier's
+// hot path: NHPP thinning and MMPP epoch-walking inside the event loop.
+func simulatorBurstyClasses(b *testing.B) {
+	prob, sched := fleetFixture()
+	sim := simulate.NewSimulator()
+	warmed(b, func(seed uint64) {
+		cw, err := workload.BuildSources(prob, workload.DefaultClasses(), seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srcs := make(map[model.RequestID]simulate.ArrivalSource, len(cw.Sources))
+		for id, s := range cw.Sources {
+			srcs[id] = s
+		}
+		if err := sim.Reset(simulate.Config{
+			Problem: prob, Schedule: sched, Horizon: 30, Warmup: 2, Seed: seed,
+			Sources: srcs,
 		}); err != nil {
 			b.Fatal(err)
 		}

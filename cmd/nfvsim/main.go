@@ -75,6 +75,9 @@ func runTo(args []string, stdout io.Writer) error {
 		globalFrac  = fs.Float64("global-fraction", 0.25, "with -datacenters: fraction of requests promoted to cluster-level flows routed across datacenters")
 		clusterWork = fs.Int("cluster-workers", 0, "with -datacenters: cluster execution driver: 0 = sequential event interleaving, >= 1 = conservative-window driver draining datacenters between routing barriers (in parallel on that many goroutines when > 1); results are bit-identical")
 
+		workloadStr = fs.String("workload", "flat", "with -simulate: arrival workload: flat (homogeneous Poisson), classes (heterogeneous client classes: steady/diurnal/bursty), trace-stream (constant-memory CSV replay via -trace-file)")
+		traceFile   = fs.String("trace-file", "", "with -workload trace-stream: trace CSV to replay (as written by cmd/tracegen)")
+
 		mtbf       = fs.Float64("mtbf", 0, "with -simulate: mean time between node failures in seconds (0 disables fault injection)")
 		mttr       = fs.Float64("mttr", 5, "with -simulate -mtbf: mean time to repair a failed node in seconds")
 		failPolicy = fs.String("failurepolicy", "drop", "with -simulate -mtbf: fate of packets on failed nodes: drop|retransmit")
@@ -93,6 +96,10 @@ func runTo(args []string, stdout io.Writer) error {
 	}
 	if *jsonOut && !*simulateIt {
 		return fmt.Errorf("-json requires -simulate (it emits the simulation Results document)")
+	}
+	wl := workloadOptions{mode: *workloadStr, traceFile: *traceFile}
+	if err := wl.validate(*simulateIt); err != nil {
+		return err
 	}
 	out := output{stdout: stdout, json: *jsonOut}
 	stopProf, err := profiling.Start(profiling.Profiles{
@@ -130,7 +137,7 @@ func runTo(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return runSolve(*solve, *seed, *simulateIt, *solOut, algs, *improve, faults, ctrl, agenda, out)
+		return runSolve(*solve, *seed, *simulateIt, *solOut, algs, *improve, faults, ctrl, agenda, wl, out)
 	case *demo:
 		algs, err := chooseAlgorithms(*placer, *scheduler, *seed)
 		if err != nil {
@@ -151,6 +158,9 @@ func runTo(args []string, stdout io.Writer) error {
 		if *datacenters > 1 {
 			if *jsonOut {
 				return fmt.Errorf("-json is not supported with -datacenters (cluster results are text-report only)")
+			}
+			if wl.mode != "flat" {
+				return fmt.Errorf("-workload %s is not wired into cluster mode from the CLI; drop -datacenters (the library supports per-flow sources via GlobalRequest.Source)", wl.mode)
 			}
 			if faults.mtbf > 0 {
 				return fmt.Errorf("-mtbf fault injection is not wired into cluster mode; drop -datacenters or -mtbf")
@@ -174,7 +184,7 @@ func runTo(args []string, stdout io.Writer) error {
 			}
 			return runClusterDemo(*seed, *vnfs, *requests, *nodes, *simulateIt, algs, agenda, cc, out)
 		}
-		return runDemo(*seed, *vnfs, *requests, *nodes, *simulateIt, *solOut, algs, *improve, faults, ctrl, agenda, out)
+		return runDemo(*seed, *vnfs, *requests, *nodes, *simulateIt, *solOut, algs, *improve, faults, ctrl, agenda, wl, out)
 	case *fig != "":
 		cfg := experiment.DefaultConfig()
 		if *fast {
@@ -311,7 +321,105 @@ func chooseControl(policyStr string, interval, preemptInterval float64, group in
 	return out, nil
 }
 
-func runSolve(path string, seed uint64, simulate bool, solOut string, algs algorithms, improve bool, faults faultOptions, ctrl controlOptions, agenda nfvchain.AgendaKind, out output) error {
+// workloadOptions bundles the -workload/-trace-file arrival-process flags;
+// mode "flat" keeps the homogeneous-Poisson default.
+type workloadOptions struct {
+	mode      string
+	traceFile string
+}
+
+func (w workloadOptions) validate(simulateIt bool) error {
+	switch w.mode {
+	case "flat", "classes", "trace-stream":
+	default:
+		return fmt.Errorf("unknown workload %q (want flat|classes|trace-stream)", w.mode)
+	}
+	if w.mode != "flat" && !simulateIt {
+		return fmt.Errorf("-workload %s requires -simulate (it shapes the simulated arrival process)", w.mode)
+	}
+	if w.mode == "trace-stream" && w.traceFile == "" {
+		return fmt.Errorf("-workload trace-stream requires -trace-file")
+	}
+	if w.mode != "trace-stream" && w.traceFile != "" {
+		return fmt.Errorf("-trace-file requires -workload trace-stream")
+	}
+	return nil
+}
+
+// applyWorkload wires the -workload selection into the simulation config.
+// classes installs per-request generator sources (reporting the class mix);
+// trace-stream first makes a one-pass streaming analysis over the CSV —
+// reporting workload-realism KPIs and learning the exact arrival count for
+// the agenda-sizing hint — then attaches a fresh cursor for constant-memory
+// replay. The returned cleanup closes any file the replay cursor holds open.
+func applyWorkload(simCfg *nfvchain.SimulationConfig, wl workloadOptions, sol *nfvchain.Solution, seed uint64, rep io.Writer) (func(), error) {
+	noop := func() {}
+	switch wl.mode {
+	case "classes":
+		cw, err := nfvchain.BuildClassSources(sol.Problem, nfvchain.DefaultClientClasses(), seed)
+		if err != nil {
+			return noop, err
+		}
+		srcs := make(map[nfvchain.RequestID]nfvchain.ArrivalSource, len(cw.Sources))
+		counts := map[string]int{}
+		for id, s := range cw.Sources {
+			srcs[id] = s
+			counts[cw.Assignments[id].Class]++
+		}
+		simCfg.Sources = srcs
+		names := make([]string, 0, len(counts))
+		for name := range counts {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(rep, "workload classes:")
+		for _, name := range names {
+			fmt.Fprintf(rep, " %s=%d", name, counts[name])
+		}
+		fmt.Fprintln(rep)
+	case "trace-stream":
+		// Analysis pass: one streaming read computes per-flow realism KPIs
+		// and the exact arrival count, without materializing the trace.
+		f, err := os.Open(wl.traceFile)
+		if err != nil {
+			return noop, fmt.Errorf("open %s: %w", wl.traceFile, err)
+		}
+		tstats, err := nfvchain.AnalyzeTraceCSV(f)
+		_ = f.Close()
+		if err != nil {
+			return noop, err
+		}
+		arrivals, poissonLike := 0, 0
+		var meanCV stats.Summary
+		for _, st := range tstats {
+			arrivals += st.Count
+			if st.PoissonLike {
+				poissonLike++
+			}
+			if st.Count >= 3 {
+				meanCV.Add(st.CVGap)
+			}
+		}
+		fmt.Fprintf(rep, "trace analysis (streaming): %d flows, %d arrivals, mean inter-arrival CV %.3f, %d/%d Poisson-like\n",
+			len(tstats), arrivals, meanCV.Mean(), poissonLike, len(tstats))
+		// Replay pass: a fresh cursor feeds the simulator one row at a time.
+		f2, err := os.Open(wl.traceFile)
+		if err != nil {
+			return noop, fmt.Errorf("open %s: %w", wl.traceFile, err)
+		}
+		ts, err := nfvchain.NewTraceStream(f2)
+		if err != nil {
+			_ = f2.Close()
+			return noop, err
+		}
+		simCfg.TraceStream = ts
+		simCfg.ExpectedArrivals = arrivals
+		return func() { _ = f2.Close() }, nil
+	}
+	return noop, nil
+}
+
+func runSolve(path string, seed uint64, simulate bool, solOut string, algs algorithms, improve bool, faults faultOptions, ctrl controlOptions, agenda nfvchain.AgendaKind, wl workloadOptions, out output) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("open %s: %w", path, err)
@@ -325,10 +433,10 @@ func runSolve(path string, seed uint64, simulate bool, solOut string, algs algor
 	}
 	fmt.Fprintf(out.report(), "problem: %d VNFs, %d requests, %d nodes (from %s)\n",
 		len(p.VNFs), len(p.Requests), len(p.Nodes), path)
-	return solveAndReport(p, seed, simulate, solOut, algs, improve, faults, ctrl, agenda, out)
+	return solveAndReport(p, seed, simulate, solOut, algs, improve, faults, ctrl, agenda, wl, out)
 }
 
-func runDemo(seed uint64, vnfs, requests, nodes int, simulate bool, solOut string, algs algorithms, improve bool, faults faultOptions, ctrl controlOptions, agenda nfvchain.AgendaKind, out output) error {
+func runDemo(seed uint64, vnfs, requests, nodes int, simulate bool, solOut string, algs algorithms, improve bool, faults faultOptions, ctrl controlOptions, agenda nfvchain.AgendaKind, wl workloadOptions, out output) error {
 	cfg := nfvchain.DefaultWorkloadConfig()
 	cfg.Seed = seed
 	cfg.NumVNFs = vnfs
@@ -349,7 +457,7 @@ func runDemo(seed uint64, vnfs, requests, nodes int, simulate bool, solOut strin
 	}
 	fmt.Fprintf(out.report(), "workload: %d VNFs, %d requests, %d nodes (seed %d)\n",
 		len(p.VNFs), len(p.Requests), len(p.Nodes), seed)
-	return solveAndReport(p, seed, simulate, solOut, algs, improve, faults, ctrl, agenda, out)
+	return solveAndReport(p, seed, simulate, solOut, algs, improve, faults, ctrl, agenda, wl, out)
 }
 
 // clusterOptions bundles the -datacenters/-wan-latency/-route/-global-fraction
@@ -473,7 +581,7 @@ func chooseAlgorithms(placer, scheduler string, seed uint64) (algorithms, error)
 	return out, nil
 }
 
-func solveAndReport(p *model.Problem, seed uint64, simulate bool, solOut string, algs algorithms, improve bool, faults faultOptions, ctrl controlOptions, agenda nfvchain.AgendaKind, out output) error {
+func solveAndReport(p *model.Problem, seed uint64, simulate bool, solOut string, algs algorithms, improve bool, faults faultOptions, ctrl controlOptions, agenda nfvchain.AgendaKind, wl workloadOptions, out output) error {
 	rep := out.report()
 	sol, err := nfvchain.Optimize(p, nfvchain.Options{
 		Seed:      seed,
@@ -529,6 +637,11 @@ func solveAndReport(p *model.Problem, seed uint64, simulate bool, solOut string,
 		return nil
 	}
 	simCfg := nfvchain.SimulationConfig{Horizon: 60, Warmup: 10, Seed: seed, Agenda: agenda}
+	closeWorkload, err := applyWorkload(&simCfg, wl, sol, seed, rep)
+	if err != nil {
+		return err
+	}
+	defer closeWorkload()
 	var repairCtrl *nfvchain.RepairController
 	if faults.mtbf > 0 {
 		simCfg.FaultPlan = &nfvchain.FaultPlan{MTBF: faults.mtbf, MTTR: faults.mttr}

@@ -1,17 +1,23 @@
 // Command tracegen synthesizes nfvchain workloads: a problem instance
 // (nodes, VNFs, requests with chains) as JSON and, optionally, a
-// packet-level arrival trace as CSV for trace-driven simulation.
+// packet-level arrival trace as CSV for trace-driven simulation. Traces are
+// written incrementally through the streaming generator tier, so arbitrarily
+// long horizons run in O(#requests) memory.
 //
 // Usage:
 //
 //	tracegen -requests 200 -vnfs 15 -nodes 10 -out problem.json
 //	tracegen -out problem.json -trace trace.csv -horizon 30 -dist lognormal
+//	tracegen -out problem.json -trace trace.csv -workload classes -horizon 120
 package main
 
 import (
+	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 
 	"nfvchain/internal/model"
 	"nfvchain/internal/workload"
@@ -25,6 +31,8 @@ func main() {
 }
 
 // analyzeTrace prints per-request arrival statistics for a recorded trace.
+// The file is streamed through the one-pass analyzer, so traces of any
+// length are handled in O(#requests) memory.
 func analyzeTrace(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -33,17 +41,44 @@ func analyzeTrace(path string) error {
 	defer func() {
 		_ = f.Close()
 	}()
-	tr, err := workload.ReadTraceCSV(f)
+	sts, err := workload.AnalyzeTraceCSV(f)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("%-12s %8s %10s %10s %8s %8s %s\n",
 		"request", "count", "rate(pps)", "mean gap", "CV", "KS", "poisson?")
-	for _, st := range workload.AnalyzeTrace(tr) {
+	for _, st := range sts {
 		fmt.Printf("%-12s %8d %10.3f %10.5f %8.3f %8.4f %v\n",
 			st.Request, st.Count, st.Rate, st.MeanGap, st.CVGap, st.KSStatistic, st.PoissonLike)
 	}
 	return nil
+}
+
+// writeTraceStream pulls the merged superposition one arrival at a time and
+// appends CSV rows as they come, bounding the pull by the horizon. Output is
+// byte-identical to materializing the same sources into a Trace and calling
+// WriteCSV, without ever holding more than one arrival per source.
+func writeTraceStream(w io.Writer, ms *workload.MergedStream, horizon float64) (int, error) {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time", "request"}); err != nil {
+		return 0, fmt.Errorf("write trace header: %w", err)
+	}
+	n := 0
+	for {
+		t, id, ok := ms.NextArrival()
+		if !ok || t >= horizon {
+			break
+		}
+		if err := cw.Write([]string{strconv.FormatFloat(t, 'g', -1, 64), string(id)}); err != nil {
+			return n, fmt.Errorf("write trace row: %w", err)
+		}
+		n++
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return n, fmt.Errorf("flush trace: %w", err)
+	}
+	return n, nil
 }
 
 func run(args []string) error {
@@ -58,10 +93,15 @@ func run(args []string) error {
 		rateMax  = fs.Float64("rate-max", 100, "maximum request rate (pps)")
 		prob     = fs.Float64("p", 0.98, "delivery probability P")
 		out      = fs.String("out", "", "problem JSON output path (default stdout)")
-		tracePth = fs.String("trace", "", "also write an arrival trace CSV to this path")
+		tracePth = fs.String("trace", "", "also write an arrival trace CSV to this path (streamed row by row)")
 		horizon  = fs.Float64("horizon", 10, "trace horizon in seconds")
-		dist     = fs.String("dist", "exp", `inter-arrival distribution: "exp" or "lognormal"`)
-		analyze  = fs.String("analyze", "", "analyze an existing trace CSV (rates, burstiness, Poisson test) and exit")
+		dist     = fs.String("dist", "exp", `with -workload flat: inter-arrival distribution: "exp" or "lognormal"`)
+		wlStr    = fs.String("workload", "flat", "trace workload: flat (per-request renewal processes) or classes (heterogeneous client classes: steady/diurnal/bursty)")
+		diAmp    = fs.Float64("diurnal-amplitude", 0.8, "with -workload classes: diurnal class rate swing in [0,1)")
+		diPeriod = fs.Float64("diurnal-period", 20, "with -workload classes: diurnal class period in seconds")
+		burstOn  = fs.Float64("burst-on", 1, "with -workload classes: bursty class mean on-sojourn in seconds")
+		burstOff = fs.Float64("burst-off", 4, "with -workload classes: bursty class mean off-sojourn in seconds")
+		analyze  = fs.String("analyze", "", "analyze an existing trace CSV (rates, burstiness, Poisson test; streaming, constant memory) and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,18 +145,47 @@ func run(args []string) error {
 	if *tracePth == "" {
 		return nil
 	}
-	var ia workload.InterArrival
-	switch *dist {
-	case "exp":
-		ia = workload.InterArrivalExponential
-	case "lognormal":
-		ia = workload.InterArrivalLogNormal
-	default:
-		return fmt.Errorf("unknown distribution %q", *dist)
+	if *horizon <= 0 {
+		return fmt.Errorf("horizon %v must be positive", *horizon)
 	}
-	tr, err := workload.GenerateTrace(p, *horizon, ia, *seed)
-	if err != nil {
-		return err
+	var srcs map[model.RequestID]workload.Source
+	switch *wlStr {
+	case "flat":
+		var ia workload.InterArrival
+		switch *dist {
+		case "exp":
+			ia = workload.InterArrivalExponential
+		case "lognormal":
+			ia = workload.InterArrivalLogNormal
+		default:
+			return fmt.Errorf("unknown distribution %q", *dist)
+		}
+		srcs, err = workload.TraceSources(p, ia, *seed)
+		if err != nil {
+			return err
+		}
+	case "classes":
+		if *dist != "exp" {
+			return fmt.Errorf("-dist applies to -workload flat only (classes fix each class's process)")
+		}
+		classes := workload.DefaultClasses()
+		for i := range classes {
+			switch classes[i].Process {
+			case workload.ProcessDiurnal:
+				classes[i].Amplitude = *diAmp
+				classes[i].Period = *diPeriod
+			case workload.ProcessOnOff:
+				classes[i].MeanOn = *burstOn
+				classes[i].MeanOff = *burstOff
+			}
+		}
+		cw, err := workload.BuildSources(p, classes, *seed)
+		if err != nil {
+			return err
+		}
+		srcs = cw.Sources
+	default:
+		return fmt.Errorf("unknown workload %q (want flat|classes)", *wlStr)
 	}
 	f, err := os.Create(*tracePth)
 	if err != nil {
@@ -125,9 +194,10 @@ func run(args []string) error {
 	defer func() {
 		_ = f.Close()
 	}()
-	if err := tr.WriteCSV(f); err != nil {
+	n, err := writeTraceStream(f, workload.NewMergedStream(srcs), *horizon)
+	if err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d arrivals over %.3gs)\n", *tracePth, tr.Len(), *horizon)
+	fmt.Printf("wrote %s (%d arrivals over %.3gs)\n", *tracePth, n, *horizon)
 	return nil
 }

@@ -178,7 +178,7 @@ func New(cfg Config) (*ClusterSimulator, error) {
 			return nil, fmt.Errorf("cluster: duplicate global request %q", g.ID)
 		}
 		seen[g.ID] = true
-		if !(g.Rate > 0) || math.IsInf(g.Rate, 1) {
+		if g.Source == nil && (!(g.Rate > 0) || math.IsInf(g.Rate, 1)) {
 			return nil, fmt.Errorf("cluster: global request %q: rate %v must be positive and finite", g.ID, g.Rate)
 		}
 		if g.Home < 0 || g.Home >= len(cfg.Datacenters) {
@@ -224,10 +224,7 @@ func New(cfg Config) (*ClusterSimulator, error) {
 	}
 	for i, g := range cfg.Global {
 		c.streams[i] = rng.Derive(cfg.Seed, "cluster/arrivals/"+string(g.ID))
-		c.next[i] = c.streams[i].Exp(g.Rate)
-		if c.next[i] >= horizon {
-			c.next[i] = math.Inf(1)
-		}
+		c.next[i] = c.nextArrival(i, 0, horizon)
 		c.canServe[i] = make([]bool, len(cfg.Datacenters))
 		for d := range c.sims {
 			c.canServe[i][d] = c.sims[d].CanServe(g.ID)
@@ -239,6 +236,32 @@ func New(cfg Config) (*ClusterSimulator, error) {
 		RoutedByDC: make([]int, len(cfg.Datacenters)),
 	}
 	return c, nil
+}
+
+// nextArrival draws global flow i's next arrival time strictly after t:
+// from the flow's custom Source when one is set, otherwise from the Poisson
+// process at Rate on the flow's derived stream. Arrivals at or past the
+// horizon — and exhausted sources — come back as +Inf, which retires the
+// flow from the arrival index heaps.
+func (c *ClusterSimulator) nextArrival(i int, after, horizon float64) float64 {
+	g := &c.cfg.Global[i]
+	var next float64
+	if g.Source != nil {
+		t, ok := g.Source.Next(after)
+		if !ok {
+			return math.Inf(1)
+		}
+		next = t
+		if !(next >= after) { // clamp non-monotone or NaN sources
+			next = after
+		}
+	} else {
+		next = after + c.streams[i].Exp(g.Rate)
+	}
+	if next >= horizon {
+		return math.Inf(1)
+	}
+	return next
 }
 
 func (c *ClusterSimulator) dcName(d int) string {
@@ -308,11 +331,7 @@ func (c *ClusterSimulator) runSequential(ctx context.Context) error {
 			if target := c.routeArrival(minA, arrT); target >= 0 {
 				c.dcIdx.update(target, c.times[target])
 			}
-			g := &c.cfg.Global[minA]
-			c.next[minA] = arrT + c.streams[minA].Exp(g.Rate)
-			if c.next[minA] >= c.res.Horizon {
-				c.next[minA] = math.Inf(1)
-			}
+			c.next[minA] = c.nextArrival(minA, arrT, c.res.Horizon)
 			c.arrIdx.update(minA, c.next[minA])
 			continue
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nfvchain/internal/model"
+	"nfvchain/internal/simulate"
 )
 
 // DCState is the live per-datacenter view a routing policy observes when
@@ -151,7 +152,14 @@ func RoutePolicies() []string {
 type GlobalRequest struct {
 	ID model.RequestID
 	// Rate is the Poisson arrival rate of the global flow, packets/s.
+	// Ignored when Source is set.
 	Rate float64
+	// Source, when non-nil, replaces the Poisson process with a pull-based
+	// arrival generator (e.g. a workload class source built by
+	// workload.BuildSources), letting cluster flows carry diurnal or bursty
+	// heavy-traffic processes. The source is consumed by the cluster driver
+	// and must not be shared with another flow or simulator.
+	Source simulate.ArrivalSource
 	// Home is the index of the request's home datacenter: arrivals served
 	// there enter immediately, arrivals routed elsewhere pay the WAN entry
 	// hop.

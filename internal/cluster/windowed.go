@@ -142,11 +142,7 @@ func (c *ClusterSimulator) runWindowed(ctx context.Context, workers int) error {
 			return nil
 		}
 		c.routeArrival(minA, arrT)
-		g := &c.cfg.Global[minA]
-		c.next[minA] = arrT + c.streams[minA].Exp(g.Rate)
-		if c.next[minA] >= c.res.Horizon {
-			c.next[minA] = math.Inf(1)
-		}
+		c.next[minA] = c.nextArrival(minA, arrT, c.res.Horizon)
 	}
 }
 

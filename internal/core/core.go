@@ -104,6 +104,20 @@ type SimulationConfig struct {
 	DropPolicy      simulate.DropPolicy
 	RetransmitDelay float64
 	Trace           *workload.Trace
+	// TraceStream replays arrivals from a forward-only cursor (e.g. a
+	// workload.TraceStream over a CSV) in constant memory — bit-identical to
+	// materializing the same trace into Trace. Mutually exclusive with
+	// Trace and Sources.
+	TraceStream simulate.TraceSource
+	// Sources overrides individual requests' arrival processes with
+	// pull-based generators (e.g. workload.BuildSources client classes);
+	// absent requests keep the flat-Poisson default. Mutually exclusive
+	// with Trace and TraceStream.
+	Sources map[model.RequestID]simulate.ArrivalSource
+	// ExpectedArrivals hints the total arrival count for streamed runs
+	// (agenda sizing, sample pre-allocation); 0 falls back to the offered-
+	// rate estimate.
+	ExpectedArrivals int
 	// ServiceDist selects the service-time distribution (zero value =
 	// exponential, the paper's assumption).
 	ServiceDist simulate.ServiceDist
@@ -160,23 +174,26 @@ func SimulateWith(ctx context.Context, sim *simulate.Simulator, sol *Solution, c
 // config.
 func simConfig(sol *Solution, cfg SimulationConfig) simulate.Config {
 	return simulate.Config{
-		Problem:         sol.Problem,
-		Schedule:        sol.Schedule,
-		Placement:       sol.Placement,
-		LinkDelay:       sol.LinkDelay,
-		Horizon:         cfg.Horizon,
-		Warmup:          cfg.Warmup,
-		BufferSize:      cfg.BufferSize,
-		DropPolicy:      cfg.DropPolicy,
-		RetransmitDelay: cfg.RetransmitDelay,
-		Trace:           cfg.Trace,
-		ServiceDist:     cfg.ServiceDist,
-		Agenda:          cfg.Agenda,
-		Seed:            cfg.Seed,
-		FaultPlan:       cfg.FaultPlan,
-		FailurePolicy:   cfg.FailurePolicy,
-		FaultHook:       cfg.FaultHook,
-		Control:         cfg.Control,
-		ControlInterval: cfg.ControlInterval,
+		Problem:          sol.Problem,
+		Schedule:         sol.Schedule,
+		Placement:        sol.Placement,
+		LinkDelay:        sol.LinkDelay,
+		Horizon:          cfg.Horizon,
+		Warmup:           cfg.Warmup,
+		BufferSize:       cfg.BufferSize,
+		DropPolicy:       cfg.DropPolicy,
+		RetransmitDelay:  cfg.RetransmitDelay,
+		Trace:            cfg.Trace,
+		TraceStream:      cfg.TraceStream,
+		Sources:          cfg.Sources,
+		ExpectedArrivals: cfg.ExpectedArrivals,
+		ServiceDist:      cfg.ServiceDist,
+		Agenda:           cfg.Agenda,
+		Seed:             cfg.Seed,
+		FaultPlan:        cfg.FaultPlan,
+		FailurePolicy:    cfg.FailurePolicy,
+		FaultHook:        cfg.FaultHook,
+		Control:          cfg.Control,
+		ControlInterval:  cfg.ControlInterval,
 	}
 }

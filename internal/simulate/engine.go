@@ -44,6 +44,7 @@ const (
 	evControlTick                        // periodic controller tick (Config.Control)
 	evPreempt                            // a correlated-preemption group goes down
 	evPreemptNotice                      // advance notice ahead of a preemption
+	evStream                             // next streamed-trace arrival (Config.TraceStream)
 )
 
 // event is one scheduled occurrence. seq breaks time ties deterministically.
@@ -166,6 +167,7 @@ func ParseAgendaKind(s string) (AgendaKind, error) {
 // race against the backend with two scalar compares and no backend call.
 type agenda struct {
 	seq      uint64
+	n        int        // live event count across FIFO + backend (see size)
 	kind     AgendaKind // resolved backend: AgendaHeap or AgendaLadder
 	adaptive bool       // AgendaAuto run: may migrate heap→ladder at runtime
 	now      []event    // due-now FIFO
@@ -182,6 +184,7 @@ type agenda struct {
 // pending population crosses agendaAdaptivePending.
 func (a *agenda) reset(kind AgendaKind, adaptive bool) {
 	a.seq = 0
+	a.n = 0
 	a.kind = kind
 	a.adaptive = adaptive && kind == AgendaHeap
 	a.now = a.now[:0]
@@ -196,6 +199,7 @@ func (a *agenda) reset(kind AgendaKind, adaptive bool) {
 // push stamps e with the next sequence number and enqueues it.
 func (a *agenda) push(e event) {
 	a.seq++
+	a.n++
 	e.seq = a.seq
 	if e.time == a.nowTime {
 		a.now = append(a.now, e)
@@ -212,6 +216,49 @@ func (a *agenda) push(e event) {
 	if a.adaptive && len(a.heap.events) >= agendaAdaptivePending {
 		a.migrateToLadder()
 	}
+}
+
+// pushStamped enqueues an event that already carries its (time, seq) stamp —
+// the streamed-trace replay path. A materialized trace replay pushes every
+// arrival at seed time, so trace arrivals hold the lowest sequence numbers
+// and win every time tie against in-run events; streamed replay reproduces
+// that exact pop order by stamping each trace row with its row index from a
+// band below the regular counter (see streamSeqBase). The event bypasses the
+// due-now FIFO — its low seq would violate the FIFO's ascending-seq
+// invariant — and goes straight to the backend, whose pop tie-break against
+// the FIFO is exact. Unlike push, the cached head key update must be
+// tie-aware: a stamped event can win a time tie against the resident head.
+func (a *agenda) pushStamped(e event) {
+	a.n++
+	if e.time < a.backMin || (e.time == a.backMin && e.seq < a.backSeq) {
+		a.backMin, a.backSeq = e.time, e.seq
+	}
+	if a.kind == AgendaLadder {
+		a.ladder.push(e)
+		return
+	}
+	a.heap.push(e)
+	if a.adaptive && len(a.heap.events) >= agendaAdaptivePending {
+		a.migrateToLadder()
+	}
+}
+
+// startSeqAt raises the regular sequence counter so that all subsequently
+// pushed events stamp above base, reserving [1, base] for pushStamped.
+// Sequence values are unobservable — only the relative pop order matters —
+// so this cannot perturb a run that never calls pushStamped.
+func (a *agenda) startSeqAt(base uint64) {
+	if a.seq < base {
+		a.seq = base
+	}
+}
+
+// size returns the number of pending events (FIFO + backend). On a streamed
+// run this stays O(live packets + arrival sources) regardless of how many
+// trace rows the cursor will eventually deliver — the observable behind the
+// constant-memory replay guarantee.
+func (a *agenda) size() int {
+	return a.n
 }
 
 // migrateToLadder moves every pending heap event into the ladder and flips
@@ -237,6 +284,7 @@ func (a *agenda) migrateToLadder() {
 // tie-break resolves through the exact-peek path), and the cached head key
 // is simply e's own: e precedes everything else pending.
 func (a *agenda) unpop(e event) {
+	a.n++
 	if a.kind == AgendaLadder {
 		a.ladder.unpop(e)
 	} else {
@@ -270,6 +318,7 @@ func (a *agenda) pop() (event, bool) {
 				a.now = a.now[:0]
 				a.nhead = 0
 			}
+			a.n--
 			return e, true
 		}
 		// The bound says the backend head may precede the FIFO's: resolve
@@ -292,6 +341,7 @@ func (a *agenda) pop() (event, bool) {
 				a.now = a.now[:0]
 				a.nhead = 0
 			}
+			a.n--
 			return e, true
 		}
 		// Backend first: pop it. If its time differs from the FIFO's,
@@ -301,6 +351,7 @@ func (a *agenda) pop() (event, bool) {
 		if e.time != a.nowTime {
 			a.nowTime = math.NaN()
 		}
+		a.n--
 		return e, true
 	}
 	if a.kind == AgendaLadder {
@@ -315,12 +366,14 @@ func (a *agenda) pop() (event, bool) {
 			nxt := &l.bottom[n-2]
 			a.backMin, a.backSeq = nxt.time, nxt.seq
 			a.nowTime = e.time
+			a.n--
 			return e, true
 		}
 		e, ok := l.popOK()
 		if ok {
 			a.backMin, a.backSeq = l.head()
 			a.nowTime = e.time
+			a.n--
 		}
 		return e, ok
 	}
@@ -335,6 +388,7 @@ func (a *agenda) pop() (event, bool) {
 	h.holed = true
 	a.backMin, a.backSeq = top.time, top.seq
 	a.nowTime = top.time
+	a.n--
 	return top, true
 }
 

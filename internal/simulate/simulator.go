@@ -19,6 +19,32 @@ type InstanceKey struct {
 	Instance int
 }
 
+// ArrivalSource is a pull-based external arrival process for one request:
+// Next returns the first arrival time strictly after the previous one (the
+// simulator passes the last arrival it admitted, or 0 at seeding). ok=false
+// retires the flow — no further arrivals are generated. The simulator keeps
+// exactly one pending event per live source, so memory stays O(#sources)
+// regardless of how many arrivals a source will produce. Sources must be
+// deterministic for reproducible runs (drive them from rng.Derive streams)
+// and are pulled in strictly non-decreasing `after` order; a returned time
+// in the past is clamped to the pull time. The workload package's generator
+// sources (Poisson, diurnal NHPP, MMPP on/off, log-normal renewal) satisfy
+// this interface.
+type ArrivalSource interface {
+	Next(after float64) (t float64, ok bool)
+}
+
+// TraceSource is a forward-only cursor over a time-ordered arrival trace —
+// the streaming counterpart of a materialized Config.Trace. NextArrival
+// returns consecutive (time, request) rows in non-decreasing time order;
+// ok=false ends the trace, after which Err reports whether it ended cleanly
+// or on a malformed row. workload.TraceStream (a CSV cursor) and
+// workload.MergedStream (a live generator superposition) both satisfy it.
+type TraceSource interface {
+	NextArrival() (t float64, id model.RequestID, ok bool)
+	Err() error
+}
+
 // Config parameterizes one simulation run.
 type Config struct {
 	Problem  *model.Problem
@@ -53,8 +79,39 @@ type Config struct {
 	RetransmitDelay float64
 
 	// Trace optionally replays recorded external arrivals instead of
-	// generating Poisson arrivals online.
+	// generating Poisson arrivals online. Every arrival is materialized into
+	// the agenda at seeding time — O(total arrivals) memory; prefer
+	// TraceStream for large traces. Mutually exclusive with TraceStream and
+	// Sources.
 	Trace *workload.Trace
+
+	// TraceStream replays external arrivals from a forward-only cursor
+	// instead of a materialized Trace: exactly one trace arrival is pending
+	// at any moment, so a 10M-row trace runs in constant memory. Replay is
+	// bit-identical to handing the same (time-ordered) trace to Trace. Rows
+	// naming unknown or inject-only requests are skipped; rows at or past
+	// the horizon end the replay. A cursor error (malformed or out-of-order
+	// row) stops the stream and fails the run at Run/Finalize. Mutually
+	// exclusive with Trace and Sources.
+	TraceStream TraceSource
+
+	// Sources overrides the arrival process of individual requests: a
+	// request whose ID maps to a non-nil ArrivalSource draws its external
+	// arrivals from it instead of the flat-Poisson process at Rate. Requests
+	// absent from the map (or mapped to nil) keep the Poisson default, so a
+	// nil or empty map is bit-identical to historical runs. IDs not
+	// scheduled in this simulation are ignored, mirroring trace replay.
+	// Mutually exclusive with Trace and TraceStream.
+	Sources map[model.RequestID]ArrivalSource
+
+	// ExpectedArrivals hints the total number of external arrivals the run
+	// will admit, sizing the AgendaAuto backend choice and the
+	// latency-sample reservation when the exact count is unknowable up
+	// front (TraceStream replay, custom Sources). 0 falls back to the
+	// offered-rate estimate Σ Rate·Horizon from the problem, which is exact
+	// in expectation for the flat-Poisson default and mean-preserving
+	// generator classes. Ignored when Trace is set (the count is exact).
+	ExpectedArrivals int
 
 	// InjectOnly lists requests whose external arrivals are supplied by the
 	// caller through Simulator.Inject instead of being generated from Rate
@@ -120,6 +177,11 @@ type Config struct {
 // skewed toward long-chain requests generates correspondingly more events —
 // rather than assuming arrivals divide uniformly across requests; arrivals
 // naming unknown requests are skipped at seeding time and count nothing.
+// Streaming modes (TraceStream, Sources) cannot enumerate arrivals up
+// front: they scale the rate-weighted mean per-arrival cost by the
+// ExpectedArrivals hint when one is given, and otherwise fall back to the
+// problem's offered rates — exact in expectation for the Poisson default
+// and for mean-preserving generator classes.
 func (cfg *Config) expectedEvents() float64 {
 	if cfg.Trace != nil {
 		cost := make(map[model.RequestID]float64, len(cfg.Problem.Requests))
@@ -132,11 +194,15 @@ func (cfg *Config) expectedEvents() float64 {
 		}
 		return total
 	}
-	var total float64
+	var rate, weighted float64
 	for _, r := range cfg.Problem.Requests {
-		total += r.Rate * cfg.Horizon * float64(2*len(r.Chain)+2)
+		rate += r.Rate
+		weighted += r.Rate * float64(2*len(r.Chain)+2)
 	}
-	return total
+	if cfg.ExpectedArrivals > 0 && rate > 0 {
+		return float64(cfg.ExpectedArrivals) * weighted / rate
+	}
+	return weighted * cfg.Horizon
 }
 
 // resolveAgenda returns the concrete backend the run starts on: the
@@ -455,6 +521,20 @@ type simulation struct {
 	injectOnly  []bool
 	injectIndex map[model.RequestID]int32
 
+	// sources[i] is request i's arrival process: the caller's override from
+	// Config.Sources, or a pointer into the poisson arena — the flat-Poisson
+	// default over arrivalStreams[i], bit-identical to the historical inline
+	// draw. Unused in trace modes.
+	sources []ArrivalSource
+	poisson []poissonSource
+
+	// Streamed-trace state (Config.TraceStream): streamRow stamps each
+	// admitted row with its position in the low sequence band (see
+	// streamSeqBase), streamErr latches the first cursor failure — the
+	// stream stops pulling and Run/Finalize surface it after the drain.
+	streamRow uint64
+	streamErr error
+
 	// packets is the flat packet arena; packetFree recycles indices. The
 	// simulation is single-goroutine, so a plain slice beats sync.Pool: no
 	// synchronization, and recycling order is deterministic.
@@ -494,6 +574,21 @@ type simulation struct {
 	// allocate.
 	streams  map[string]*rng.Stream
 	labelBuf []byte
+}
+
+// poissonSource is the default ArrivalSource: the flat-Poisson process of
+// the paper, drawing inter-arrival gaps from the request's cached
+// "arrivals/<id>" stream. Instances live in the simulation's poisson arena
+// so Reset reuse allocates nothing, and Next performs the exact arithmetic
+// of the historical inline draw — which is why expressing the default path
+// through the interface leaves every golden fingerprint untouched.
+type poissonSource struct {
+	stream *rng.Stream
+	rate   float64
+}
+
+func (p *poissonSource) Next(after float64) (float64, bool) {
+	return after + p.stream.Exp(p.rate), true
 }
 
 // stream returns the cached stream for the label currently in labelBuf,
@@ -637,6 +732,15 @@ func (sim *Simulator) Reset(cfg Config) error {
 	default:
 		return fmt.Errorf("simulate: unknown agenda kind %d", cfg.Agenda)
 	}
+	if cfg.Trace != nil && cfg.TraceStream != nil {
+		return errors.New("simulate: Trace and TraceStream are mutually exclusive")
+	}
+	if len(cfg.Sources) > 0 && (cfg.Trace != nil || cfg.TraceStream != nil) {
+		return errors.New("simulate: Sources cannot be combined with trace replay (Trace/TraceStream)")
+	}
+	if cfg.ExpectedArrivals < 0 {
+		return fmt.Errorf("simulate: negative ExpectedArrivals %d", cfg.ExpectedArrivals)
+	}
 	switch cfg.FailurePolicy {
 	case FailDrop:
 	case FailRetransmit:
@@ -697,6 +801,10 @@ func (sim *Simulator) Reset(cfg Config) error {
 	s.deliveryStreams = s.deliveryStreams[:0]
 	s.perReq = s.perReq[:0]
 	s.injectOnly = s.injectOnly[:0]
+	s.sources = s.sources[:0]
+	s.poisson = s.poisson[:0]
+	s.streamRow = 0
+	s.streamErr = nil
 	if s.injectIndex != nil {
 		clear(s.injectIndex)
 	}
@@ -752,6 +860,9 @@ func (sim *Simulator) RunContext(ctx context.Context) (*Results, error) {
 	s.start()
 	if err := s.loop(ctx); err != nil {
 		return nil, err
+	}
+	if s.streamErr != nil {
+		return nil, s.streamErr
 	}
 	s.finalize()
 	return s.results, nil
@@ -882,6 +993,9 @@ func (sim *Simulator) Finalize() (*Results, error) {
 	sim.ready = false
 	s := &sim.s
 	s.start() // a never-stepped run still admits its seeded arrivals
+	if s.streamErr != nil {
+		return nil, s.streamErr
+	}
 	s.finalize()
 	return s.results, nil
 }
@@ -957,6 +1071,26 @@ func (sim *Simulator) CanServe(id model.RequestID) bool {
 // cluster's least-loaded routing policy observes.
 func (sim *Simulator) PendingPackets() int {
 	return sim.s.live
+}
+
+// PendingEvents returns the number of events currently pending (agenda plus
+// any staged peeked event), seeding the run first if no primitive has. It is
+// the observable behind the streaming-memory guarantee: immediately after
+// Reset, a flat-Poisson run holds one evSource per live source and a
+// streamed-trace run holds exactly one evStream — independent of how many
+// arrivals the trace or the sources will eventually deliver — whereas a
+// materialized Trace run holds every admitted trace arrival.
+func (sim *Simulator) PendingEvents() int {
+	if !sim.ready {
+		return 0
+	}
+	s := &sim.s
+	s.start()
+	n := s.agenda.size()
+	if s.hasStaged {
+		n++
+	}
+	return n
 }
 
 // requestIndexOf resolves a request ID to its index, building the lookup
@@ -1124,6 +1258,24 @@ func (s *simulation) build() error {
 			s.hopFlat = append(s.hopFlat, hop)
 		}
 	}
+	// Arrival sources: the caller's override where one exists, otherwise a
+	// poissonSource over the request's arrival stream. The poisson arena is
+	// filled completely before interface pointers are taken — appends may
+	// move the backing array. Trace modes never consult sources, but wiring
+	// them unconditionally keeps build branch-free.
+	for i := range s.requests {
+		var src ArrivalSource
+		if len(s.cfg.Sources) > 0 {
+			src = s.cfg.Sources[s.requests[i].ID]
+		}
+		s.sources = append(s.sources, src)
+		s.poisson = append(s.poisson, poissonSource{stream: s.arrivalStreams[i], rate: s.requests[i].Rate})
+	}
+	for i := range s.sources {
+		if s.sources[i] == nil {
+			s.sources[i] = &s.poisson[i]
+		}
+	}
 	// The node table serves both fault injection and the control plane
 	// (migration and scaling act per node).
 	if s.cfg.FaultPlan != nil || s.cfg.Control != nil {
@@ -1141,9 +1293,12 @@ func (s *simulation) build() error {
 func (s *simulation) presizeSamples() {
 	const presizeCap = 1 << 21 // 2 Mi samples = 16 MiB, then append growth takes over
 	expected := 0
-	if s.cfg.Trace != nil {
+	switch {
+	case s.cfg.Trace != nil:
 		expected = len(s.cfg.Trace.Arrivals)
-	} else {
+	case s.cfg.ExpectedArrivals > 0:
+		expected = s.cfg.ExpectedArrivals
+	default:
 		var totalRate float64
 		for _, r := range s.requests {
 			totalRate += r.Rate
@@ -1158,9 +1313,26 @@ func (s *simulation) presizeSamples() {
 	}
 }
 
-// seedArrivals schedules the first external arrival of every request, or
-// pushes the whole trace.
+// streamSeqBase is where the regular sequence counter starts on a streamed-
+// trace run. Materialized replay pushes every trace arrival at seed time, so
+// trace arrivals occupy the lowest sequence numbers and win every time tie
+// against in-run events while ordering among themselves by row position;
+// streamed replay reproduces that exact pop order by stamping admitted rows
+// with their row index from the band [1, streamSeqBase] and starting the
+// in-run counter above it. 2^48 rows dwarfs any replayable trace, and the
+// in-run counter keeps 2^64−2^48 values of headroom. Sequence values are
+// unobservable — only pop order matters — so raising the base is invisible
+// to every measurement.
+const streamSeqBase = 1 << 48
+
+// seedArrivals schedules the first external arrival of every request, pushes
+// the whole materialized trace, or stages the first streamed-trace row.
 func (s *simulation) seedArrivals() {
+	if s.cfg.TraceStream != nil {
+		s.agenda.startSeqAt(streamSeqBase)
+		s.scheduleNextStream()
+		return
+	}
 	if s.cfg.Trace != nil {
 		index := make(map[model.RequestID]int32, len(s.requests))
 		for i, r := range s.requests {
@@ -1191,13 +1363,59 @@ func (s *simulation) seedArrivals() {
 	}
 }
 
-// scheduleNextSource draws the next Poisson arrival of request i after t.
+// scheduleNextSource pulls request i's next external arrival after t from
+// its arrival source and stages it as the request's single pending evSource.
+// A source reporting ok=false retires the flow; a time at or past the
+// horizon ends it. Defensively, a non-monotone or NaN time from a custom
+// source is clamped to the pull time — events must never be scheduled in the
+// simulator's past.
 func (s *simulation) scheduleNextSource(i int32, t float64) {
-	next := t + s.arrivalStreams[i].Exp(s.requests[i].Rate)
+	next, ok := s.sources[i].Next(t)
+	if !ok {
+		return
+	}
+	if !(next >= t) {
+		next = t
+	}
 	if next >= s.cfg.Horizon {
 		return
 	}
 	s.agenda.push(event{time: next, kind: evSource, reqIndex: i})
+}
+
+// scheduleNextStream pulls trace rows from the streamed cursor until one is
+// admissible — a scheduled, non-inject-only request arriving before the
+// horizon — and stages it as a stamped evStream event carrying its row-band
+// sequence number, so exactly one trace arrival is ever pending. The first
+// row at or past the horizon ends the replay (rows are time-ordered, so
+// everything after it is cut off too, exactly like materialized seeding
+// skipping those rows). A malformed or out-of-order row latches streamErr,
+// stops the stream, and fails the run once the agenda drains.
+func (s *simulation) scheduleNextStream() {
+	ts := s.cfg.TraceStream
+	for {
+		t, id, ok := ts.NextArrival()
+		if !ok {
+			if err := ts.Err(); err != nil && s.streamErr == nil {
+				s.streamErr = fmt.Errorf("simulate: trace stream: %w", err)
+			}
+			return
+		}
+		if !(t >= s.now) {
+			s.streamErr = fmt.Errorf("simulate: trace stream: arrival at %v out of order (clock at %v)", t, s.now)
+			return
+		}
+		if t >= s.cfg.Horizon {
+			return
+		}
+		i, known := s.requestIndexOf(id)
+		if !known || s.injectOnly[i] {
+			continue
+		}
+		s.streamRow++
+		s.agenda.pushStamped(event{time: t, seq: s.streamRow, kind: evStream, reqIndex: i})
+		return
+	}
 }
 
 // loop drains the agenda until the horizon, or until ctx fires (checked
@@ -1250,6 +1468,21 @@ func (s *simulation) dispatch(e event) {
 		s.preemptFire()
 	case evPreemptNotice:
 		s.preemptNotice()
+	case evStream:
+		// A streamed trace arrival: admit the packet exactly as a
+		// materialized replay dispatches its seeded evArrival — same time,
+		// same (row-band) sequence position, no admission shed (seeded trace
+		// arrivals never consult the shed either) — then pull the next row.
+		// Packet arena indices differ from the materialized run (packets are
+		// born lazily and recycled instead of all at seed time), but indices
+		// influence no ordering or measurement, which is what keeps the two
+		// replays fingerprint-identical while this one holds O(live) packets.
+		i := e.reqIndex
+		s.results.Generated++
+		s.live++
+		pid := s.newPacket(i, s.now)
+		s.arrive(pid, s.routeFlat[s.chainOff[i]])
+		s.scheduleNextStream()
 	case evSource:
 		i := e.reqIndex
 		s.results.Generated++

@@ -1,0 +1,281 @@
+package simulate
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"nfvchain/internal/model"
+	"nfvchain/internal/rng"
+	"nfvchain/internal/scheduling"
+	"nfvchain/internal/workload"
+)
+
+// sliceCursor replays a materialized arrival slice through the TraceSource
+// interface — the minimal in-memory streamed counterpart of Config.Trace.
+type sliceCursor struct {
+	arrivals []workload.Arrival
+	i        int
+}
+
+func (c *sliceCursor) NextArrival() (float64, model.RequestID, bool) {
+	if c.i >= len(c.arrivals) {
+		return 0, "", false
+	}
+	a := c.arrivals[c.i]
+	c.i++
+	return a.Time, a.Request, true
+}
+
+func (c *sliceCursor) Err() error { return nil }
+
+// streamFixture solves the default generated workload and samples a trace —
+// the shared fixture of the streamed-vs-materialized differentials.
+func streamFixture(t *testing.T) (*model.Problem, *model.Schedule, *workload.Trace) {
+	t.Helper()
+	wcfg := workload.DefaultConfig()
+	wcfg.Seed = 11
+	wcfg.NumRequests = 60
+	p, err := workload.Generate(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := scheduling.ScheduleAll(p, scheduling.RCKK{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.GenerateTrace(p, 20, workload.InterArrivalExponential, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, sched, tr
+}
+
+// TestStreamReplayMatchesMaterialized pins the tentpole identity: replaying a
+// trace through the streaming cursor is bit-identical to materializing it
+// into Config.Trace, under both agenda backends.
+func TestStreamReplayMatchesMaterialized(t *testing.T) {
+	p, sched, tr := streamFixture(t)
+	for _, kind := range []AgendaKind{AgendaHeap, AgendaLadder} {
+		t.Run(fmt.Sprint(kind), func(t *testing.T) {
+			base := Config{Problem: p, Schedule: sched, Horizon: 20, Warmup: 2, Seed: 7, Agenda: kind}
+			mat := base
+			mat.Trace = tr
+			resM, err := Run(mat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			str := base
+			str.TraceStream = &sliceCursor{arrivals: tr.Arrivals}
+			resS, err := Run(str)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fm, fs := fingerprintResults(resM), fingerprintResults(resS); fm != fs {
+				t.Errorf("streamed replay fingerprint %#x != materialized %#x", fs, fm)
+			}
+			if resM.Generated != resS.Generated {
+				t.Errorf("generated: streamed %d != materialized %d", resS.Generated, resM.Generated)
+			}
+		})
+	}
+}
+
+// TestStreamReplayFromCSV closes the loop through the file format: a CSV
+// written by the trace is replayed via workload.TraceStream and must match
+// the materialized run bit for bit.
+func TestStreamReplayFromCSV(t *testing.T) {
+	p, sched, tr := streamFixture(t)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := workload.NewTraceStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Problem: p, Schedule: sched, Horizon: 20, Warmup: 2, Seed: 7}
+	mat := base
+	mat.Trace = tr
+	resM, err := Run(mat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	str := base
+	str.TraceStream = ts
+	resS, err := Run(str)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fm, fs := fingerprintResults(resM), fingerprintResults(resS); fm != fs {
+		t.Errorf("CSV-streamed fingerprint %#x != materialized %#x", fs, fm)
+	}
+}
+
+// TestExplicitSourcesMatchGolden pins the second identity: the flat-Poisson
+// default routed through the ArrivalSource interface — here spelled out as
+// explicit workload.PoissonSource overrides on the very streams the simulator
+// derives itself — reproduces the historical golden fingerprint bit for bit.
+func TestExplicitSourcesMatchGolden(t *testing.T) {
+	const goldenPlain = 0x4af579b7b3270177
+	wcfg := workload.DefaultConfig()
+	wcfg.Seed = 11
+	p, err := workload.Generate(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := scheduling.ScheduleAll(p, scheduling.RCKK{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Problem: p, Schedule: sched, Horizon: 20, Warmup: 2, Seed: 7}
+	srcs := make(map[model.RequestID]ArrivalSource, len(p.Requests))
+	for _, r := range p.Requests {
+		srcs[r.ID] = workload.NewPoisson(r.Rate, rng.Derive(cfg.Seed, "arrivals/"+string(r.ID)))
+	}
+	cfg.Sources = srcs
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fingerprintResults(res); got != goldenPlain {
+		t.Errorf("explicit-sources fingerprint %#x != golden %#x", got, goldenPlain)
+	}
+}
+
+// syntheticCursor produces n evenly spaced arrivals of one request without
+// materializing anything — the O(1)-memory feed of the scale test.
+type syntheticCursor struct {
+	n  int
+	dt float64
+	id model.RequestID
+	i  int
+}
+
+func (c *syntheticCursor) NextArrival() (float64, model.RequestID, bool) {
+	if c.i >= c.n {
+		return 0, "", false
+	}
+	c.i++
+	return float64(c.i) * c.dt, c.id, true
+}
+
+func (c *syntheticCursor) Err() error { return nil }
+
+// TestStreamPendingEventsConstant is the acceptance-scale check: a streamed
+// replay of 1M arrivals stages exactly one arrival event at t=0 — the live
+// cursor count, not the arrival count — and still generates every packet.
+func TestStreamPendingEventsConstant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-arrival replay")
+	}
+	const n = 1_000_000
+	prob, sched := singleQueueProblem(50, 40000, 1)
+	cur := &syntheticCursor{n: n, dt: 30.0 / n, id: prob.Requests[0].ID}
+	sim := NewSimulator()
+	cfg := Config{Problem: prob, Schedule: sched, Horizon: 60, Warmup: 0, Seed: 5,
+		TraceStream: cur, ExpectedArrivals: n}
+	if err := sim.Reset(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.PendingEvents(); got != 1 {
+		t.Fatalf("streamed pending events at t=0 = %d, want 1 (one live cursor)", got)
+	}
+	res, err := sim.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generated != n {
+		t.Fatalf("generated %d of %d streamed arrivals", res.Generated, n)
+	}
+
+	// Materialized contrast: the same replay through Config.Trace stages
+	// every arrival up front.
+	const small = 1000
+	tr := &workload.Trace{Horizon: 30}
+	for i := 1; i <= small; i++ {
+		tr.Arrivals = append(tr.Arrivals, workload.Arrival{Time: float64(i) * 30.0 / small, Request: prob.Requests[0].ID})
+	}
+	simM := NewSimulator()
+	if err := simM.Reset(Config{Problem: prob, Schedule: sched, Horizon: 60, Seed: 5, Trace: tr}); err != nil {
+		t.Fatal(err)
+	}
+	if got := simM.PendingEvents(); got != small {
+		t.Fatalf("materialized pending events at t=0 = %d, want %d (every arrival staged)", got, small)
+	}
+}
+
+// errCursor yields a decreasing timestamp pair.
+type errCursor struct{ i int }
+
+func (c *errCursor) NextArrival() (float64, model.RequestID, bool) {
+	c.i++
+	switch c.i {
+	case 1:
+		return 5, "r", true
+	case 2:
+		return 1, "r", true
+	}
+	return 0, "", false
+}
+
+func (c *errCursor) Err() error { return nil }
+
+// TestStreamOutOfOrderFails asserts a cursor that goes backwards in time
+// aborts the run with an error instead of silently reordering arrivals.
+func TestStreamOutOfOrderFails(t *testing.T) {
+	prob, sched := singleQueueProblem(50, 150, 1)
+	_, err := Run(Config{Problem: prob, Schedule: sched, Horizon: 60, Seed: 5,
+		TraceStream: &errCursor{}})
+	if err == nil {
+		t.Fatal("out-of-order stream accepted")
+	}
+}
+
+// TestStreamConfigValidation covers the new mutual-exclusion and hint rules.
+func TestStreamConfigValidation(t *testing.T) {
+	prob, sched := singleQueueProblem(50, 150, 1)
+	tr, err := workload.GenerateTrace(prob, 5, workload.InterArrivalExponential, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := func() TraceSource { return &sliceCursor{arrivals: tr.Arrivals} }
+	srcs := map[model.RequestID]ArrivalSource{
+		prob.Requests[0].ID: workload.NewPoisson(50, rng.Derive(1, "x")),
+	}
+	cases := map[string]Config{
+		"trace+stream":      {Problem: prob, Schedule: sched, Horizon: 5, Trace: tr, TraceStream: cur()},
+		"sources+trace":     {Problem: prob, Schedule: sched, Horizon: 5, Trace: tr, Sources: srcs},
+		"sources+stream":    {Problem: prob, Schedule: sched, Horizon: 5, TraceStream: cur(), Sources: srcs},
+		"negative-expected": {Problem: prob, Schedule: sched, Horizon: 5, ExpectedArrivals: -1},
+	}
+	for name, cfg := range cases {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+	}
+}
+
+// TestExpectedArrivalsHint pins the agenda-sizing satellite: with the hint
+// set, expectedEvents scales the per-arrival event cost by the hinted count
+// instead of the offered-rate estimate, and without it the historical
+// rate-based formula is untouched.
+func TestExpectedArrivalsHint(t *testing.T) {
+	prob, sched := singleQueueProblem(50, 150, 1)
+	base := Config{Problem: prob, Schedule: sched, Horizon: 100}
+	withoutHint := base.expectedEvents()
+	if withoutHint <= 0 {
+		t.Fatalf("rate-based estimate %v not positive", withoutHint)
+	}
+	hinted := base
+	hinted.ExpectedArrivals = 1_000_000
+	withHint := hinted.expectedEvents()
+	// 1M arrivals vs 50 pps * 100 s = 5000: the hint must scale the estimate
+	// by the arrival ratio (each arrival costs the same event multiple).
+	ratio := withHint / withoutHint
+	want := 1_000_000.0 / 5000.0
+	if ratio < 0.99*want || ratio > 1.01*want {
+		t.Errorf("hinted/unhinted event estimate ratio %v, want ~%v", ratio, want)
+	}
+}

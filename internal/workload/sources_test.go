@@ -1,0 +1,293 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"nfvchain/internal/model"
+	"nfvchain/internal/rng"
+	"nfvchain/internal/stats"
+)
+
+// pull materializes one source's arrivals up to the horizon.
+func pull(src Source, horizon float64) []float64 {
+	var out []float64
+	t := 0.0
+	for {
+		next, ok := src.Next(t)
+		if !ok || next >= horizon {
+			return out
+		}
+		out = append(out, next)
+		t = next
+	}
+}
+
+func sourceProblem(t *testing.T, requests int) *model.Problem {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Seed = 11
+	cfg.NumRequests = requests
+	p, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestMergedStreamMatchesGenerateTrace pins the streaming identity at the
+// workload layer: pulling TraceSources through a MergedStream reproduces
+// GenerateTrace's materialized-and-sorted trace arrival for arrival.
+func TestMergedStreamMatchesGenerateTrace(t *testing.T) {
+	p := sourceProblem(t, 40)
+	for _, dist := range []InterArrival{InterArrivalExponential, InterArrivalLogNormal} {
+		tr, err := GenerateTrace(p, 5, dist, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs, err := TraceSources(p, dist, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms := NewMergedStream(srcs)
+		for i, a := range tr.Arrivals {
+			tm, id, ok := ms.NextArrival()
+			if !ok {
+				t.Fatalf("dist %d: stream ended at %d of %d arrivals", dist, i, len(tr.Arrivals))
+			}
+			if tm != a.Time || id != a.Request {
+				t.Fatalf("dist %d: arrival %d: streamed (%v, %s) != materialized (%v, %s)",
+					dist, i, tm, id, a.Time, a.Request)
+			}
+		}
+		if tm, _, ok := ms.NextArrival(); ok && tm < 5 {
+			t.Fatalf("dist %d: stream has extra arrival at %v inside the horizon", dist, tm)
+		}
+	}
+}
+
+// TestLogNormalRenewalMeanRate checks the µ = ln(1/rate) − σ²/2 calibration:
+// the empirical mean gap converges to 1/rate.
+func TestLogNormalRenewalMeanRate(t *testing.T) {
+	const rate = 20.0
+	src := NewLogNormalRenewal(rate, 1, rng.Derive(3, "lognormal"))
+	times := pull(src, 2000)
+	got := float64(len(times)) / 2000
+	if math.Abs(got-rate)/rate > 0.05 {
+		t.Errorf("log-normal renewal empirical rate %v, want ~%v", got, rate)
+	}
+}
+
+// TestNHPPDiurnalRate checks the Lewis–Shedler sampler against the analytic
+// integral of the sinusoidal intensity: total mass over whole periods is
+// base·horizon, and the peak quarter-period carries its exact share
+// ∫λ(t)dt = base·(P/4 + amplitude·P·√2/(2π)) of the arrivals.
+func TestNHPPDiurnalRate(t *testing.T) {
+	const (
+		base    = 50.0
+		amp     = 0.8
+		period  = 20.0
+		horizon = 4000.0 // 200 periods, ~200k arrivals
+	)
+	rf, peak := Diurnal(base, amp, period, 0)
+	if peak != base*(1+amp) {
+		t.Fatalf("peak %v, want %v", peak, base*(1+amp))
+	}
+	src := NewNHPP(rf, peak, rng.Derive(7, "nhpp"))
+	times := pull(src, horizon)
+
+	total := float64(len(times))
+	if want := base * horizon; math.Abs(total-want)/want > 0.03 {
+		t.Errorf("NHPP total arrivals %v, want ~%v (mean preservation)", total, want)
+	}
+
+	// Peak quarter [0, P/4): sin rises 0→1. Trough quarter [P/2, 3P/4).
+	peakCount, troughCount := 0, 0
+	for _, tm := range times {
+		switch phase := math.Mod(tm, period) / period; {
+		case phase < 0.25:
+			peakCount++
+		case phase >= 0.5 && phase < 0.75:
+			troughCount++
+		}
+	}
+	quarterMass := func(sign float64) float64 {
+		// ∫ over a quarter with sin contributing ±√2/(2π)·amplitude·P·base...
+		// exactly: ∫₀^{P/4} base(1+a·sin(2πt/P))dt = base·P/4 + sign·base·a·P/(2π).
+		return (base*period/4 + sign*base*amp*period/(2*math.Pi)) * (horizon / period)
+	}
+	if want := quarterMass(1); math.Abs(float64(peakCount)-want)/want > 0.03 {
+		t.Errorf("NHPP peak-quarter arrivals %d, want ~%.0f", peakCount, want)
+	}
+	if want := quarterMass(-1); math.Abs(float64(troughCount)-want)/want > 0.05 {
+		t.Errorf("NHPP trough-quarter arrivals %d, want ~%.0f", troughCount, want)
+	}
+	if peakCount <= troughCount {
+		t.Errorf("diurnal peak quarter (%d) not busier than trough quarter (%d)", peakCount, troughCount)
+	}
+}
+
+// TestMMPPBurstyStatistics materializes an MMPP pull sequence into a Trace
+// and checks, via AnalyzeTrace, that the mean rate is preserved and the
+// inter-arrival CV exceeds 1 — the burstiness the KS test must reject as
+// non-Poisson.
+func TestMMPPBurstyStatistics(t *testing.T) {
+	const (
+		rate    = 30.0 // target mean rate
+		meanOn  = 1.0
+		meanOff = 4.0
+		horizon = 2000.0
+	)
+	onRate := rate * (meanOn + meanOff) / meanOn
+	src := NewMMPP(onRate, meanOn, meanOff, rng.Derive(9, "mmpp"))
+	tr := &Trace{Horizon: horizon}
+	for _, tm := range pull(src, horizon) {
+		tr.Arrivals = append(tr.Arrivals, Arrival{Time: tm, Request: "burst"})
+	}
+	sts := AnalyzeTrace(tr)
+	if len(sts) != 1 {
+		t.Fatalf("got %d stats rows, want 1", len(sts))
+	}
+	st := sts[0]
+	if math.Abs(st.Rate-rate)/rate > 0.1 {
+		t.Errorf("MMPP empirical rate %v, want ~%v (mean preservation)", st.Rate, rate)
+	}
+	if st.CVGap <= 1.2 {
+		t.Errorf("MMPP inter-arrival CV %v, want > 1.2 (burstiness)", st.CVGap)
+	}
+	if st.PoissonLike {
+		t.Error("MMPP flagged Poisson-like; the KS test must reject on/off bursts")
+	}
+}
+
+// TestBuildSourcesDeterministic pins the derived-stream construction: same
+// seed → identical assignments and identical arrival draws; different seed →
+// different draws.
+func TestBuildSourcesDeterministic(t *testing.T) {
+	p := sourceProblem(t, 50)
+	a, err := BuildSources(p, DefaultClasses(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildSources(p, DefaultClasses(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Sources) != len(p.Requests) || len(a.Assignments) != len(p.Requests) {
+		t.Fatalf("sources/assignments cover %d/%d of %d requests",
+			len(a.Sources), len(a.Assignments), len(p.Requests))
+	}
+	for id, aa := range a.Assignments {
+		if ba := b.Assignments[id]; aa != ba {
+			t.Fatalf("request %s assignment differs across identical builds: %+v vs %+v", id, aa, ba)
+		}
+		ta := pull(a.Sources[id], 3)
+		tb := pull(b.Sources[id], 3)
+		if len(ta) != len(tb) {
+			t.Fatalf("request %s draw counts differ: %d vs %d", id, len(ta), len(tb))
+		}
+		for i := range ta {
+			if ta[i] != tb[i] {
+				t.Fatalf("request %s draw %d differs: %v vs %v", id, i, ta[i], tb[i])
+			}
+		}
+	}
+	c, err := BuildSources(p, DefaultClasses(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for id := range a.Sources {
+		ta, tc := pull(a.Sources[id], 3), pull(c.Sources[id], 3)
+		if len(ta) != len(tc) {
+			same = false
+			break
+		}
+		for i := range ta {
+			if ta[i] != tc[i] {
+				same = false
+			}
+		}
+		if !same {
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 5 and 6 produced identical class workloads")
+	}
+}
+
+// TestBuildSourcesPreservesLoad checks the skew renormalization: per class,
+// the effective rates sum to the members' problem rates, so classes reshape
+// traffic without changing the provisioned load.
+func TestBuildSourcesPreservesLoad(t *testing.T) {
+	p := sourceProblem(t, 80)
+	cw, err := BuildSources(p, DefaultClasses(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	problemRate := map[model.RequestID]float64{}
+	for _, r := range p.Requests {
+		problemRate[r.ID] = r.Rate
+	}
+	classEffective := map[string]float64{}
+	classProblem := map[string]float64{}
+	for id, as := range cw.Assignments {
+		if !(as.Rate > 0) {
+			t.Fatalf("request %s effective rate %v not positive", id, as.Rate)
+		}
+		classEffective[as.Class] += as.Rate
+		classProblem[as.Class] += problemRate[id]
+	}
+	for name, want := range classProblem {
+		got := classEffective[name]
+		if math.Abs(got-want) > 1e-9*want {
+			t.Errorf("class %s aggregate rate %v, want %v (load preservation)", name, got, want)
+		}
+	}
+}
+
+// TestBuildSourcesErrors covers the class-validation surface.
+func TestBuildSourcesErrors(t *testing.T) {
+	p := sourceProblem(t, 10)
+	cases := map[string][]ClientClass{
+		"empty":         {},
+		"no name":       {{Weight: 1}},
+		"zero weight":   {{Name: "a", Weight: 0}},
+		"dup name":      {{Name: "a", Weight: 1}, {Name: "a", Weight: 1}},
+		"amplitude 1":   {{Name: "a", Weight: 1, Process: ProcessDiurnal, Amplitude: 1, Period: 10}},
+		"zero period":   {{Name: "a", Weight: 1, Process: ProcessDiurnal, Amplitude: 0.5}},
+		"zero sojourn":  {{Name: "a", Weight: 1, Process: ProcessOnOff, MeanOn: 0, MeanOff: 1}},
+		"zipf zero s":   {{Name: "a", Weight: 1, Skew: SkewZipf}},
+		"lognorm sigma": {{Name: "a", Weight: 1, Skew: SkewLogNormal}},
+	}
+	for name, classes := range cases {
+		if _, err := BuildSources(p, classes, 1); err == nil {
+			t.Errorf("%s: invalid classes accepted", name)
+		}
+	}
+}
+
+// TestMMPPSojournStatistics sanity-checks the modulation itself: gaps within
+// bursts are short (1/onRate-ish) while off-period crossings add meanOff-
+// scale silences, giving a visibly bimodal gap distribution.
+func TestMMPPSojournStatistics(t *testing.T) {
+	src := NewMMPP(100, 1, 4, rng.Derive(11, "mmpp2"))
+	times := pull(src, 500)
+	var gaps stats.Summary
+	long := 0
+	for i := 1; i < len(times); i++ {
+		g := times[i] - times[i-1]
+		gaps.Add(g)
+		if g > 1 { // a silence far beyond any in-burst gap (mean 0.01)
+			long++
+		}
+	}
+	if long == 0 {
+		t.Error("no off-period silences observed in 500s of MMPP traffic")
+	}
+	// Mean gap ≈ 1/meanRate = (1+4)/(100·1) = 0.05.
+	if m := gaps.Mean(); math.Abs(m-0.05) > 0.01 {
+		t.Errorf("MMPP mean gap %v, want ~0.05", m)
+	}
+}

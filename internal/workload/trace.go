@@ -4,12 +4,10 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
-	"math"
 	"sort"
 	"strconv"
 
 	"nfvchain/internal/model"
-	"nfvchain/internal/rng"
 )
 
 // Arrival is one packet arrival of a request.
@@ -44,33 +42,29 @@ const logNormalSigma = 1.0
 
 // GenerateTrace samples packet arrivals for every request in the problem up
 // to the horizon. Each request uses an independent derived stream, so the
-// trace for any subset of requests is invariant to the others.
+// trace for any subset of requests is invariant to the others. It is built
+// on TraceSources — the materializing counterpart of streaming the same
+// sources through a MergedStream (draw-for-draw identical, so the two paths
+// produce byte-identical CSV).
 func GenerateTrace(p *model.Problem, horizon float64, dist InterArrival, seed uint64) (*Trace, error) {
 	if horizon <= 0 {
 		return nil, fmt.Errorf("workload: horizon %v must be positive", horizon)
 	}
-	if dist != InterArrivalExponential && dist != InterArrivalLogNormal {
-		return nil, fmt.Errorf("workload: unknown inter-arrival distribution %d", dist)
+	srcs, err := TraceSources(p, dist, seed)
+	if err != nil {
+		return nil, err
 	}
 	tr := &Trace{Horizon: horizon}
 	for _, r := range p.Requests {
-		s := rng.Derive(seed, "trace/"+string(r.ID))
+		src := srcs[r.ID]
 		t := 0.0
 		for {
-			var gap float64
-			switch dist {
-			case InterArrivalExponential:
-				gap = s.Exp(r.Rate)
-			case InterArrivalLogNormal:
-				// Match the mean 1/λ: E[LogNormal(µ,σ)] = exp(µ+σ²/2).
-				mu := math.Log(1/r.Rate) - logNormalSigma*logNormalSigma/2
-				gap = s.LogNormal(mu, logNormalSigma)
-			}
-			t += gap
-			if t >= horizon {
+			next, ok := src.Next(t)
+			if !ok || next >= horizon {
 				break
 			}
-			tr.Arrivals = append(tr.Arrivals, Arrival{Time: t, Request: r.ID})
+			tr.Arrivals = append(tr.Arrivals, Arrival{Time: next, Request: r.ID})
+			t = next
 		}
 	}
 	tr.sort()

@@ -277,7 +277,49 @@ type (
 	WorkloadConfig = workload.Config
 	// Trace is a packet-level arrival trace for trace-driven simulation.
 	Trace = workload.Trace
+	// ArrivalSource is a pull-based arrival-time generator consumed by the
+	// simulator (SimulationConfig.Sources) and the cluster driver.
+	ArrivalSource = simulate.ArrivalSource
+	// TraceSource is a forward-only (time, request) cursor for
+	// constant-memory trace replay (SimulationConfig.TraceStream).
+	TraceSource = simulate.TraceSource
+	// WorkloadSource is a deterministic arrival process from the generator
+	// tier (Poisson, log-normal renewal, diurnal NHPP, MMPP on/off).
+	WorkloadSource = workload.Source
+	// ClientClass describes one heterogeneous client population in a
+	// ServeGen-style heavy-traffic workload mix.
+	ClientClass = workload.ClientClass
+	// ClassWorkload is the per-request source set built from client classes.
+	ClassWorkload = workload.ClassWorkload
+	// TraceStream is a streaming cursor over a trace CSV.
+	TraceStream = workload.TraceStream
+	// MergedStream merges live generator sources into one time-ordered
+	// arrival cursor in O(#sources) memory.
+	MergedStream = workload.MergedStream
 )
+
+// DefaultClientClasses returns the baseline heavy-traffic mix: a steady
+// Poisson majority, a diurnal NHPP cohort and a small bursty on/off cohort.
+func DefaultClientClasses() []ClientClass { return workload.DefaultClasses() }
+
+// BuildClassSources partitions the problem's requests across client classes
+// and builds a deterministic arrival source per request; identical inputs
+// (including seed) yield identical sources.
+func BuildClassSources(p *Problem, classes []ClientClass, seed uint64) (*ClassWorkload, error) {
+	return workload.BuildSources(p, classes, seed)
+}
+
+// NewTraceStream opens a streaming cursor over a trace CSV (as written by
+// Trace.WriteCSV or cmd/tracegen), validating the header row.
+func NewTraceStream(r io.Reader) (*TraceStream, error) { return workload.NewTraceStream(r) }
+
+// NewMergedStream merges per-request arrival sources into one time-ordered
+// cursor; it satisfies TraceSource, so class-generated workloads can be
+// streamed into the simulator or serialized to CSV without materialization.
+// Callers bound the pull by their horizon — generator sources never end.
+func NewMergedStream(sources map[RequestID]WorkloadSource) *MergedStream {
+	return workload.NewMergedStream(sources)
+}
 
 // Experiment harness, re-exported.
 type (
@@ -475,6 +517,20 @@ type TraceStats = workload.TraceStats
 // AnalyzeTrace computes per-request arrival statistics — empirical rate,
 // inter-arrival burstiness and a Kolmogorov–Smirnov Poisson check.
 func AnalyzeTrace(t *Trace) []TraceStats { return workload.AnalyzeTrace(t) }
+
+// AnalyzeArrivals is the one-pass streaming counterpart of AnalyzeTrace: it
+// computes the same per-request statistics from any forward-only arrival
+// cursor (a TraceStream, a MergedStream) in O(#requests) memory. A positive
+// horizon scales Rate and bounds the pull (required for never-ending
+// generator cursors); pass <= 0 to drain a finite cursor and use the latest
+// observed arrival time.
+func AnalyzeArrivals(c workload.ArrivalCursor, horizon float64) ([]TraceStats, error) {
+	return workload.AnalyzeArrivals(c, horizon)
+}
+
+// AnalyzeTraceCSV streams a trace CSV through AnalyzeArrivals — the
+// constant-memory replacement for reading the file and calling AnalyzeTrace.
+func AnalyzeTraceCSV(r io.Reader) ([]TraceStats, error) { return workload.AnalyzeTraceCSV(r) }
 
 // ReadProblemJSON parses and validates a problem written with
 // Problem.WriteJSON (or cmd/tracegen).
