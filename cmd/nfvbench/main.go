@@ -26,8 +26,11 @@ import (
 	"testing"
 	"time"
 
+	"context"
+
 	"nfvchain/internal/cluster"
 	"nfvchain/internal/control"
+	"nfvchain/internal/core"
 	"nfvchain/internal/dynamic"
 	"nfvchain/internal/model"
 	"nfvchain/internal/profiling"
@@ -290,8 +293,44 @@ func scenarios() []scenario {
 	out = append(out,
 		scenario{"KKForward/n=250", func(b *testing.B) { partitionBench(b, scheduling.KKForward{}, 250, 5) }},
 		scenario{"CKK/n=40", func(b *testing.B) { partitionBench(b, scheduling.CKK{MaxNodes: 20_000}, 40, 4) }},
+		scenario{"Portfolio/anytime-race", portfolioAnytimeRace},
 	)
 	return out
+}
+
+// portfolioAnytimeRace measures the full anytime-racing path (compile, the
+// baseline + metaheuristic solvers at fixed iteration budgets, winner
+// finalization with admission control) on a mid-size generated workload. One
+// worker and a fixed seed make every iteration bit-identical, so allocs/op
+// holds exactly under the strict comparison gate.
+func portfolioAnytimeRace(b *testing.B) {
+	cfg := workload.DefaultConfig()
+	cfg.Seed = 7
+	cfg.NumVNFs = 8
+	cfg.NumRequests = 60
+	cfg.NumNodes = 6
+	prob, err := workload.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if total := prob.TotalDemand(); total > 0 {
+		scale := 0.6 * prob.TotalCapacity() / total
+		for i := range prob.VNFs {
+			prob.VNFs[i].Demand *= scale
+		}
+	}
+	lineup := []string{"greedy", "ffd", "sa:iters=1500;polish=500", "lns:iters=30", "pso:iters=10;particles=6"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.SolveRace(context.Background(), prob, core.RaceOptions{
+			Portfolio: lineup,
+			Workers:   1,
+			Seed:      7,
+			LinkDelay: 0.001,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // --- scenario bodies (mirroring bench_test.go fixtures) ---------------------

@@ -13,12 +13,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
+	"time"
 
 	"nfvchain/internal/experiment"
 	"nfvchain/internal/model"
@@ -60,6 +63,8 @@ func runTo(args []string, stdout io.Writer) error {
 		agendaStr  = fs.String("agenda", "auto", "with -simulate: event-queue backend: auto|heap|ladder (results are bit-identical under every choice)")
 		placer     = fs.String("placer", "bfdsu", "placement algorithm: bfdsu|ffd|bfd|wfd|nah|exact")
 		scheduler  = fs.String("scheduler", "rckk", "scheduling algorithm: rckk|cga|ckk|roundrobin|exact")
+		solver     = fs.String("solver", "", `with -demo/-solve: race a solver portfolio instead of one placer+scheduler pair: "portfolio" (default lineup) or "portfolio:spec,spec,..." — e.g. "portfolio:greedy,sa:iters=20000;t0=2.0,lns" (commas separate specs, semicolons separate a spec's parameters)`)
+		deadline   = fs.Int("deadline-ms", 0, "with -solver portfolio: wall-clock deadline in milliseconds; the race returns its best-so-far incumbent when it expires (0 = run every solver to its iteration budget)")
 		improve    = fs.Bool("improve", false, "polish placement and schedule with local search")
 		requests   = fs.Int("requests", 200, "with -demo: number of requests")
 		vnfs       = fs.Int("vnfs", 15, "with -demo: number of VNFs")
@@ -114,6 +119,11 @@ func runTo(args []string, stdout io.Writer) error {
 		}
 	}()
 
+	pf, err := choosePortfolio(*solver, *deadline, *improve)
+	if err != nil {
+		return err
+	}
+
 	switch {
 	case *list:
 		for _, id := range experiment.IDs() {
@@ -137,7 +147,7 @@ func runTo(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return runSolve(*solve, *seed, *simulateIt, *solOut, algs, *improve, faults, ctrl, agenda, wl, out)
+		return runSolve(*solve, *seed, *simulateIt, *solOut, algs, *improve, pf, faults, ctrl, agenda, wl, out)
 	case *demo:
 		algs, err := chooseAlgorithms(*placer, *scheduler, *seed)
 		if err != nil {
@@ -158,6 +168,9 @@ func runTo(args []string, stdout io.Writer) error {
 		if *datacenters > 1 {
 			if *jsonOut {
 				return fmt.Errorf("-json is not supported with -datacenters (cluster results are text-report only)")
+			}
+			if pf.enabled {
+				return fmt.Errorf("-solver portfolio is not wired into cluster mode; drop -datacenters")
 			}
 			if wl.mode != "flat" {
 				return fmt.Errorf("-workload %s is not wired into cluster mode from the CLI; drop -datacenters (the library supports per-flow sources via GlobalRequest.Source)", wl.mode)
@@ -184,7 +197,7 @@ func runTo(args []string, stdout io.Writer) error {
 			}
 			return runClusterDemo(*seed, *vnfs, *requests, *nodes, *simulateIt, algs, agenda, cc, out)
 		}
-		return runDemo(*seed, *vnfs, *requests, *nodes, *simulateIt, *solOut, algs, *improve, faults, ctrl, agenda, wl, out)
+		return runDemo(*seed, *vnfs, *requests, *nodes, *simulateIt, *solOut, algs, *improve, pf, faults, ctrl, agenda, wl, out)
 	case *fig != "":
 		cfg := experiment.DefaultConfig()
 		if *fast {
@@ -419,7 +432,7 @@ func applyWorkload(simCfg *nfvchain.SimulationConfig, wl workloadOptions, sol *n
 	return noop, nil
 }
 
-func runSolve(path string, seed uint64, simulate bool, solOut string, algs algorithms, improve bool, faults faultOptions, ctrl controlOptions, agenda nfvchain.AgendaKind, wl workloadOptions, out output) error {
+func runSolve(path string, seed uint64, simulate bool, solOut string, algs algorithms, improve bool, pf portfolioOptions, faults faultOptions, ctrl controlOptions, agenda nfvchain.AgendaKind, wl workloadOptions, out output) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("open %s: %w", path, err)
@@ -433,10 +446,10 @@ func runSolve(path string, seed uint64, simulate bool, solOut string, algs algor
 	}
 	fmt.Fprintf(out.report(), "problem: %d VNFs, %d requests, %d nodes (from %s)\n",
 		len(p.VNFs), len(p.Requests), len(p.Nodes), path)
-	return solveAndReport(p, seed, simulate, solOut, algs, improve, faults, ctrl, agenda, wl, out)
+	return solveAndReport(p, seed, simulate, solOut, algs, improve, pf, faults, ctrl, agenda, wl, out)
 }
 
-func runDemo(seed uint64, vnfs, requests, nodes int, simulate bool, solOut string, algs algorithms, improve bool, faults faultOptions, ctrl controlOptions, agenda nfvchain.AgendaKind, wl workloadOptions, out output) error {
+func runDemo(seed uint64, vnfs, requests, nodes int, simulate bool, solOut string, algs algorithms, improve bool, pf portfolioOptions, faults faultOptions, ctrl controlOptions, agenda nfvchain.AgendaKind, wl workloadOptions, out output) error {
 	cfg := nfvchain.DefaultWorkloadConfig()
 	cfg.Seed = seed
 	cfg.NumVNFs = vnfs
@@ -457,7 +470,7 @@ func runDemo(seed uint64, vnfs, requests, nodes int, simulate bool, solOut strin
 	}
 	fmt.Fprintf(out.report(), "workload: %d VNFs, %d requests, %d nodes (seed %d)\n",
 		len(p.VNFs), len(p.Requests), len(p.Nodes), seed)
-	return solveAndReport(p, seed, simulate, solOut, algs, improve, faults, ctrl, agenda, wl, out)
+	return solveAndReport(p, seed, simulate, solOut, algs, improve, pf, faults, ctrl, agenda, wl, out)
 }
 
 // clusterOptions bundles the -datacenters/-wan-latency/-route/-global-fraction
@@ -540,6 +553,93 @@ func runClusterDemo(seed uint64, vnfs, requests, nodes int, simulate bool, algs 
 	return nil
 }
 
+// portfolioOptions bundles the -solver/-deadline-ms anytime-racing flags;
+// enabled == false keeps the classic one-placer-one-scheduler pipeline.
+type portfolioOptions struct {
+	enabled    bool
+	specs      []string
+	deadlineMS int
+}
+
+// choosePortfolio parses "-solver portfolio" / "-solver portfolio:spec,...",
+// validating the specs up front so bad spellings fail before any solving.
+func choosePortfolio(solver string, deadlineMS int, improve bool) (portfolioOptions, error) {
+	out := portfolioOptions{deadlineMS: deadlineMS}
+	if solver == "" {
+		if deadlineMS != 0 {
+			return out, fmt.Errorf("-deadline-ms requires -solver portfolio")
+		}
+		return out, nil
+	}
+	if deadlineMS < 0 {
+		return out, fmt.Errorf("-deadline-ms %d must be >= 0", deadlineMS)
+	}
+	if improve {
+		return out, fmt.Errorf("-improve is built into the portfolio solvers; drop one of -improve/-solver")
+	}
+	switch {
+	case solver == "portfolio":
+		out.specs = nfvchain.DefaultPortfolio()
+	case strings.HasPrefix(solver, "portfolio:"):
+		out.specs = strings.Split(strings.TrimPrefix(solver, "portfolio:"), ",")
+	default:
+		return out, fmt.Errorf("unknown solver %q (want portfolio or portfolio:spec,spec,...)", solver)
+	}
+	if _, err := nfvchain.ParsePortfolioSpecs(out.specs); err != nil {
+		return out, err
+	}
+	out.enabled = true
+	return out, nil
+}
+
+// raceAndReport runs the anytime portfolio race and prints the incumbent
+// trajectory plus each racer's final standing, returning the finalized
+// winner for the usual evaluation/simulation path.
+func raceAndReport(p *model.Problem, seed uint64, pf portfolioOptions, rep io.Writer) (*nfvchain.Solution, error) {
+	ctx := context.Background()
+	if pf.deadlineMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(pf.deadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+	fmt.Fprintf(rep, "racing portfolio [%s], deadline %s\n",
+		strings.Join(pf.specs, " "), deadlineLabel(pf.deadlineMS))
+	sol, res, err := nfvchain.SolveRace(ctx, p, nfvchain.RaceOptions{
+		Portfolio: pf.specs,
+		Seed:      seed,
+		LinkDelay: 0.001,
+		OnIncumbent: func(inc nfvchain.PortfolioIncumbent) {
+			fmt.Fprintf(rep, "  incumbent %-10s objective %.6f  iter %-7d %8.1fms\n",
+				inc.Solver, inc.Objective, inc.Iteration, float64(inc.Elapsed.Microseconds())/1e3)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, oc := range res.Outcomes {
+		if oc.Err != "" {
+			fmt.Fprintf(rep, "  solver %-10s failed: %s\n", oc.Solver, oc.Err)
+			continue
+		}
+		fmt.Fprintf(rep, "  solver %-10s final objective %.6f after %d iterations\n",
+			oc.Solver, oc.Objective, oc.Iterations)
+	}
+	status := "all solvers finished"
+	if res.DeadlineExpired {
+		status = "deadline expired, best-so-far returned"
+	}
+	fmt.Fprintf(rep, "race: winner %s (objective %.6f), %d incumbents published, %s\n",
+		res.Best.Solver, res.Best.Objective, res.Published, status)
+	return sol, nil
+}
+
+func deadlineLabel(ms int) string {
+	if ms <= 0 {
+		return "none (iteration budgets)"
+	}
+	return fmt.Sprintf("%dms", ms)
+}
+
 // algorithms bundles the user-selected pipeline strategies.
 type algorithms struct {
 	placer    nfvchain.PlacementAlgorithm
@@ -581,14 +681,22 @@ func chooseAlgorithms(placer, scheduler string, seed uint64) (algorithms, error)
 	return out, nil
 }
 
-func solveAndReport(p *model.Problem, seed uint64, simulate bool, solOut string, algs algorithms, improve bool, faults faultOptions, ctrl controlOptions, agenda nfvchain.AgendaKind, wl workloadOptions, out output) error {
+func solveAndReport(p *model.Problem, seed uint64, simulate bool, solOut string, algs algorithms, improve bool, pf portfolioOptions, faults faultOptions, ctrl controlOptions, agenda nfvchain.AgendaKind, wl workloadOptions, out output) error {
 	rep := out.report()
-	sol, err := nfvchain.Optimize(p, nfvchain.Options{
-		Seed:      seed,
-		LinkDelay: 0.001,
-		Placer:    algs.placer,
-		Scheduler: algs.scheduler,
-	})
+	var sol *nfvchain.Solution
+	var err error
+	placerName, schedulerName := algs.placer.Name(), algs.scheduler.Name()
+	if pf.enabled {
+		placerName, schedulerName = "portfolio", "portfolio"
+		sol, err = raceAndReport(p, seed, pf, rep)
+	} else {
+		sol, err = nfvchain.Optimize(p, nfvchain.Options{
+			Seed:      seed,
+			LinkDelay: 0.001,
+			Placer:    algs.placer,
+			Scheduler: algs.scheduler,
+		})
+	}
 	if err != nil {
 		return err
 	}
@@ -614,9 +722,9 @@ func solveAndReport(p *model.Problem, seed uint64, simulate bool, solOut string,
 		return err
 	}
 	fmt.Fprintf(rep, "placement (%s): %d nodes in service, avg utilization %.2f%%, %d iterations\n",
-		algs.placer.Name(), ev.NodesInService, ev.AvgUtilization*100, sol.PlacementIterations)
+		placerName, ev.NodesInService, ev.AvgUtilization*100, sol.PlacementIterations)
 	fmt.Fprintf(rep, "scheduling (%s): mean W per instance %.6fs, rejected %d/%d requests (%.2f%%)\n",
-		algs.scheduler.Name(), ev.AvgResponseTime, len(sol.Rejected), len(p.Requests), sol.RejectionRate*100)
+		schedulerName, ev.AvgResponseTime, len(sol.Rejected), len(p.Requests), sol.RejectionRate*100)
 	fmt.Fprintf(rep, "analytic mean request latency (Eq. 16): %.6fs\n", ev.MeanRequestLatency())
 
 	if solOut != "" {

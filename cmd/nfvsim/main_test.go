@@ -178,3 +178,52 @@ func TestRunSolve(t *testing.T) {
 		t.Error("malformed problem accepted")
 	}
 }
+
+func TestRunDemoPortfolio(t *testing.T) {
+	var buf bytes.Buffer
+	err := runTo([]string{
+		"-demo", "-requests", "40", "-vnfs", "8", "-nodes", "6",
+		"-solver", "portfolio:greedy,sa:iters=2000,lns:iters=40",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"racing portfolio", "incumbent", "race: winner", "placement (portfolio)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDemoPortfolioDeadline(t *testing.T) {
+	var buf bytes.Buffer
+	// Unbounded SA: only the deadline ends the race, best-so-far returned.
+	err := runTo([]string{
+		"-demo", "-requests", "30", "-vnfs", "6", "-nodes", "5",
+		"-solver", "portfolio:greedy,sa:iters=0;cooling=0.999999", "-deadline-ms", "300",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "deadline expired, best-so-far returned") {
+		t.Errorf("deadline race did not report best-so-far:\n%s", buf.String())
+	}
+}
+
+func TestRunPortfolioFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-demo", "-solver", "warp-drive"},                      // unknown solver mode
+		{"-demo", "-solver", "portfolio:nope"},                  // unknown portfolio member
+		{"-demo", "-solver", "portfolio:sa:t0=NaN"},             // bad parameter
+		{"-demo", "-solver", "portfolio", "-deadline-ms", "-1"}, // negative deadline
+		{"-demo", "-deadline-ms", "100"},                        // deadline without portfolio
+		{"-demo", "-solver", "portfolio", "-improve"},           // redundant polish
+		{"-demo", "-solver", "portfolio", "-datacenters", "2"},  // not wired into cluster mode
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("accepted %v", args)
+		}
+	}
+}

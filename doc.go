@@ -67,6 +67,24 @@
 // sources on the canonical streams are bit-identical to the built-in tier
 // (also for cluster global flows via GlobalRequest sources).
 //
+// # Solver portfolio and anytime racing
+//
+// Beyond the fixed two-phase pipeline, SolveRace optimizes placement and
+// scheduling jointly: a portfolio of solvers — the greedy pipelines (greedy,
+// bfd, ffd, nah, exact) plus a metaheuristic tier of simulated annealing
+// (sa), large-neighborhood search (lns) and particle-swarm placement with a
+// KK inner scheduler (pso) — races on parallel workers, each reporting a
+// monotone stream of incumbents (PortfolioIncumbent) while a shared
+// first-improvement publication feeds RaceOptions.OnIncumbent. Budgets are
+// iterations, not wall clock, so at a fixed RaceOptions.Seed every solver's
+// (iteration, objective) trajectory is deterministic and the winner is
+// invariant to worker count; a context deadline bounds wall clock, returning
+// best-so-far. Specs parse from "name:key=value;..." strings
+// (ParsePortfolioSpecs, DefaultPortfolio); the winner is finalized exactly
+// like Optimize, admission control included. The same race runs behind
+// cmd/nfvd's POST /v1/solve (portfolio + deadline_ms, trajectory in job
+// progress) and cmd/nfvsim's -solver portfolio flag.
+//
 // # Online control plane
 //
 // The simulator's deployment need not stay static: NewController builds a

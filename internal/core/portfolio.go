@@ -1,0 +1,77 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"nfvchain/internal/model"
+	"nfvchain/internal/portfolio"
+	"nfvchain/internal/scheduling"
+)
+
+// RaceOptions configures SolveRace, the anytime entry point of the
+// pipeline.
+type RaceOptions struct {
+	// Portfolio lists the solver specs to race; empty means
+	// portfolio.DefaultPortfolio.
+	Portfolio []string
+	// Workers bounds solver-level parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Seed derives per-solver seeds for specs that did not pin one.
+	Seed uint64
+	// LinkDelay is the per-hop latency L of Eq. 16, also wired into the
+	// race objective.
+	LinkDelay float64
+	// DisableAdmissionControl keeps the winner's raw schedule.
+	DisableAdmissionControl bool
+	// OnIncumbent observes the race's first-improvement incumbent stream.
+	OnIncumbent func(portfolio.Incumbent)
+}
+
+// SolveRace runs a portfolio race over the problem and finalizes the
+// winner exactly like Optimize finalizes the two-phase pipeline: admission
+// control enforces per-instance stability on the winning schedule (unless
+// disabled). Bound the race with a ctx deadline for anytime behavior — the
+// best-so-far winner is returned when the deadline passes.
+func SolveRace(ctx context.Context, p *model.Problem, opts RaceOptions) (*Solution, *portfolio.RaceResult, error) {
+	texts := opts.Portfolio
+	if len(texts) == 0 {
+		texts = portfolio.DefaultPortfolio()
+	}
+	specs, err := portfolio.ParseSpecs(texts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: %w", err)
+	}
+	obj := portfolio.DefaultObjective()
+	if opts.LinkDelay > 0 {
+		obj.LinkDelay = opts.LinkDelay
+	}
+	res, err := portfolio.Race(ctx, p, portfolio.RaceConfig{
+		Specs:       specs,
+		Workers:     opts.Workers,
+		Seed:        opts.Seed,
+		Objective:   obj,
+		OnIncumbent: opts.OnIncumbent,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: race: %w", err)
+	}
+
+	sol := &Solution{
+		Problem:             p,
+		Placement:           res.Best.Placement,
+		PlacementIterations: res.Best.Iterations,
+		Schedule:            res.Best.Schedule,
+		LinkDelay:           opts.LinkDelay,
+	}
+	if !opts.DisableAdmissionControl {
+		adm, err := scheduling.ApplyAdmissionControl(p, sol.Schedule)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: admission control: %w", err)
+		}
+		sol.Schedule = adm.Admitted
+		sol.Rejected = adm.Rejected
+		sol.RejectionRate = adm.RejectionRate
+	}
+	return sol, res, nil
+}

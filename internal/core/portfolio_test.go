@@ -1,0 +1,82 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"nfvchain/internal/model"
+	"nfvchain/internal/portfolio"
+)
+
+func racingProblem(t *testing.T) *model.Problem {
+	t.Helper()
+	p := &model.Problem{
+		Nodes: []model.Node{
+			{ID: "n1", Capacity: 12}, {ID: "n2", Capacity: 12}, {ID: "n3", Capacity: 12},
+		},
+		VNFs: []model.VNF{
+			{ID: "fw", Instances: 2, Demand: 2, ServiceRate: 30},
+			{ID: "nat", Instances: 2, Demand: 2, ServiceRate: 25},
+			{ID: "ids", Instances: 3, Demand: 1.5, ServiceRate: 20},
+		},
+		Requests: []model.Request{
+			{ID: "r1", Chain: []model.VNFID{"fw", "nat"}, Rate: 8, DeliveryProb: 0.95},
+			{ID: "r2", Chain: []model.VNFID{"fw", "ids"}, Rate: 7, DeliveryProb: 0.98},
+			{ID: "r3", Chain: []model.VNFID{"nat", "ids"}, Rate: 6, DeliveryProb: 0.9},
+			{ID: "r4", Chain: []model.VNFID{"fw", "nat", "ids"}, Rate: 5, DeliveryProb: 0.97},
+			{ID: "r5", Chain: []model.VNFID{"ids"}, Rate: 9, DeliveryProb: 0.99},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSolveRaceFinalizesLikeOptimize(t *testing.T) {
+	p := racingProblem(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var incumbents int
+	sol, res, err := SolveRace(ctx, p, RaceOptions{
+		Portfolio: []string{"greedy", "sa:iters=1000", "lns:iters=50", "pso:iters=15;particles=6"},
+		Seed:      7,
+		LinkDelay: 0.001,
+		OnIncumbent: func(portfolio.Incumbent) {
+			incumbents++
+		},
+	})
+	if err != nil {
+		t.Fatalf("SolveRace: %v", err)
+	}
+	if incumbents == 0 || res.Published != incumbents {
+		t.Errorf("incumbents seen %d, race published %d", incumbents, res.Published)
+	}
+	if len(res.Outcomes) != 4 {
+		t.Errorf("outcomes = %d, want 4", len(res.Outcomes))
+	}
+	// The finalized solution passes the same invariants Optimize guarantees:
+	// valid placement, admission-controlled (evaluable) schedule.
+	if err := sol.Placement.Validate(p); err != nil {
+		t.Errorf("placement invalid: %v", err)
+	}
+	if err := sol.Schedule.ValidatePartial(p); err != nil {
+		t.Errorf("schedule invalid: %v", err)
+	}
+	if _, err := Evaluate(sol); err != nil {
+		t.Errorf("winner not evaluable after admission control: %v", err)
+	}
+	if sol.LinkDelay != 0.001 {
+		t.Errorf("link delay %v not propagated", sol.LinkDelay)
+	}
+}
+
+func TestSolveRaceRejectsBadPortfolio(t *testing.T) {
+	p := racingProblem(t)
+	if _, _, err := SolveRace(context.Background(), p, RaceOptions{
+		Portfolio: []string{"nope"},
+	}); err == nil {
+		t.Error("unknown solver accepted")
+	}
+}

@@ -28,8 +28,8 @@ func runFig(t *testing.T, id string) *Table {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 20 {
-		t.Errorf("IDs() = %v, want 20 experiments", ids)
+	if len(ids) != 21 {
+		t.Errorf("IDs() = %v, want 21 experiments", ids)
 	}
 	for i := 1; i < len(ids); i++ {
 		if ids[i-1] >= ids[i] {

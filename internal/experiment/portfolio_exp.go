@@ -1,0 +1,188 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"nfvchain/internal/core"
+	"nfvchain/internal/model"
+	"nfvchain/internal/portfolio"
+)
+
+// portfolioBaselines are the single-pipeline racers; the race's winner can
+// never be worse than the best of them because they run inside the race.
+var portfolioBaselines = []string{"greedy", "ffd", "nah"}
+
+// portfolioMetaheuristics are the anytime racers whose incumbent
+// trajectories become the time-to-quality curves. Iteration budgets (not
+// wall clock) bound them, so the curves are deterministic at a fixed seed.
+var portfolioMetaheuristics = []string{
+	"sa:iters=6000;polish=1500",
+	"lns:iters=120",
+	"pso:iters=40;particles=8",
+}
+
+// portfolioRaceDeadline caps each race's wall clock. The budgets above
+// finish far inside it on the ablation sizes, so the deadline is a safety
+// net, not the stopping rule — determinism is preserved.
+const portfolioRaceDeadline = time.Second
+
+// portfolioPoints is the ablation sweep: the same generator family as the
+// placement figures at three scales.
+var portfolioPoints = []struct {
+	vnfs, requests, nodes int
+}{
+	{8, 50, 6},
+	{10, 100, 8},
+	{15, 200, 10},
+}
+
+// Portfolio extends the ablation family to the full solver portfolio
+// (ISSUE: anytime racing). Per sweep point it races baselines (greedy, FFD,
+// NAH) against the metaheuristic tier (SA, LNS, PSO) under a 1s deadline and
+// records, in the notes, the winner versus the best single baseline. The
+// table's series are time-to-quality curves at the largest point: X is the
+// iteration checkpoint, Y the best objective any incumbent of that solver
+// had reached by then (monotone non-increasing by construction).
+func Portfolio(cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "portfolio",
+		Title:  "Solver portfolio: anytime racing vs single baselines",
+		XLabel: "iteration checkpoint",
+		YLabel: "best objective (lower is better)",
+	}
+	lineup := append(append([]string{}, portfolioBaselines...), portfolioMetaheuristics...)
+	var curveSeed uint64
+	var curveProblem *model.Problem
+	for pi, pt := range portfolioPoints {
+		seed := cfg.Seed + uint64(pi)*9176
+		p, err := placementProblem(seed, pt.vnfs, pt.requests, pt.nodes, placementLoadFactor)
+		if err != nil {
+			return nil, fmt.Errorf("portfolio: point %d: %w", pi, err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), portfolioRaceDeadline)
+		_, res, err := core.SolveRace(ctx, p, core.RaceOptions{
+			Portfolio: lineup,
+			Seed:      seed,
+			LinkDelay: 0.001,
+		})
+		cancel()
+		if err != nil {
+			return nil, fmt.Errorf("portfolio: point %d: %w", pi, err)
+		}
+		bestBase, bestBaseName := math.Inf(1), ""
+		for _, oc := range res.Outcomes {
+			if oc.Err != "" {
+				continue
+			}
+			for _, b := range portfolioBaselines {
+				if oc.Solver == b && oc.Objective < bestBase {
+					bestBase, bestBaseName = oc.Objective, oc.Solver
+				}
+			}
+		}
+		t.Note("n=%d: race winner %s %.4f vs best baseline %s %.4f (%.2f%% better)",
+			pt.requests, res.Best.Solver, res.Best.Objective, bestBaseName, bestBase,
+			(bestBase-res.Best.Objective)/bestBase*100)
+		curveSeed, curveProblem = seed, p
+	}
+	if err := addTimeToQuality(t, curveProblem, curveSeed); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// addTimeToQuality runs each metaheuristic solo on the largest sweep point
+// (the race keeps only per-solver summaries, so the full trajectories are
+// re-derived here — deterministic at the same seed) and converts its
+// incumbent stream into a best-so-far curve. All curves share one geometric
+// checkpoint grid so the table rows line up; each holds its value between
+// improvements and stays flat past its own iteration budget, so a flat tail
+// means "budget exhausted".
+func addTimeToQuality(t *Table, p *model.Problem, seed uint64) error {
+	obj := portfolio.DefaultObjective()
+	type curve struct {
+		label string
+		incs  []portfolio.Incumbent
+	}
+	var curves []curve
+	maxLast := 1
+	for _, specStr := range portfolioMetaheuristics {
+		spec, err := portfolio.ParseSpec(specStr)
+		if err != nil {
+			return fmt.Errorf("portfolio: %w", err)
+		}
+		solver, err := spec.Build(obj, seed)
+		if err != nil {
+			return fmt.Errorf("portfolio: %w", err)
+		}
+		var incs []portfolio.Incumbent
+		ctx, cancel := context.WithTimeout(context.Background(), portfolioRaceDeadline)
+		_, err = solver.Solve(ctx, p, func(inc portfolio.Incumbent) {
+			incs = append(incs, inc)
+		})
+		cancel()
+		if err != nil {
+			return fmt.Errorf("portfolio: %s trajectory: %w", spec.Name, err)
+		}
+		label, _ := metaLabel(spec.Name)
+		curves = append(curves, curve{label: label, incs: incs})
+		if n := len(incs); n > 0 {
+			if last := incs[n-1].Iteration; last > maxLast {
+				maxLast = last
+			}
+		}
+	}
+	grid := checkpointGrid(maxLast)
+	for _, c := range curves {
+		if len(c.incs) == 0 {
+			continue
+		}
+		for _, cp := range grid {
+			best := c.incs[0].Objective
+			for _, inc := range c.incs {
+				if inc.Iteration > cp {
+					break
+				}
+				best = inc.Objective
+			}
+			t.AddPoint(c.label, float64(cp), best)
+		}
+	}
+	return nil
+}
+
+// metaLabel maps a metaheuristic solver name to its curve label.
+func metaLabel(solver string) (string, bool) {
+	switch solver {
+	case "sa":
+		return "SA", true
+	case "lns":
+		return "LNS", true
+	case "pso":
+		return "PSO", true
+	}
+	return "", false
+}
+
+// checkpointGrid returns a 1-2-5 geometric grid clipped to maxIter, always
+// ending exactly at maxIter so every curve's final value is on the table.
+func checkpointGrid(maxIter int) []int {
+	if maxIter < 1 {
+		maxIter = 1
+	}
+	var grid []int
+	for base := 1; base <= maxIter; base *= 10 {
+		for _, m := range []int{1, 2, 5} {
+			if cp := base * m; cp < maxIter {
+				grid = append(grid, cp)
+			}
+		}
+	}
+	return append(grid, maxIter)
+}

@@ -1,0 +1,82 @@
+package experiment
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestPortfolioTimeToQualityCurves(t *testing.T) {
+	tab, err := Portfolio(FastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, label := range []string{"SA", "LNS", "PSO"} {
+		s, ok := tab.SeriesByLabel(label)
+		if !ok {
+			t.Errorf("missing time-to-quality curve %s", label)
+			continue
+		}
+		if len(s.X) < 2 {
+			t.Errorf("%s: curve has %d checkpoints", label, len(s.X))
+			continue
+		}
+		for i := 1; i < len(s.X); i++ {
+			if s.X[i] <= s.X[i-1] {
+				t.Errorf("%s: checkpoint grid not increasing at %d: %g <= %g", label, i, s.X[i], s.X[i-1])
+			}
+			if s.Y[i] > s.Y[i-1] {
+				t.Errorf("%s: incumbent curve not monotone at checkpoint %g: %g > %g",
+					label, s.X[i], s.Y[i], s.Y[i-1])
+			}
+		}
+		if s.Y[len(s.Y)-1] >= s.Y[0] {
+			t.Errorf("%s: no improvement over its first incumbent (%g -> %g)",
+				label, s.Y[0], s.Y[len(s.Y)-1])
+		}
+	}
+}
+
+// TestPortfolioRaceBeatsBaselines parses the per-point notes: the racing
+// portfolio must match or beat the best single baseline on every ablation
+// point (it runs the baselines inside the race, so losing would be a bug in
+// winner selection).
+func TestPortfolioRaceBeatsBaselines(t *testing.T) {
+	tab, err := Portfolio(FastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Notes) != len(portfolioPoints) {
+		t.Fatalf("notes = %d, want one per sweep point (%d)", len(tab.Notes), len(portfolioPoints))
+	}
+	for _, note := range tab.Notes {
+		var n int
+		var winner, base string
+		var winnerObj, baseObj, pct float64
+		if _, err := fmt.Sscanf(note, "n=%d: race winner %s %f vs best baseline %s %f (%f%% better)",
+			&n, &winner, &winnerObj, &base, &baseObj, &pct); err != nil {
+			t.Fatalf("unparseable note %q: %v", note, err)
+		}
+		if winnerObj > baseObj {
+			t.Errorf("n=%d: race winner %s %.4f worse than baseline %s %.4f",
+				n, winner, winnerObj, base, baseObj)
+		}
+	}
+}
+
+func TestPortfolioDeterministicAtFixedSeed(t *testing.T) {
+	a, err := Portfolio(FastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Portfolio(FastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Series, b.Series) {
+		t.Error("time-to-quality curves differ between identical runs")
+	}
+	if !reflect.DeepEqual(a.Notes, b.Notes) {
+		t.Errorf("race notes differ between identical runs:\n%v\n%v", a.Notes, b.Notes)
+	}
+}

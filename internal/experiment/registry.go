@@ -30,6 +30,10 @@ var registry = map[string]Runner{
 	"ablation-scheduling": AblationScheduling,
 	"headline":            Headline,
 
+	// Solver portfolio: anytime racing vs single baselines, with
+	// time-to-quality curves for the metaheuristic tier.
+	"portfolio": Portfolio,
+
 	// Model robustness: how Eq. 12 degrades when service is not exponential.
 	"robustness": Robustness,
 

@@ -52,7 +52,7 @@ func evacuateOne(p *model.Problem, pl *model.Placement) bool {
 		return used[i] < used[j]
 	})
 	for _, victim := range used {
-		if moves, ok := planEvacuation(p, pl, victim); ok {
+		if moves, ok := PlanEvacuation(p, pl, victim); ok {
 			for f, v := range moves {
 				pl.Assign(f, v)
 			}
@@ -62,10 +62,13 @@ func evacuateOne(p *model.Problem, pl *model.Placement) bool {
 	return false
 }
 
-// planEvacuation computes a relocation of every VNF on victim onto other
+// PlanEvacuation computes a relocation of every VNF on victim onto other
 // used nodes, best-fit greedily, or reports failure. The plan respects all
-// resource dimensions and is simulated on scratch residuals before commit.
-func planEvacuation(p *model.Problem, pl *model.Placement, victim model.NodeID) (map[model.VNFID]model.NodeID, bool) {
+// resource dimensions and is simulated on scratch residuals before commit;
+// pl is not modified. It is the close-node move Improve iterates, exported
+// so the portfolio metaheuristics reuse it as a destroy/repair neighborhood
+// instead of duplicating the relocation logic.
+func PlanEvacuation(p *model.Problem, pl *model.Placement, victim model.NodeID) (map[model.VNFID]model.NodeID, bool) {
 	// Residuals of every other used node.
 	residual := pl.Residual(p)
 	extras := scratchExtras(p, pl)

@@ -1,0 +1,499 @@
+// Package portfolio optimizes chain placement and request scheduling
+// jointly behind one Solver interface and races several solvers against a
+// deadline. It is the anytime tier above the fixed two-phase pipeline: the
+// greedy and exact pipelines are wrapped as baseline solvers, and a
+// metaheuristic tier — simulated annealing and large-neighborhood search
+// over (placement, assignment) moves plus particle-swarm optimization over
+// placement score vectors with the KK schedulers as inner evaluator —
+// searches beyond them. Every solver is deterministic at a fixed seed and
+// reports monotone incumbents; Race runs K solvers on parallel workers
+// sharing a best-so-far incumbent and returns the deterministic winner.
+package portfolio
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"nfvchain/internal/model"
+	"nfvchain/internal/placement"
+	"nfvchain/internal/scheduling"
+)
+
+// Objective scalarizes the paper's two objectives — nodes in service
+// (Eq. 14) and mean per-request latency (Eq. 16) — into one lower-is-better
+// value so heterogeneous solvers compare incumbents on a single axis.
+type Objective struct {
+	// NodeWeight multiplies the nodes-in-service count.
+	NodeWeight float64
+	// LatencyWeight multiplies the mean per-request latency (seconds).
+	LatencyWeight float64
+	// LinkDelay is the inter-node hop delay L of Eq. 16.
+	LinkDelay float64
+	// UnstablePenalty replaces Eq. 11's response time on an instance with
+	// Λ ≥ µ, scaled by the overload ratio so moves toward stability are
+	// still rewarded. Metaheuristics may traverse unstable schedules; final
+	// solutions pass through admission control downstream.
+	UnstablePenalty float64
+}
+
+// DefaultObjective balances the two terms so that opening one extra node
+// trades against ~40ms of mean request latency.
+func DefaultObjective() Objective {
+	return Objective{NodeWeight: 1, LatencyWeight: 25, LinkDelay: 1e-3, UnstablePenalty: 10}
+}
+
+func (o Objective) withDefaults() Objective {
+	d := DefaultObjective()
+	if o.NodeWeight == 0 && o.LatencyWeight == 0 {
+		o.NodeWeight, o.LatencyWeight = d.NodeWeight, d.LatencyWeight
+	}
+	if o.LinkDelay == 0 {
+		o.LinkDelay = d.LinkDelay
+	}
+	if o.UnstablePenalty == 0 {
+		o.UnstablePenalty = d.UnstablePenalty
+	}
+	return o
+}
+
+// Incumbent is one monotone improvement reported by a solver: the best
+// (placement, schedule) pair seen so far with its objective and timestamp.
+type Incumbent struct {
+	Solver    string
+	Objective float64
+	// Iteration is the solver-local iteration that produced the incumbent;
+	// it is deterministic at a fixed seed, unlike the wall-clock fields.
+	Iteration int
+	Elapsed   time.Duration
+	At        time.Time
+	Placement *model.Placement
+	Schedule  *model.Schedule
+}
+
+// Solution is a solver's final answer: its best incumbent plus run totals.
+type Solution struct {
+	Solver     string
+	Objective  float64
+	Iterations int
+	// Incumbents counts the solver-local monotone improvements reported.
+	Incumbents int
+	Placement  *model.Placement
+	Schedule   *model.Schedule
+}
+
+// Solver optimizes placement and scheduling jointly. Solve runs until its
+// iteration budget is exhausted or ctx is done, reporting each strict
+// improvement through report (which may be nil), and returns its best
+// solution; when ctx expires after at least one incumbent was found, Solve
+// returns that best-so-far with a nil error. Implementations are
+// deterministic at a fixed seed: the (iteration, objective) incumbent
+// trajectory is identical across runs.
+type Solver interface {
+	Name() string
+	Solve(ctx context.Context, p *model.Problem, report func(Incumbent)) (*Solution, error)
+}
+
+// capEps mirrors the placement package's capacity tolerance.
+const capEps = 1e-9
+
+// improveEps is the strict-improvement threshold for incumbent publication.
+const improveEps = 1e-12
+
+// compiled is the index-space view of a Problem shared by all solvers:
+// dense slices instead of ID-keyed maps, so candidate evaluation is a few
+// linear scans.
+type compiled struct {
+	p   *model.Problem
+	obj Objective
+
+	nodeIDs    []model.NodeID
+	nodeIndex  map[model.NodeID]int
+	cap        []float64
+	nodeExtras [][]float64
+
+	vnfIDs    []model.VNFID
+	vnfIndex  map[model.VNFID]int
+	demand    []float64   // TotalDemand per VNF
+	vnfExtras [][]float64 // TotalExtras per VNF
+	inst      []int       // M_f
+	mu        []float64   // µ_f
+
+	items [][]scheduling.Item // per VNF, in ItemsFor order
+	rawW  [][]float64         // per VNF item: raw rate λ_r (items carry λ_r/P_r)
+
+	chains [][]int // per request: chain as VNF indices
+	pos    [][]int // per request: item index of the request within each chain VNF
+
+	// movable lists VNF indices with ≥1 item and ≥2 instances — the ones
+	// scheduling moves can act on. demandOrder sorts VNF indices by total
+	// demand descending (ties by ID), the order every repair packs in.
+	movable     []int
+	demandOrder []int
+	dims        int
+}
+
+func compile(p *model.Problem, obj Objective) (*compiled, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("portfolio: %w", err)
+	}
+	if err := placement.Precheck(p); err != nil {
+		return nil, fmt.Errorf("portfolio: %w", err)
+	}
+	c := &compiled{
+		p:         p,
+		obj:       obj.withDefaults(),
+		nodeIndex: make(map[model.NodeID]int, len(p.Nodes)),
+		vnfIndex:  make(map[model.VNFID]int, len(p.VNFs)),
+		dims:      p.ExtraResources(),
+	}
+	for i, n := range p.Nodes {
+		c.nodeIDs = append(c.nodeIDs, n.ID)
+		c.nodeIndex[n.ID] = i
+		c.cap = append(c.cap, n.Capacity)
+		row := make([]float64, c.dims)
+		copy(row, n.Extras)
+		c.nodeExtras = append(c.nodeExtras, row)
+	}
+	itemPos := make([]map[model.RequestID]int, len(p.VNFs))
+	for i, f := range p.VNFs {
+		c.vnfIDs = append(c.vnfIDs, f.ID)
+		c.vnfIndex[f.ID] = i
+		c.demand = append(c.demand, f.TotalDemand())
+		row := make([]float64, c.dims)
+		copy(row, f.TotalExtras())
+		c.vnfExtras = append(c.vnfExtras, row)
+		c.inst = append(c.inst, f.Instances)
+		c.mu = append(c.mu, f.ServiceRate)
+
+		items := scheduling.ItemsFor(p, f.ID)
+		c.items = append(c.items, items)
+		itemPos[i] = make(map[model.RequestID]int, len(items))
+		raw := make([]float64, len(items))
+		for j, it := range items {
+			itemPos[i][it.ID] = j
+		}
+		c.rawW = append(c.rawW, raw)
+		if len(items) > 0 && f.Instances > 1 {
+			c.movable = append(c.movable, i)
+		}
+	}
+	for _, r := range p.Requests {
+		chain := make([]int, len(r.Chain))
+		pos := make([]int, len(r.Chain))
+		for j, fid := range r.Chain {
+			f := c.vnfIndex[fid]
+			chain[j] = f
+			pos[j] = itemPos[f][r.ID]
+			c.rawW[f][pos[j]] = r.Rate
+		}
+		c.chains = append(c.chains, chain)
+		c.pos = append(c.pos, pos)
+	}
+	c.demandOrder = make([]int, len(p.VNFs))
+	for i := range c.demandOrder {
+		c.demandOrder[i] = i
+	}
+	// Insertion sort keeps ordering stable and avoids a sort.Slice closure.
+	for i := 1; i < len(c.demandOrder); i++ {
+		for j := i; j > 0; j-- {
+			a, b := c.demandOrder[j-1], c.demandOrder[j]
+			if c.demand[a] > c.demand[b] || (c.demand[a] == c.demand[b] && c.vnfIDs[a] <= c.vnfIDs[b]) {
+				break
+			}
+			c.demandOrder[j-1], c.demandOrder[j] = b, a
+		}
+	}
+	return c, nil
+}
+
+// candidate is a joint solution in index space: nodeOf[f] hosts VNF f's
+// whole instance bundle (Eq. 2); assign[f][i] is the instance serving item
+// i of VNF f.
+type candidate struct {
+	nodeOf []int
+	assign [][]int
+}
+
+func (c *compiled) newCandidate() *candidate {
+	cand := &candidate{nodeOf: make([]int, len(c.vnfIDs)), assign: make([][]int, len(c.vnfIDs))}
+	for f := range c.items {
+		cand.assign[f] = make([]int, len(c.items[f]))
+	}
+	return cand
+}
+
+func (cand *candidate) copyFrom(o *candidate) {
+	copy(cand.nodeOf, o.nodeOf)
+	for f := range cand.assign {
+		copy(cand.assign[f], o.assign[f])
+	}
+}
+
+func (c *compiled) cloneCandidate(cand *candidate) *candidate {
+	out := c.newCandidate()
+	out.copyFrom(cand)
+	return out
+}
+
+// toPlacement materializes the model-space placement of cand.
+func (c *compiled) toPlacement(cand *candidate) *model.Placement {
+	pl := model.NewPlacement()
+	for f, n := range cand.nodeOf {
+		pl.Assign(c.vnfIDs[f], c.nodeIDs[n])
+	}
+	return pl
+}
+
+// toSchedule materializes the model-space schedule of cand.
+func (c *compiled) toSchedule(cand *candidate) *model.Schedule {
+	s := model.NewSchedule()
+	for f, items := range c.items {
+		fid := c.vnfIDs[f]
+		for i, it := range items {
+			s.Assign(it.ID, fid, cand.assign[f][i])
+		}
+	}
+	return s
+}
+
+// fromModel imports a model-space solution into index space.
+func (c *compiled) fromModel(pl *model.Placement, s *model.Schedule, cand *candidate) error {
+	for f, fid := range c.vnfIDs {
+		nid, ok := pl.Node(fid)
+		if !ok {
+			return fmt.Errorf("portfolio: vnf %s unplaced", fid)
+		}
+		n, ok := c.nodeIndex[nid]
+		if !ok {
+			return fmt.Errorf("portfolio: vnf %s on unknown node %s", fid, nid)
+		}
+		cand.nodeOf[f] = n
+		for i, it := range c.items[f] {
+			k, ok := s.Instance(it.ID, fid)
+			if !ok {
+				return fmt.Errorf("portfolio: request %s unassigned at %s", it.ID, fid)
+			}
+			cand.assign[f][i] = k
+		}
+	}
+	return nil
+}
+
+// applyPlacement overwrites cand's placement from a model-space placement.
+func (c *compiled) applyPlacement(pl *model.Placement, cand *candidate) {
+	for f, fid := range c.vnfIDs {
+		if nid, ok := pl.Node(fid); ok {
+			cand.nodeOf[f] = c.nodeIndex[nid]
+		}
+	}
+}
+
+// evaluator scores candidates against the compiled objective, reusing
+// scratch across calls so the metaheuristic inner loops stay allocation-
+// lean.
+type evaluator struct {
+	c     *compiled
+	stamp []int // per node, epoch marks for distinct-node counting
+	epoch int
+	eff   [][]float64 // per VNF instance: Λ (effective)
+	raw   [][]float64 // per VNF instance: Σλ (raw)
+	w     [][]float64 // per VNF instance: W(f,k)
+}
+
+func newEvaluator(c *compiled) *evaluator {
+	e := &evaluator{c: c, stamp: make([]int, len(c.nodeIDs))}
+	for f := range c.vnfIDs {
+		e.eff = append(e.eff, make([]float64, c.inst[f]))
+		e.raw = append(e.raw, make([]float64, c.inst[f]))
+		e.w = append(e.w, make([]float64, c.inst[f]))
+	}
+	return e
+}
+
+// value computes the scalar objective of cand: NodeWeight·(nodes in
+// service) + LatencyWeight·(mean Eq. 16 latency), with UnstablePenalty
+// standing in for Eq. 11 on overloaded instances.
+func (e *evaluator) value(cand *candidate) float64 {
+	c := e.c
+	e.epoch++
+	nodes := 0
+	for _, n := range cand.nodeOf {
+		if e.stamp[n] != e.epoch {
+			e.stamp[n] = e.epoch
+			nodes++
+		}
+	}
+	for f := range c.vnfIDs {
+		eff, raw, w := e.eff[f], e.raw[f], e.w[f]
+		for k := range eff {
+			eff[k], raw[k] = 0, 0
+		}
+		items := c.items[f]
+		asg := cand.assign[f]
+		for i := range items {
+			k := asg[i]
+			eff[k] += items[i].Weight
+			raw[k] += c.rawW[f][i]
+		}
+		mu := c.mu[f]
+		for k := range w {
+			switch {
+			case raw[k] <= 0:
+				w[k] = 0
+			case eff[k] >= mu:
+				w[k] = c.obj.UnstablePenalty * (1 + eff[k]/mu)
+			default:
+				rho := eff[k] / mu
+				w[k] = rho / ((1 - rho) * raw[k])
+			}
+		}
+	}
+	var total float64
+	for r, chain := range c.chains {
+		var lat float64
+		e.epoch++
+		span := 0
+		for j, f := range chain {
+			lat += e.w[f][cand.assign[f][c.pos[r][j]]]
+			n := cand.nodeOf[f]
+			if e.stamp[n] != e.epoch {
+				e.stamp[n] = e.epoch
+				span++
+			}
+		}
+		if span > 1 {
+			lat += float64(span-1) * c.obj.LinkDelay
+		}
+		total += lat
+	}
+	mean := 0.0
+	if len(c.chains) > 0 {
+		mean = total / float64(len(c.chains))
+	}
+	return c.obj.NodeWeight*float64(nodes) + c.obj.LatencyWeight*mean
+}
+
+// fits reports whether moving VNF f onto node n keeps every resource
+// dimension within capacity. VNFs with nodeOf < 0 (mid-repair) are ignored.
+func (c *compiled) fits(cand *candidate, f, n int) bool {
+	load := c.demand[f]
+	for g, ng := range cand.nodeOf {
+		if ng == n && g != f {
+			load += c.demand[g]
+		}
+	}
+	if load > c.cap[n]+capEps {
+		return false
+	}
+	for d := 0; d < c.dims; d++ {
+		l := c.vnfExtras[f][d]
+		for g, ng := range cand.nodeOf {
+			if ng == n && g != f {
+				l += c.vnfExtras[g][d]
+			}
+		}
+		if l > c.nodeExtras[n][d]+capEps {
+			return false
+		}
+	}
+	return true
+}
+
+// seedCandidate builds the deterministic starting point every metaheuristic
+// shares: BFD placement (BFDSU fallback when BFD dead-ends) plus an RCKK
+// schedule.
+func (c *compiled) seedCandidate(seed uint64) (*candidate, error) {
+	res, err := (placement.BFD{}).Place(c.p)
+	if err != nil {
+		bfdsu := &placement.BFDSU{Seed: seed}
+		res, err = bfdsu.Place(c.p)
+		if err != nil {
+			return nil, fmt.Errorf("portfolio: no feasible initial placement: %w", err)
+		}
+	}
+	s, err := scheduling.ScheduleAll(c.p, scheduling.RCKK{})
+	if err != nil {
+		return nil, fmt.Errorf("portfolio: initial schedule: %w", err)
+	}
+	cand := c.newCandidate()
+	if err := c.fromModel(res.Placement, s, cand); err != nil {
+		return nil, err
+	}
+	return cand, nil
+}
+
+// polish tightens cand in place with the repo's existing local searches —
+// placement.Improve node evacuation and per-VNF scheduling.ImproveInPlace —
+// and returns the resulting objective. This is the portfolio's large
+// neighborhood move; it reuses the two Improve passes rather than
+// duplicating their move logic.
+func (c *compiled) polish(ev *evaluator, cand *candidate) float64 {
+	pl := c.toPlacement(cand)
+	if better, err := placement.Improve(c.p, pl, 0); err == nil {
+		c.applyPlacement(better, cand)
+	}
+	for _, f := range c.movable {
+		scheduling.ImproveInPlace(c.items[f], cand.assign[f], c.inst[f], 0)
+	}
+	return ev.value(cand)
+}
+
+// tracker keeps a solver's best-so-far candidate and forwards each strict
+// improvement to the report callback as a monotone incumbent stream.
+type tracker struct {
+	c      *compiled
+	name   string
+	start  time.Time
+	report func(Incumbent)
+	best   float64
+	cand   *candidate
+	count  int
+}
+
+func newTracker(c *compiled, name string, report func(Incumbent)) *tracker {
+	return &tracker{c: c, name: name, start: time.Now(), report: report}
+}
+
+// offer records cand when it strictly improves on the tracker's best and
+// reports it; returns whether it was an improvement.
+func (t *tracker) offer(cand *candidate, obj float64, iter int) bool {
+	if t.cand != nil && obj >= t.best-improveEps {
+		return false
+	}
+	t.best = obj
+	if t.cand == nil {
+		t.cand = t.c.cloneCandidate(cand)
+	} else {
+		t.cand.copyFrom(cand)
+	}
+	t.count++
+	if t.report != nil {
+		t.report(Incumbent{
+			Solver:    t.name,
+			Objective: obj,
+			Iteration: iter,
+			Elapsed:   time.Since(t.start),
+			At:        time.Now(),
+			Placement: t.c.toPlacement(t.cand),
+			Schedule:  t.c.toSchedule(t.cand),
+		})
+	}
+	return true
+}
+
+// solution finalizes the tracker into the solver's answer.
+func (t *tracker) solution(iters int) (*Solution, error) {
+	if t.cand == nil {
+		return nil, errors.New("portfolio: no incumbent found before cancellation")
+	}
+	return &Solution{
+		Solver:     t.name,
+		Objective:  t.best,
+		Iterations: iters,
+		Incumbents: t.count,
+		Placement:  t.c.toPlacement(t.cand),
+		Schedule:   t.c.toSchedule(t.cand),
+	}, nil
+}

@@ -1,0 +1,218 @@
+package portfolio
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"nfvchain/internal/model"
+	"nfvchain/internal/rng"
+)
+
+// testProblem builds a feasible joint instance: random chains over the
+// VNF catalog, service rates scaled so the hottest VNF runs near ρ≈0.75
+// in aggregate, and node capacities with ~40% headroom.
+func testProblem(tb testing.TB, vnfs, requests, nodes int, seed uint64) *model.Problem {
+	tb.Helper()
+	r := rng.Derive(seed, "portfolio/testproblem")
+	p := &model.Problem{}
+	var totalDemand, maxDemand float64
+	for i := 0; i < vnfs; i++ {
+		f := model.VNF{
+			ID:          model.VNFID(fmt.Sprintf("f%02d", i)),
+			Instances:   r.UniformInt(2, 4),
+			Demand:      r.Uniform(1, 3),
+			ServiceRate: 1, // rescaled below
+		}
+		p.VNFs = append(p.VNFs, f)
+		totalDemand += f.TotalDemand()
+		if f.TotalDemand() > maxDemand {
+			maxDemand = f.TotalDemand()
+		}
+	}
+	for i := 0; i < requests; i++ {
+		chainLen := r.UniformInt(2, min(4, vnfs))
+		perm := r.Perm(vnfs)
+		var chain []model.VNFID
+		for _, f := range perm[:chainLen] {
+			chain = append(chain, p.VNFs[f].ID)
+		}
+		p.Requests = append(p.Requests, model.Request{
+			ID:           model.RequestID(fmt.Sprintf("r%03d", i)),
+			Chain:        chain,
+			Rate:         r.Uniform(1, 10),
+			DeliveryProb: r.Uniform(0.9, 1.0),
+		})
+	}
+	// Scale service rates: hottest VNF at aggregate ρ ≈ 0.75.
+	for i := range p.VNFs {
+		f := &p.VNFs[i]
+		var load float64
+		for _, req := range p.Requests {
+			if req.Uses(f.ID) {
+				load += req.EffectiveRate()
+			}
+		}
+		if load > 0 {
+			f.ServiceRate = load / (0.75 * float64(f.Instances))
+		}
+	}
+	capacity := math.Max(maxDemand, totalDemand*1.4/float64(nodes))
+	for i := 0; i < nodes; i++ {
+		p.Nodes = append(p.Nodes, model.Node{
+			ID:       model.NodeID(fmt.Sprintf("n%02d", i)),
+			Capacity: capacity,
+		})
+	}
+	if err := p.Validate(); err != nil {
+		tb.Fatalf("testProblem invalid: %v", err)
+	}
+	return p
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// shortSpecs returns fast-budget variants of every solver for tests.
+func shortSpecs(tb testing.TB, texts ...string) []Spec {
+	tb.Helper()
+	specs, err := ParseSpecs(texts)
+	if err != nil {
+		tb.Fatalf("ParseSpecs(%v): %v", texts, err)
+	}
+	return specs
+}
+
+func TestSolversProduceValidMonotoneIncumbents(t *testing.T) {
+	p := testProblem(t, 8, 40, 6, 11)
+	specs := shortSpecs(t,
+		"greedy", "bfd", "ffd", "nah",
+		"sa:iters=1500;polish=500", "lns:iters=80", "pso:iters=25;particles=8")
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			solver, err := spec.Build(DefaultObjective(), 7)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			var trajectory []Incumbent
+			sol, err := solver.Solve(context.Background(), p, func(inc Incumbent) {
+				trajectory = append(trajectory, inc)
+			})
+			if err != nil {
+				t.Fatalf("Solve: %v", err)
+			}
+			if len(trajectory) == 0 {
+				t.Fatal("no incumbents reported")
+			}
+			for i := 1; i < len(trajectory); i++ {
+				if trajectory[i].Objective >= trajectory[i-1].Objective {
+					t.Errorf("incumbent %d objective %v not below %v", i,
+						trajectory[i].Objective, trajectory[i-1].Objective)
+				}
+				if trajectory[i].Iteration < trajectory[i-1].Iteration {
+					t.Errorf("incumbent %d iteration %d regressed from %d", i,
+						trajectory[i].Iteration, trajectory[i-1].Iteration)
+				}
+			}
+			last := trajectory[len(trajectory)-1]
+			if sol.Objective != last.Objective {
+				t.Errorf("final objective %v != last incumbent %v", sol.Objective, last.Objective)
+			}
+			if sol.Incumbents != len(trajectory) {
+				t.Errorf("Incumbents = %d, reported %d", sol.Incumbents, len(trajectory))
+			}
+			if err := sol.Placement.Validate(p); err != nil {
+				t.Errorf("final placement invalid: %v", err)
+			}
+			if err := sol.Schedule.Validate(p); err != nil {
+				t.Errorf("final schedule invalid: %v", err)
+			}
+			if math.IsNaN(sol.Objective) || math.IsInf(sol.Objective, 0) {
+				t.Errorf("objective %v not finite", sol.Objective)
+			}
+		})
+	}
+}
+
+// TestSolverDeterminism: fixed seed ⇒ identical (iteration, objective)
+// incumbent trajectory, run to run.
+func TestSolverDeterminism(t *testing.T) {
+	p := testProblem(t, 8, 40, 6, 13)
+	specs := shortSpecs(t,
+		"greedy", "sa:iters=2000;polish=500", "lns:iters=100", "pso:iters=30;particles=8")
+	type point struct {
+		iter int
+		obj  float64
+	}
+	run := func(spec Spec) []point {
+		solver, err := spec.Build(DefaultObjective(), 21)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", spec.Name, err)
+		}
+		var traj []point
+		if _, err := solver.Solve(context.Background(), p, func(inc Incumbent) {
+			traj = append(traj, point{inc.Iteration, inc.Objective})
+		}); err != nil {
+			t.Fatalf("Solve(%s): %v", spec.Name, err)
+		}
+		return traj
+	}
+	for _, spec := range specs {
+		a, b := run(spec), run(spec)
+		if len(a) != len(b) {
+			t.Fatalf("%s: trajectory lengths differ: %d vs %d", spec.Name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: trajectory diverges at %d: %+v vs %+v", spec.Name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestSolveHonorsCancelledContext(t *testing.T) {
+	p := testProblem(t, 6, 20, 5, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spec := shortSpecs(t, "greedy")[0]
+	solver, err := spec.Build(DefaultObjective(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := solver.Solve(ctx, p, nil); err == nil {
+		t.Fatal("expected error from pre-cancelled context")
+	}
+}
+
+func TestSolveDeadlineReturnsBestSoFar(t *testing.T) {
+	p := testProblem(t, 8, 40, 6, 17)
+	// Unbounded SA: must stop at the deadline with its best-so-far.
+	spec := Spec{Name: "sa", Iters: 0, InitialTemp: 2, Cooling: 0.99999, PolishEvery: 5000}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	solver, err := spec.Build(DefaultObjective(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	sol, err := solver.Solve(ctx, p, nil)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline ignored: ran %v", elapsed)
+	}
+	if sol == nil || sol.Placement == nil {
+		t.Fatal("no best-so-far solution returned")
+	}
+}

@@ -1,0 +1,107 @@
+package portfolio
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpecDefaultsAndOverrides(t *testing.T) {
+	s, err := ParseSpec("sa:iters=5000;seed=7;t0=1.5;cooling=0.99")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if s.Name != "sa" || s.Iters != 5000 || !s.SeedSet || s.Seed != 7 ||
+		s.InitialTemp != 1.5 || s.Cooling != 0.99 {
+		t.Errorf("unexpected spec: %+v", s)
+	}
+	for _, name := range SolverNames() {
+		if _, err := ParseSpec(name); err != nil {
+			t.Errorf("ParseSpec(%q): %v", name, err)
+		}
+		if _, err := ParseSpec(strings.ToUpper(name)); err != nil {
+			t.Errorf("ParseSpec(%q) uppercase: %v", name, err)
+		}
+	}
+	for _, text := range DefaultPortfolio() {
+		if _, err := ParseSpec(text); err != nil {
+			t.Errorf("default portfolio entry %q: %v", text, err)
+		}
+	}
+}
+
+func TestParseSpecRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"warp-drive",
+		"sa:iters",
+		"sa:iters=abc",
+		"sa:iters=-5",
+		"sa:t0=NaN",
+		"sa:t0=+Inf",
+		"sa:t0=-1",
+		"sa:cooling=1.5",
+		"sa:cooling=0",
+		"sa:unknown=1",
+		"lns:destroy=0",
+		"lns:destroy=2",
+		"lns:destroy=nan",
+		"pso:particles=0",
+		"pso:particles=100000",
+		"pso:inertia=inf",
+		"greedy:seed=-1",
+		"greedy:seed=1e9",
+	}
+	for _, text := range bad {
+		if _, err := ParseSpec(text); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", text)
+		}
+	}
+	if _, err := ParseSpecs(nil); err == nil {
+		t.Error("ParseSpecs(nil) accepted (K=0)")
+	}
+	if _, err := ParseSpecs(make([]string, MaxPortfolioSize+1)); err == nil {
+		t.Error("oversized portfolio accepted")
+	}
+}
+
+func TestSpecStringRoundTrip(t *testing.T) {
+	for _, text := range []string{"greedy", "sa:seed=7;iters=500", "lns", "pso"} {
+		s, err := ParseSpec(text)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", text, err)
+		}
+		back, err := ParseSpec(s.String())
+		if err != nil {
+			t.Fatalf("ParseSpec(String()=%q): %v", s.String(), err)
+		}
+		if back != s {
+			t.Errorf("round trip %q -> %+v -> %q -> %+v", text, s, s.String(), back)
+		}
+	}
+}
+
+// FuzzParseSpec: parsing must never panic, and any accepted spec must
+// validate and build.
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		"sa", "greedy", "pso:particles=16", "sa:iters=100;seed=3",
+		"sa:t0=NaN", "sa:t0=Inf", "sa:cooling=1", "lns:destroy=-0.5",
+		"pso:particles=-1", "exact:seed=18446744073709551615",
+		":=;=", "sa:;;;", "sa:seed=", "\x00", "sa:iters=9999999999999999999",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := ParseSpec(text)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("parsed spec %q fails Validate: %v", text, err)
+		}
+		if _, err := s.Build(DefaultObjective(), 1); err != nil {
+			t.Fatalf("parsed spec %q fails Build: %v", text, err)
+		}
+	})
+}

@@ -27,17 +27,28 @@ func Improve(items []Item, assign []int, m, maxRounds int) ([]int, error) {
 			return nil, fmt.Errorf("scheduling: item %d assigned to instance %d outside [0,%d)", i, k, m)
 		}
 	}
+	cur := append([]int(nil), assign...)
+	ImproveInPlace(items, cur, m, maxRounds)
+	return cur, nil
+}
+
+// ImproveInPlace is Improve without the defensive copy and validation: it
+// mutates assign directly and returns the number of improving rounds applied.
+// Inputs must already be a valid assignment (every index in [0,m)); it is the
+// allocation-lean inner-loop form the portfolio metaheuristics polish
+// candidates with. maxRounds <= 0 means DefaultImproveRounds.
+func ImproveInPlace(items []Item, assign []int, m, maxRounds int) int {
 	if maxRounds <= 0 {
 		maxRounds = DefaultImproveRounds
 	}
-	cur := append([]int(nil), assign...)
-	loads := Loads(items, cur, m)
-	for round := 0; round < maxRounds; round++ {
-		if !improveOnce(items, cur, loads) {
+	loads := Loads(items, assign, m)
+	rounds := 0
+	for ; rounds < maxRounds; rounds++ {
+		if !improveOnce(items, assign, loads) {
 			break
 		}
 	}
-	return cur, nil
+	return rounds
 }
 
 // DefaultImproveRounds bounds the local search; each round strictly reduces

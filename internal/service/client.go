@@ -92,6 +92,28 @@ func (c *Client) Solve(ctx context.Context, req SolveRequest) (*JobStatus, error
 	return &st, nil
 }
 
+// SolveAnytime submits an anytime-portfolio solve, waits for it to finish,
+// and returns the terminal status (carrying the incumbent trajectory in
+// Progress) plus the winning Solution. The request must set Portfolio; see
+// SolveRequest for deadline semantics.
+func (c *Client) SolveAnytime(ctx context.Context, req SolveRequest) (*JobStatus, *core.Solution, error) {
+	st, err := c.Solve(ctx, req)
+	if err != nil {
+		return nil, nil, err
+	}
+	if st, err = c.Wait(ctx, st.ID); err != nil {
+		return st, nil, err
+	}
+	if st.State != StateDone {
+		return st, nil, fmt.Errorf("service client: anytime job %s ended %s: %s", st.ID, st.State, st.Error)
+	}
+	sol, err := c.SolveResult(ctx, st.ID)
+	if err != nil {
+		return st, nil, err
+	}
+	return st, sol, nil
+}
+
 // Simulate submits a solve+simulate (or simulate-a-solution) job.
 func (c *Client) Simulate(ctx context.Context, req SimulateRequest) (*JobStatus, error) {
 	var st JobStatus

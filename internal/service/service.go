@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"nfvchain/internal/core"
+	"nfvchain/internal/portfolio"
 	"nfvchain/internal/simulate"
 	"nfvchain/internal/stats"
 )
@@ -70,17 +71,27 @@ type job struct {
 	cacheHit    bool
 	err         string
 	result      []byte
+	// noCache marks a job whose result must not enter the cache (anytime
+	// races are wall-clock dependent).
+	noCache bool
+	// progress is the anytime-race incumbent trajectory, appended under
+	// the server's mutex by the race's publication callback.
+	progress []ProgressPoint
 
 	enqueued time.Time
 	cancel   context.CancelFunc // non-nil while running
 	canceled bool               // cancellation requested
 
-	exec func(ctx context.Context) ([]byte, error)
+	exec func(ctx context.Context, j *job) ([]byte, error)
 }
 
 // status snapshots the job's wire form; the server's mutex must be held.
 func (j *job) status() JobStatus {
-	return JobStatus{ID: j.id, Kind: j.kind, State: j.state, CacheHit: j.cacheHit, Error: j.err}
+	st := JobStatus{ID: j.id, Kind: j.kind, State: j.state, CacheHit: j.cacheHit, Error: j.err}
+	if len(j.progress) > 0 {
+		st.Progress = append([]ProgressPoint(nil), j.progress...)
+	}
+	return st
 }
 
 // Server is the solver/simulator serving daemon: an http.Handler backed by
@@ -105,6 +116,8 @@ type Server struct {
 	cacheMisses  int
 	cacheOrder   []string
 	cacheEntries map[string][]byte
+
+	races RaceMetrics
 
 	wg      sync.WaitGroup
 	simPool sync.Pool // *simulate.Simulator, reused across simulate jobs
@@ -202,7 +215,7 @@ func (s *Server) runJob(j *job) {
 	s.busy++
 	s.mu.Unlock()
 
-	result, err := j.exec(ctx)
+	result, err := j.exec(ctx, j)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -212,7 +225,9 @@ func (s *Server) runJob(j *job) {
 	case err == nil:
 		j.result = result
 		s.setStateLocked(j, StateDone)
-		s.cachePutLocked(j.fingerprint, result)
+		if !j.noCache {
+			s.cachePutLocked(j.fingerprint, result)
+		}
 		s.noteLatencyLocked(j)
 	case j.canceled && errors.Is(err, context.Canceled):
 		s.setStateLocked(j, StateCanceled)
@@ -279,8 +294,9 @@ func (s *Server) cachePutLocked(fp string, result []byte) {
 
 // submit registers a job for the fingerprint and either answers it from the
 // cache (a completed job, instantly) or enqueues it. It writes the HTTP
-// response in every case.
-func (s *Server) submit(w http.ResponseWriter, kind, fp string, exec func(ctx context.Context) ([]byte, error)) {
+// response in every case. noCache jobs (anytime races) skip both cache
+// lookup and insertion.
+func (s *Server) submit(w http.ResponseWriter, kind, fp string, noCache bool, exec func(ctx context.Context, j *job) ([]byte, error)) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -292,18 +308,21 @@ func (s *Server) submit(w http.ResponseWriter, kind, fp string, exec func(ctx co
 		id:          "job-" + strconv.FormatUint(s.nextID, 10),
 		kind:        kind,
 		fingerprint: fp,
+		noCache:     noCache,
 		enqueued:    s.clock(),
 		exec:        exec,
 	}
 	s.jobs[j.id] = j
-	if cached, ok := s.cacheGetLocked(fp); ok {
-		j.result = cached
-		j.cacheHit = true
-		s.setStateLocked(j, StateDone)
-		status := j.status()
-		s.mu.Unlock()
-		writeJSON(w, http.StatusOK, status)
-		return
+	if !noCache {
+		if cached, ok := s.cacheGetLocked(fp); ok {
+			j.result = cached
+			j.cacheHit = true
+			s.setStateLocked(j, StateDone)
+			status := j.status()
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, status)
+			return
+		}
 	}
 	select {
 	case s.queue <- j:
@@ -340,13 +359,21 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	if len(req.Portfolio) > 0 {
+		s.submitAnytime(w, &req)
+		return
+	}
+	if req.DeadlineMS != 0 {
+		writeError(w, http.StatusBadRequest, "deadline_ms requires a portfolio")
+		return
+	}
 	fp, err := fingerprint("solve", &req)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	problem := req.Problem
-	s.submit(w, "solve", fp, func(ctx context.Context) ([]byte, error) {
+	s.submit(w, "solve", fp, false, func(ctx context.Context, _ *job) ([]byte, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -359,6 +386,86 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		var buf bytes.Buffer
+		if err := sol.WriteJSON(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+}
+
+// submitAnytime validates and enqueues an anytime-portfolio solve: a race
+// of the requested solver specs, bounded by deadline_ms, streaming the
+// incumbent trajectory into the job's progress. The result document is a
+// regular core.Solution JSON — the winner after admission control — so
+// downstream consumers (e.g. /v1/simulate with a posted solution) work
+// unchanged.
+func (s *Server) submitAnytime(w http.ResponseWriter, req *SolveRequest) {
+	specs, err := portfolio.ParseSpecs(req.Portfolio)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.DeadlineMS < 0 || req.DeadlineMS > MaxDeadlineMS {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("deadline_ms %d outside [0,%d]", req.DeadlineMS, MaxDeadlineMS))
+		return
+	}
+	if req.DeadlineMS == 0 {
+		for _, sp := range specs {
+			if sp.Iters == 0 {
+				writeError(w, http.StatusBadRequest,
+					fmt.Sprintf("spec %q has no iteration budget; set deadline_ms", sp.String()))
+				return
+			}
+		}
+	}
+	fp, err := fingerprint("solve-anytime", req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	problem := req.Problem
+	options := req.Options
+	deadline := time.Duration(req.DeadlineMS) * time.Millisecond
+	s.submit(w, "solve", fp, true, func(ctx context.Context, j *job) ([]byte, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, deadline)
+			defer cancel()
+		}
+		s.mu.Lock()
+		s.races.Started++
+		s.mu.Unlock()
+		sol, res, err := core.SolveRace(ctx, problem, core.RaceOptions{
+			Portfolio:               req.Portfolio,
+			Seed:                    options.Seed,
+			LinkDelay:               options.LinkDelay,
+			DisableAdmissionControl: options.DisableAdmissionControl,
+			OnIncumbent: func(inc portfolio.Incumbent) {
+				s.mu.Lock()
+				j.progress = append(j.progress, ProgressPoint{
+					Solver:    inc.Solver,
+					Objective: inc.Objective,
+					Iteration: inc.Iteration,
+					ElapsedMS: float64(inc.Elapsed) / float64(time.Millisecond),
+				})
+				s.races.Incumbents++
+				s.mu.Unlock()
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		s.races.Completed++
+		if res.DeadlineExpired {
+			s.races.DeadlineExpired++
+		}
+		s.mu.Unlock()
 		var buf bytes.Buffer
 		if err := sol.WriteJSON(&buf); err != nil {
 			return nil, err
@@ -408,7 +515,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	problem := req.Problem
-	s.submit(w, "simulate", fp, func(ctx context.Context) ([]byte, error) {
+	s.submit(w, "simulate", fp, false, func(ctx context.Context, _ *job) ([]byte, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -527,6 +634,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			Misses:  s.cacheMisses,
 			Entries: len(s.cacheEntries),
 		},
+		Races: s.races,
 	}
 	for st, n := range s.byState {
 		if n > 0 {

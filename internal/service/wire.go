@@ -6,7 +6,10 @@
 //
 // The API (stdlib net/http only):
 //
-//	POST   /v1/solve            submit an optimization job
+//	POST   /v1/solve            submit an optimization job; with a
+//	                            "portfolio" list (+ optional "deadline_ms")
+//	                            it races solvers anytime-style and returns
+//	                            best-so-far on deadline or cancel
 //	POST   /v1/simulate         submit a solve+simulate (or simulate-only) job
 //	GET    /v1/jobs/{id}        job status
 //	GET    /v1/jobs/{id}/result job result (the Solution or Results JSON)
@@ -19,7 +22,9 @@
 // identical submission returns a completed job instantly. A full queue
 // answers 429 with a Retry-After header — backpressure instead of unbounded
 // memory growth. Results are deterministic: a served job is bit-identical
-// to the corresponding direct library call under the same seed.
+// to the corresponding direct library call under the same seed. Anytime
+// portfolio jobs are the one exception — a deadline-bounded race is
+// wall-clock dependent, so they bypass the result cache.
 package service
 
 import (
@@ -93,10 +98,36 @@ func (o SolveOptions) coreOptions() (core.Options, error) {
 	return opts, nil
 }
 
-// SolveRequest is the POST /v1/solve body.
+// SolveRequest is the POST /v1/solve body. Setting Portfolio switches the
+// job into anytime mode: the listed solver specs (see portfolio.ParseSpec;
+// e.g. "greedy", "sa:iters=5000;seed=7", "lns", "pso") race on parallel
+// workers, the incumbent objective trajectory streams through the job's
+// Progress, and the best-so-far solution is returned when every solver
+// finishes or DeadlineMS expires. Anytime jobs bypass the result cache:
+// a deadline-bounded race is wall-clock dependent, and the cache only
+// serves deterministic results.
 type SolveRequest struct {
 	Problem *model.Problem `json:"problem"`
 	Options SolveOptions   `json:"options"`
+	// Portfolio lists the solver specs to race; empty means the classic
+	// single-pipeline solve.
+	Portfolio []string `json:"portfolio,omitempty"`
+	// DeadlineMS bounds the race's wall-clock budget in milliseconds
+	// (0 = no deadline, allowed only when every spec has an iteration
+	// budget; max MaxDeadlineMS). Ignored without Portfolio.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
+}
+
+// MaxDeadlineMS caps an anytime job's deadline (10 minutes).
+const MaxDeadlineMS = 600_000
+
+// ProgressPoint is one incumbent of an anytime job's objective trajectory:
+// monotone decreasing in Objective, in publication order.
+type ProgressPoint struct {
+	Solver    string  `json:"solver"`
+	Objective float64 `json:"objective"`
+	Iteration int     `json:"iteration"`
+	ElapsedMS float64 `json:"elapsedMs"`
 }
 
 // SimOptions is the wire form of core.SimulationConfig: enums by name so
@@ -203,6 +234,9 @@ type JobStatus struct {
 	// CacheHit marks a submission answered from the result cache.
 	CacheHit bool   `json:"cacheHit,omitempty"`
 	Error    string `json:"error,omitempty"`
+	// Progress is the anytime-race incumbent trajectory so far; empty for
+	// classic jobs.
+	Progress []ProgressPoint `json:"progress,omitempty"`
 }
 
 // Metrics is the GET /metrics document.
@@ -220,6 +254,20 @@ type Metrics struct {
 	// most recent completed jobs. Always present so the document shape is
 	// stable: all-zero until the first job completes, never NaN.
 	JobLatency LatencyMetrics `json:"jobLatency"`
+	// Races counts anytime-portfolio activity. Always present.
+	Races RaceMetrics `json:"races"`
+}
+
+// RaceMetrics counts anytime-race traffic.
+type RaceMetrics struct {
+	// Started and Completed count races begun/finished by a worker.
+	Started   int `json:"started"`
+	Completed int `json:"completed"`
+	// DeadlineExpired counts races that ended by deadline rather than by
+	// exhausting every solver's budget.
+	DeadlineExpired int `json:"deadlineExpired"`
+	// Incumbents counts first-improvement publications across all races.
+	Incumbents int `json:"incumbents"`
 }
 
 // CacheMetrics counts result-cache traffic.

@@ -11,6 +11,7 @@ import (
 	"nfvchain/internal/experiment"
 	"nfvchain/internal/model"
 	"nfvchain/internal/placement"
+	"nfvchain/internal/portfolio"
 	"nfvchain/internal/repair"
 	"nfvchain/internal/rng"
 	"nfvchain/internal/routing"
@@ -328,6 +329,55 @@ type (
 	// ExperimentTable is the regenerated data behind one paper figure.
 	ExperimentTable = experiment.Table
 )
+
+// Solver portfolio with anytime racing, re-exported.
+type (
+	// PortfolioSpec is one parsed portfolio entry: a solver name plus its
+	// tuning parameters (see ParsePortfolioSpec for the grammar).
+	PortfolioSpec = portfolio.Spec
+	// PortfolioIncumbent is one monotone best-so-far improvement reported
+	// by a racing solver (objective, iteration, elapsed time, solution).
+	PortfolioIncumbent = portfolio.Incumbent
+	// PortfolioObjective weighs nodes-in-service against mean request
+	// latency in the portfolio's scalar lower-is-better objective.
+	PortfolioObjective = portfolio.Objective
+	// PortfolioSolver is the anytime solver interface every portfolio
+	// member implements.
+	PortfolioSolver = portfolio.Solver
+	// RaceOptions configures SolveRace (portfolio, workers, seed, deadline
+	// via context, incumbent callback).
+	RaceOptions = core.RaceOptions
+	// RaceResult reports a finished race: winner, per-solver outcomes, and
+	// publication counters.
+	RaceResult = portfolio.RaceResult
+	// SolverOutcome is one racer's final result inside a RaceResult.
+	SolverOutcome = portfolio.SolverOutcome
+)
+
+// ParsePortfolioSpec parses one solver spec, "name" or
+// "name:key=value;key=value" — e.g. "sa:iters=20000;t0=2.0". Solver names
+// are listed by PortfolioSolverNames.
+func ParsePortfolioSpec(s string) (PortfolioSpec, error) { return portfolio.ParseSpec(s) }
+
+// ParsePortfolioSpecs parses and validates a full portfolio (rejecting
+// empty and oversized portfolios).
+func ParsePortfolioSpecs(specs []string) ([]PortfolioSpec, error) { return portfolio.ParseSpecs(specs) }
+
+// DefaultPortfolio returns the standard racing lineup: greedy, ffd, nah
+// baselines plus the sa, lns, and pso metaheuristics at default budgets.
+func DefaultPortfolio() []string { return portfolio.DefaultPortfolio() }
+
+// PortfolioSolverNames lists the recognized portfolio solver names.
+func PortfolioSolverNames() []string { return portfolio.SolverNames() }
+
+// SolveRace races a portfolio of solvers on parallel workers sharing a
+// best-so-far incumbent, and returns the winner finalized exactly like
+// Optimize (admission control applied). Bound wall-clock with a context
+// deadline; at a fixed RaceOptions.Seed each solver's incumbent trajectory
+// is deterministic regardless of worker count.
+func SolveRace(ctx context.Context, p *Problem, opts RaceOptions) (*Solution, *RaceResult, error) {
+	return core.SolveRace(ctx, p, opts)
+}
 
 // Optimize runs the two-phase pipeline (placement, then scheduling with
 // admission control) on the problem.

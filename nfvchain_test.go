@@ -156,7 +156,7 @@ func TestFacadeExtensions(t *testing.T) {
 
 func TestFacadeExperiments(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 20 {
+	if len(ids) != 21 {
 		t.Fatalf("ExperimentIDs = %v", ids)
 	}
 	if DefaultExperimentConfig().SchedulingTrials != 1000 {

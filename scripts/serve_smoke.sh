@@ -70,8 +70,60 @@ case "$result" in
 esac
 echo "serve-smoke: solve round-trip ok"
 
-curl -fsS "$base_url/metrics" | grep -q '"queueCapacity"' ||
+# Anytime round-trip: race a portfolio under a 200ms deadline. The unbounded
+# SA entry guarantees the deadline (not the budgets) ends the race, and the
+# greedy baseline guarantees an incumbent exists well before it.
+cat >"$workdir/anytime.json" <<'EOF'
+{
+  "problem": {
+    "nodes": [{"id": "n1", "capacity": 8}, {"id": "n2", "capacity": 8}],
+    "vnfs": [
+      {"id": "fw", "instances": 2, "demand": 2, "serviceRate": 50},
+      {"id": "nat", "instances": 2, "demand": 2, "serviceRate": 40}
+    ],
+    "requests": [
+      {"id": "r1", "chain": ["fw", "nat"], "rate": 10, "deliveryProb": 0.95},
+      {"id": "r2", "chain": ["fw"], "rate": 8, "deliveryProb": 0.98}
+    ]
+  },
+  "options": {"seed": 42},
+  "portfolio": ["greedy", "sa:iters=0;cooling=0.999999"],
+  "deadline_ms": 200
+}
+EOF
+
+anytime_id=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+    --data-binary @"$workdir/anytime.json" "$base_url/v1/solve" |
+    sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+[ -n "$anytime_id" ] || { echo "serve-smoke: anytime submission returned no job id" >&2; exit 1; }
+echo "serve-smoke: submitted anytime race $anytime_id (200ms deadline)"
+
+state=""
+for _ in $(seq 1 100); do
+    status=$(curl -fsS "$base_url/v1/jobs/$anytime_id")
+    state=$(echo "$status" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p')
+    [ "$state" = "done" ] && break
+    case "$state" in failed|canceled) echo "serve-smoke: anytime job ended $state" >&2; exit 1 ;; esac
+    sleep 0.1
+done
+[ "$state" = "done" ] || { echo "serve-smoke: anytime job stuck in state '$state'" >&2; exit 1; }
+
+# The trajectory must carry at least one incumbent, and the result must be a
+# best-so-far solution document despite the expired deadline.
+echo "$status" | grep -q '"progress"' ||
+    { echo "serve-smoke: anytime job status has no incumbent trajectory:" >&2; echo "$status" >&2; exit 1; }
+anytime_result=$(curl -fsS "$base_url/v1/jobs/$anytime_id/result")
+case "$anytime_result" in
+    *'"placement"'*'"schedule"'*) ;;
+    *) echo "serve-smoke: anytime result is not a solution document:" >&2; echo "$anytime_result" >&2; exit 1 ;;
+esac
+echo "serve-smoke: anytime race round-trip ok (incumbent returned at deadline)"
+
+metrics=$(curl -fsS "$base_url/metrics")
+echo "$metrics" | grep -q '"queueCapacity"' ||
     { echo "serve-smoke: metrics missing queueCapacity" >&2; exit 1; }
+echo "$metrics" | grep -q '"races"' ||
+    { echo "serve-smoke: metrics missing race counters" >&2; exit 1; }
 echo "serve-smoke: metrics ok"
 
 kill -INT "$daemon_pid"
