@@ -86,9 +86,14 @@ func Portfolio(cfg Config) (*Table, error) {
 				}
 			}
 		}
-		t.Note("n=%d: race winner %s %.4f vs best baseline %s %.4f (%.2f%% better)",
-			pt.requests, res.Best.Solver, res.Best.Objective, bestBaseName, bestBase,
-			(bestBase-res.Best.Objective)/bestBase*100)
+		if math.IsInf(bestBase, 1) {
+			t.Note("n=%d: race winner %s %.4f (no baseline racer finished)",
+				pt.requests, res.Best.Solver, res.Best.Objective)
+		} else {
+			t.Note("n=%d: race winner %s %.4f vs best baseline %s %.4f (%.2f%% better)",
+				pt.requests, res.Best.Solver, res.Best.Objective, bestBaseName, bestBase,
+				(bestBase-res.Best.Objective)/bestBase*100)
+		}
 		curveSeed, curveProblem = seed, p
 	}
 	if err := addTimeToQuality(t, curveProblem, curveSeed); err != nil {
@@ -101,8 +106,9 @@ func Portfolio(cfg Config) (*Table, error) {
 // (the race keeps only per-solver summaries, so the full trajectories are
 // re-derived here — deterministic at the same seed) and converts its
 // incumbent stream into a best-so-far curve. All curves share one geometric
-// checkpoint grid so the table rows line up; each holds its value between
-// improvements and stays flat past its own iteration budget, so a flat tail
+// checkpoint grid so the table rows line up; each starts at the first
+// checkpoint its solver has reached an incumbent by, holds its value between
+// improvements, and stays flat past its own iteration budget, so a flat tail
 // means "budget exhausted".
 func addTimeToQuality(t *Table, p *model.Problem, seed uint64) error {
 	obj := portfolio.DefaultObjective()
@@ -144,6 +150,12 @@ func addTimeToQuality(t *Table, p *model.Problem, seed uint64) error {
 			continue
 		}
 		for _, cp := range grid {
+			// A checkpoint before the curve's first incumbent has no
+			// quality to report yet; emitting incs[0].Objective there would
+			// claim quality before it was reached.
+			if cp < c.incs[0].Iteration {
+				continue
+			}
 			best := c.incs[0].Objective
 			for _, inc := range c.incs {
 				if inc.Iteration > cp {

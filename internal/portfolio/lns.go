@@ -38,7 +38,12 @@ func (l *lns) Solve(ctx context.Context, p *model.Problem, report func(Incumbent
 	}
 	ev := newEvaluator(c)
 	t := newTracker(c, l.name, report)
-	cur := c.polish(ev, cand)
+	cur := ev.value(cand)
+	scratch := c.cloneCandidate(cand)
+	if polished := c.polish(ev, scratch); polished < cur {
+		cand.copyFrom(scratch)
+		cur = polished
+	}
 	t.offer(cand, cur, 0)
 
 	r := rng.Derive(l.seed, "portfolio/"+l.name)
@@ -68,8 +73,13 @@ func (l *lns) Solve(ctx context.Context, p *model.Problem, report func(Incumbent
 			cand.copyFrom(trial)
 			cur = obj
 			if obj < t.best-improveEps {
-				// Polish strict improvements before publishing.
-				if polished := c.polish(ev, cand); polished < obj {
+				// Polish strict improvements before publishing — into a
+				// scratch copy, kept only when it helps: polish optimizes
+				// makespan and node count, which can disagree with the race
+				// objective, and cand must always match cur.
+				scratch.copyFrom(cand)
+				if polished := c.polish(ev, scratch); polished < obj {
+					cand.copyFrom(scratch)
 					cur = polished
 				}
 				t.offer(cand, cur, i+1)

@@ -217,7 +217,9 @@ func (s Spec) Validate() error {
 	return nil
 }
 
-// String renders the spec back into its canonical textual form.
+// String renders the spec back into its canonical textual form: the name
+// followed by every parameter that differs from the solver's defaults,
+// using setParam's key names so the output re-parses to an equal Spec.
 func (s Spec) String() string {
 	var b strings.Builder
 	b.WriteString(s.Name)
@@ -229,11 +231,37 @@ func (s Spec) String() string {
 		b.WriteByte('=')
 		b.WriteString(val)
 	}
+	ftoa := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	d := defaultSpec(s.Name)
 	if s.SeedSet {
 		add("seed", strconv.FormatUint(s.Seed, 10))
 	}
-	if d := defaultSpec(s.Name); s.Iters != d.Iters {
+	if s.Iters != d.Iters {
 		add("iters", strconv.Itoa(s.Iters))
+	}
+	if s.InitialTemp != d.InitialTemp {
+		add("t0", ftoa(s.InitialTemp))
+	}
+	if s.Cooling != d.Cooling {
+		add("cooling", ftoa(s.Cooling))
+	}
+	if s.PolishEvery != d.PolishEvery {
+		add("polish", strconv.Itoa(s.PolishEvery))
+	}
+	if s.DestroyFraction != d.DestroyFraction {
+		add("destroy", ftoa(s.DestroyFraction))
+	}
+	if s.Particles != d.Particles {
+		add("particles", strconv.Itoa(s.Particles))
+	}
+	if s.Inertia != d.Inertia {
+		add("inertia", ftoa(s.Inertia))
+	}
+	if s.Cognitive != d.Cognitive {
+		add("cognitive", ftoa(s.Cognitive))
+	}
+	if s.Social != d.Social {
+		add("social", ftoa(s.Social))
 	}
 	return b.String()
 }

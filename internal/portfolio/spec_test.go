@@ -65,7 +65,12 @@ func TestParseSpecRejectsMalformed(t *testing.T) {
 }
 
 func TestSpecStringRoundTrip(t *testing.T) {
-	for _, text := range []string{"greedy", "sa:seed=7;iters=500", "lns", "pso"} {
+	for _, text := range []string{
+		"greedy", "sa:seed=7;iters=500", "lns", "pso",
+		"sa:t0=1.5;cooling=0.99;polish=100",
+		"lns:destroy=0.5;iters=77",
+		"pso:particles=8;inertia=0.5;cognitive=2;social=0.25",
+	} {
 		s, err := ParseSpec(text)
 		if err != nil {
 			t.Fatalf("ParseSpec(%q): %v", text, err)

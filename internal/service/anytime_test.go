@@ -108,6 +108,16 @@ func TestAnytimeValidation(t *testing.T) {
 		anytimeRequest(t, MaxDeadlineMS+1, "greedy"), // beyond cap
 		anytimeRequest(t, 0, "sa:iters=0"),           // unbounded without deadline
 		{Problem: testProblem(t), DeadlineMS: 100},   // deadline without portfolio
+		func() SolveRequest { // classic placer conflicts with a race
+			r := anytimeRequest(t, 0, "greedy")
+			r.Options.Placer = "ffd"
+			return r
+		}(),
+		func() SolveRequest { // classic scheduler conflicts with a race
+			r := anytimeRequest(t, 0, "greedy")
+			r.Options.Scheduler = "cga"
+			return r
+		}(),
 	}
 	for i, req := range cases {
 		if _, err := c.Solve(ctx, req); err == nil {

@@ -401,6 +401,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 // downstream consumers (e.g. /v1/simulate with a posted solution) work
 // unchanged.
 func (s *Server) submitAnytime(w http.ResponseWriter, req *SolveRequest) {
+	// The classic placer/scheduler selection does not apply to a race —
+	// the portfolio specs pick the algorithms. Reject rather than silently
+	// ignore, mirroring nfvsim's -improve/-solver portfolio conflict.
+	if req.Options.Placer != "" || req.Options.Scheduler != "" {
+		writeError(w, http.StatusBadRequest,
+			"placer/scheduler options conflict with a portfolio solve; select algorithms via the portfolio specs instead")
+		return
+	}
 	specs, err := portfolio.ParseSpecs(req.Portfolio)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
